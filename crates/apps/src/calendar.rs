@@ -1,0 +1,193 @@
+//! Per-user calendars and a distributed meeting scheduler.
+//!
+//! The scheduler is the shape of distributed application the paper
+//! motivates: one logical operation ("find a meeting slot for these
+//! people") fans out into invocations on several objects that may live
+//! on different node machines, with no shared memory anywhere.
+
+use eden_capability::{Capability, NodeId, Rights};
+use eden_kernel::{Node, OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// Hours a calendar manages per day (9:00–17:00 here).
+pub const FIRST_HOUR: u64 = 9;
+/// One past the last bookable hour.
+pub const LAST_HOUR: u64 = 17;
+
+fn slot_segment(day: u64, hour: u64) -> String {
+    format!("slot:{day:06}:{hour:02}")
+}
+
+/// A user's appointment calendar.
+///
+/// Operations:
+///
+/// | op | class | rights | effect |
+/// |---|---|---|---|
+/// | `book [day, hour, title]` | writes (1) | WRITE | book if free; `Bool` granted |
+/// | `cancel [day, hour]` | writes | WRITE | free a slot |
+/// | `agenda [day]` | reads (4) | READ | `[(hour, title)]` for a day |
+/// | `free_hours [day]` | reads | READ | free hours of a day |
+/// | `relocate [node]` | writes | MOVE | move to the user's node |
+pub struct CalendarType;
+
+impl CalendarType {
+    /// The registered type name.
+    pub const NAME: &'static str = "calendar";
+}
+
+impl TypeManager for CalendarType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(CalendarType::NAME)
+            .class("writes", 1)
+            .class("reads", 4)
+            .op("book", "writes", Rights::WRITE)
+            .op("cancel", "writes", Rights::WRITE)
+            .op("agenda", "reads", Rights::READ)
+            .op("free_hours", "reads", Rights::READ)
+            .op("relocate", "writes", Rights::MOVE)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, _args: &[Value]) -> Result<(), OpError> {
+        ctx.checkpoint()?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "book" => {
+                let day = OpCtx::u64_arg(args, 0)?;
+                let hour = OpCtx::u64_arg(args, 1)?;
+                let title = OpCtx::str_arg(args, 2)?.to_string();
+                if !(FIRST_HOUR..LAST_HOUR).contains(&hour) {
+                    return Err(OpError::type_error(format!(
+                        "hour must be in {FIRST_HOUR}..{LAST_HOUR}"
+                    )));
+                }
+                let granted = ctx.mutate_repr(|r| {
+                    let seg = slot_segment(day, hour);
+                    if r.contains(&seg) {
+                        false
+                    } else {
+                        r.put_str(seg, &title);
+                        true
+                    }
+                })?;
+                if granted {
+                    ctx.checkpoint()?;
+                }
+                Ok(vec![Value::Bool(granted)])
+            }
+            "cancel" => {
+                let day = OpCtx::u64_arg(args, 0)?;
+                let hour = OpCtx::u64_arg(args, 1)?;
+                let removed =
+                    ctx.mutate_repr(|r| r.remove(&slot_segment(day, hour)).is_some())?;
+                if !removed {
+                    return Err(OpError::app(404, "slot is not booked"));
+                }
+                ctx.checkpoint()?;
+                Ok(vec![])
+            }
+            "agenda" => {
+                let day = OpCtx::u64_arg(args, 0)?;
+                let prefix = format!("slot:{day:06}:");
+                let items: Vec<Value> = ctx.read_repr(|r| {
+                    r.segments_with_prefix(&prefix)
+                        .filter_map(|seg| {
+                            let hour: u64 = seg[prefix.len()..].parse().ok()?;
+                            let title = r.get_str(seg)?;
+                            Some(Value::List(vec![Value::U64(hour), Value::Str(title)]))
+                        })
+                        .collect()
+                });
+                Ok(vec![Value::List(items)])
+            }
+            "free_hours" => {
+                let day = OpCtx::u64_arg(args, 0)?;
+                let free: Vec<Value> = ctx.read_repr(|r| {
+                    (FIRST_HOUR..LAST_HOUR)
+                        .filter(|&h| !r.contains(&slot_segment(day, h)))
+                        .map(Value::U64)
+                        .collect()
+                });
+                Ok(vec![Value::List(free)])
+            }
+            "relocate" => {
+                let dst = OpCtx::u64_arg(args, 0)? as u16;
+                ctx.move_to(NodeId(dst))?;
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// Client-side scheduling across many calendars.
+pub struct MeetingScheduler {
+    node: Node,
+}
+
+impl MeetingScheduler {
+    /// A scheduler issuing invocations through `node`.
+    pub fn new(node: Node) -> Self {
+        MeetingScheduler { node }
+    }
+
+    /// Finds the earliest hour on `day` free in *every* calendar and
+    /// books it everywhere. Returns the hour, or `None` if no common
+    /// slot exists. Booking races are handled by unbooking and moving to
+    /// the next candidate (calendars themselves serialize via their
+    /// `writes` class).
+    pub fn schedule(
+        &self,
+        calendars: &[Capability],
+        day: u64,
+        title: &str,
+    ) -> eden_kernel::Result<Option<u64>> {
+        assert!(!calendars.is_empty(), "need at least one attendee");
+        // Intersect free hours.
+        let mut common: Option<Vec<u64>> = None;
+        for cal in calendars {
+            let out = self.node.invoke(*cal, "free_hours", &[Value::U64(day)])?;
+            let free: Vec<u64> = out
+                .first()
+                .and_then(Value::as_list)
+                .map(|l| l.iter().filter_map(Value::as_u64).collect())
+                .unwrap_or_default();
+            common = Some(match common {
+                None => free,
+                Some(prev) => prev.into_iter().filter(|h| free.contains(h)).collect(),
+            });
+        }
+        let candidates = common.unwrap_or_default();
+
+        'candidate: for hour in candidates {
+            let mut booked: Vec<Capability> = Vec::new();
+            for cal in calendars {
+                let out = self.node.invoke(
+                    *cal,
+                    "book",
+                    &[
+                        Value::U64(day),
+                        Value::U64(hour),
+                        Value::Str(title.to_string()),
+                    ],
+                )?;
+                if out.first().and_then(Value::as_bool) == Some(true) {
+                    booked.push(*cal);
+                } else {
+                    // Someone raced us: roll back and try the next hour.
+                    for b in &booked {
+                        let _ = self
+                            .node
+                            .invoke(*b, "cancel", &[Value::U64(day), Value::U64(hour)]);
+                    }
+                    continue 'candidate;
+                }
+            }
+            return Ok(Some(hour));
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,92 @@
+//! The quickstart type: a checkpointing counter.
+
+use eden_capability::Rights;
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// A counter with serialized writes and concurrent reads.
+///
+/// Operations:
+///
+/// | op | class | rights | effect |
+/// |---|---|---|---|
+/// | `add [i64]` | writes (1) | WRITE | add and return the new value |
+/// | `get` | reads (4) | READ | current value |
+/// | `reset` | writes | OWNER | back to the initial value |
+/// | `checkpoint` | writes | CHECKPOINT | persist the current value |
+///
+/// # Examples
+///
+/// ```
+/// use eden_kernel::Cluster;
+/// use eden_apps::counter::CounterType;
+/// use eden_wire::Value;
+///
+/// let cluster = Cluster::builder()
+///     .nodes(1)
+///     .register(|| Box::new(CounterType))
+///     .build();
+/// let cap = cluster.node(0).create_object("counter", &[]).unwrap();
+/// let out = cluster.node(0).invoke(cap, "add", &[Value::I64(2)]).unwrap();
+/// assert_eq!(out, vec![Value::I64(2)]);
+/// cluster.shutdown();
+/// ```
+pub struct CounterType;
+
+impl CounterType {
+    /// The registered type name.
+    pub const NAME: &'static str = "counter";
+
+    /// The registered type name (method form for builder call sites).
+    pub fn spec_name() -> &'static str {
+        Self::NAME
+    }
+}
+
+impl TypeManager for CounterType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(CounterType::NAME)
+            .class("writes", 1)
+            .class("reads", 4)
+            .op("add", "writes", Rights::WRITE)
+            .op("get", "reads", Rights::READ)
+            .op("reset", "writes", Rights::OWNER)
+            .op("checkpoint", "writes", Rights::CHECKPOINT)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        let start = args.first().and_then(Value::as_i64).unwrap_or(0);
+        ctx.mutate_repr(|r| {
+            r.put_i64("count", start);
+            r.put_i64("initial", start);
+        })?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "add" => {
+                let delta = OpCtx::i64_arg(args, 0)?;
+                let new = ctx.mutate_repr(|r| {
+                    let v = r.get_i64("count").unwrap_or(0) + delta;
+                    r.put_i64("count", v);
+                    v
+                })?;
+                Ok(vec![Value::I64(new)])
+            }
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("count").unwrap_or(0)),
+            )]),
+            "reset" => {
+                let initial = ctx.read_repr(|r| r.get_i64("initial").unwrap_or(0));
+                ctx.mutate_repr(|r| r.put_i64("count", initial))?;
+                Ok(vec![])
+            }
+            "checkpoint" => {
+                let version = ctx.checkpoint()?;
+                Ok(vec![Value::U64(version)])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}

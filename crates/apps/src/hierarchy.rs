@@ -1,0 +1,220 @@
+//! The §5 abstract type hierarchy, demonstrated.
+//!
+//! "One type may be declared as a subtype of another, so that the
+//! subtype inherits the operations of its supertype. This type
+//! hierarchy … provides a convenient mechanism for factoring information
+//! and for defining defaults. Examples of attributes that might usefully
+//! be inherited include display code for use with the object editor, and
+//! operations concerned with object location."
+//!
+//! This module builds exactly that family:
+//!
+//! * [`ResourceType`] (`resource`) — the root: the inheritable defaults
+//!   the paper names. `describe` is the "display code"; `whereis` /
+//!   `relocate` are the location operations; `label` management is the
+//!   factored common state.
+//! * [`NamedQueueType`] (`resource.queue`) — a subtype adding FIFO
+//!   operations and *overriding* `describe` with a type-specific
+//!   rendering.
+//! * [`AuditedQueueType`] (`resource.queue.audited`) — a sub-subtype
+//!   that inherits everything two levels deep and adds an audit trail
+//!   around the inherited mutators.
+//!
+//! Inherited operations execute the *defining* type's code against the
+//! *instance's* representation — the Simula/Smalltalk semantics the
+//! paper cites.
+
+use eden_capability::{NodeId, Rights};
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// The root supertype: inheritable defaults for every "resource".
+pub struct ResourceType;
+
+impl ResourceType {
+    /// The registered type name.
+    pub const NAME: &'static str = "resource";
+}
+
+impl TypeManager for ResourceType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(ResourceType::NAME)
+            .class("reads", 4)
+            .class("writes", 1)
+            .op("describe", "reads", Rights::READ)
+            .op("whereis", "reads", Rights::READ)
+            .op("relocate", "writes", Rights::MOVE)
+            .op("set_label", "writes", Rights::WRITE)
+            .op("label", "reads", Rights::READ)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        let label = args
+            .first()
+            .and_then(Value::as_str)
+            .unwrap_or("unnamed resource");
+        ctx.mutate_repr(|r| r.put_str("label", label))?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            // The default "display code": subtypes may override.
+            "describe" => {
+                let label = ctx.read_repr(|r| r.get_str("label")).unwrap_or_default();
+                Ok(vec![Value::Str(format!(
+                    "resource '{label}' on {}",
+                    ctx.node_id()
+                ))])
+            }
+            "whereis" => Ok(vec![Value::U64(ctx.node_id().0 as u64)]),
+            "relocate" => {
+                let dst = OpCtx::u64_arg(args, 0)? as u16;
+                ctx.move_to(NodeId(dst))?;
+                Ok(vec![])
+            }
+            "set_label" => {
+                let label = OpCtx::str_arg(args, 0)?.to_string();
+                ctx.mutate_repr(|r| r.put_str("label", &label))?;
+                Ok(vec![])
+            }
+            "label" => Ok(vec![Value::Str(
+                ctx.read_repr(|r| r.get_str("label")).unwrap_or_default(),
+            )]),
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// A queue that *is a* resource.
+pub struct NamedQueueType;
+
+impl NamedQueueType {
+    /// The registered type name.
+    pub const NAME: &'static str = "resource.queue";
+}
+
+impl TypeManager for NamedQueueType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(NamedQueueType::NAME)
+            .with_parent(ResourceType::NAME)
+            .class("reads", 4)
+            .class("mutators", 1)
+            .op("push", "mutators", Rights::WRITE)
+            .op("pop", "mutators", Rights::WRITE)
+            .op("depth", "reads", Rights::READ)
+            // Override the inherited display code (§5's object-editor
+            // attribute) with a queue-specific rendering.
+            .op("describe", "reads", Rights::READ)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        ResourceType.initialize(ctx, args)?;
+        ctx.mutate_repr(|r| {
+            r.put_u64("head", 0);
+            r.put_u64("tail", 0);
+        })?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "push" => {
+                let item = args
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| OpError::type_error("push(value)"))?;
+                ctx.mutate_repr(|r| {
+                    let tail = r.get_u64("tail").unwrap_or(0);
+                    r.put_value(format!("q:{tail:016}"), &item);
+                    r.put_u64("tail", tail + 1);
+                })?;
+                Ok(vec![])
+            }
+            "pop" => {
+                let item = ctx.mutate_repr(|r| {
+                    let head = r.get_u64("head").unwrap_or(0);
+                    if head >= r.get_u64("tail").unwrap_or(0) {
+                        return None;
+                    }
+                    let seg = format!("q:{head:016}");
+                    let item = r.get_value(&seg);
+                    r.remove(&seg);
+                    r.put_u64("head", head + 1);
+                    item
+                })?;
+                Ok(vec![item.unwrap_or(Value::Unit)])
+            }
+            "depth" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.get_u64("tail").unwrap_or(0) - r.get_u64("head").unwrap_or(0)
+            }))]),
+            "describe" => {
+                let label = ctx.read_repr(|r| r.get_str("label")).unwrap_or_default();
+                let depth = ctx.read_repr(|r| {
+                    r.get_u64("tail").unwrap_or(0) - r.get_u64("head").unwrap_or(0)
+                });
+                Ok(vec![Value::Str(format!(
+                    "queue '{label}' ({depth} queued) on {}",
+                    ctx.node_id()
+                ))])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// A queue that records every mutation — inheriting two levels deep.
+pub struct AuditedQueueType;
+
+impl AuditedQueueType {
+    /// The registered type name.
+    pub const NAME: &'static str = "resource.queue.audited";
+}
+
+impl TypeManager for AuditedQueueType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(AuditedQueueType::NAME)
+            .with_parent(NamedQueueType::NAME)
+            .class("reads", 4)
+            .class("mutators", 1)
+            // Override the mutators to add auditing; everything else
+            // (describe, depth, pop, whereis, relocate, labels…) is
+            // inherited from the two ancestors.
+            .op("push", "mutators", Rights::WRITE)
+            .op("audit", "reads", Rights::READ)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        NamedQueueType.initialize(ctx, args)?;
+        ctx.mutate_repr(|r| r.put_u64("audits", 0))?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "push" => {
+                // Audit, then delegate to the supertype's implementation.
+                let n = ctx.mutate_repr(|r| {
+                    let n = r.get_u64("audits").unwrap_or(0) + 1;
+                    r.put_u64("audits", n);
+                    r.put_str(
+                        format!("audit:{n:08}"),
+                        &format!("push by {} via '{}'", ctx.caller(), ctx.op()),
+                    );
+                    n
+                })?;
+                let _ = n;
+                NamedQueueType.dispatch(ctx, "push", args)
+            }
+            "audit" => {
+                let entries: Vec<Value> = ctx.read_repr(|r| {
+                    r.segments_with_prefix("audit:")
+                        .filter_map(|seg| r.get_str(seg).map(Value::Str))
+                        .collect()
+                });
+                Ok(vec![Value::List(entries)])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}

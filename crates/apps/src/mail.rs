@@ -1,0 +1,212 @@
+//! A distributed mail system.
+//!
+//! The structure the paper's software stack implies (Figure 3): user
+//! mailboxes are Eden objects, the user registry is an EFS directory,
+//! and clients on any node interact purely through capabilities. A
+//! mailbox can follow its user between node machines with the kernel
+//! `move` primitive — mail keeps arriving mid-move because invocations
+//! queue and forward.
+
+use std::collections::BTreeMap;
+
+use eden_capability::{Capability, NodeId, Rights};
+use eden_kernel::{Node, OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// A user's mailbox.
+///
+/// Operations:
+///
+/// | op | class | rights | effect |
+/// |---|---|---|---|
+/// | `deliver [map{from,subject,body}]` | deliver (4) | user-right DELIVER | append a message |
+/// | `list` | reads (4) | READ | headers `(id, from, subject)` |
+/// | `fetch [u64]` | reads | READ | the whole message |
+/// | `delete [u64]` | admin (1) | WRITE | remove a message |
+/// | `count` | reads | READ | stored messages |
+/// | `relocate [u64 node]` | admin | MOVE | follow the user to a node |
+///
+/// `deliver` requires only the type-defined [`MailboxType::DELIVER`]
+/// right, so a user can hand out "may send to me" capabilities that
+/// cannot read the mailbox — the §2 protection story in action.
+pub struct MailboxType;
+
+impl MailboxType {
+    /// The registered type name.
+    pub const NAME: &'static str = "mailbox";
+
+    /// The type-defined right allowing delivery.
+    pub const DELIVER: Rights = Rights::user(0);
+}
+
+impl TypeManager for MailboxType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(MailboxType::NAME)
+            .class("deliver", 4)
+            .class("reads", 4)
+            .class("admin", 1)
+            .op("deliver", "deliver", MailboxType::DELIVER)
+            .op("list", "reads", Rights::READ)
+            .op("fetch", "reads", Rights::READ)
+            .op("count", "reads", Rights::READ)
+            .op("delete", "admin", Rights::WRITE)
+            .op("relocate", "admin", Rights::MOVE)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, _args: &[Value]) -> Result<(), OpError> {
+        ctx.mutate_repr(|r| r.put_u64("next_id", 1))?;
+        ctx.checkpoint()?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "deliver" => {
+                let msg = args
+                    .first()
+                    .and_then(Value::as_map)
+                    .ok_or_else(|| OpError::type_error("deliver(map{from,subject,body})"))?
+                    .clone();
+                let id = ctx.mutate_repr(|r| {
+                    let id = r.get_u64("next_id").unwrap_or(1);
+                    r.put_u64("next_id", id + 1);
+                    r.put_value(format!("msg:{id:08}"), &Value::Map(msg));
+                    id
+                })?;
+                ctx.checkpoint()?;
+                Ok(vec![Value::U64(id)])
+            }
+            "list" => {
+                let headers: Vec<Value> = ctx.read_repr(|r| {
+                    r.segments_with_prefix("msg:")
+                        .filter_map(|seg| {
+                            let id: u64 = seg[4..].parse().ok()?;
+                            let msg = r.get_value(seg)?;
+                            let m = msg.as_map()?;
+                            let mut header = BTreeMap::new();
+                            header.insert("id".to_string(), Value::U64(id));
+                            for key in ["from", "subject"] {
+                                if let Some(v) = m.get(key) {
+                                    header.insert(key.to_string(), v.clone());
+                                }
+                            }
+                            Some(Value::Map(header))
+                        })
+                        .collect()
+                });
+                Ok(vec![Value::List(headers)])
+            }
+            "fetch" => {
+                let id = OpCtx::u64_arg(args, 0)?;
+                let msg = ctx.read_repr(|r| r.get_value(&format!("msg:{id:08}")));
+                msg.map(|m| vec![m])
+                    .ok_or_else(|| OpError::app(404, format!("no message {id}")))
+            }
+            "count" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.segments_with_prefix("msg:").count() as u64
+            }))]),
+            "delete" => {
+                let id = OpCtx::u64_arg(args, 0)?;
+                let removed =
+                    ctx.mutate_repr(|r| r.remove(&format!("msg:{id:08}")).is_some())?;
+                if !removed {
+                    return Err(OpError::app(404, format!("no message {id}")));
+                }
+                ctx.checkpoint()?;
+                Ok(vec![])
+            }
+            "relocate" => {
+                let dst = OpCtx::u64_arg(args, 0)? as u16;
+                ctx.move_to(NodeId(dst))?;
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// A mail client: registry operations plus send/read sugar.
+///
+/// The registry is any EFS directory; user `alice`'s mailbox capability
+/// is bound at `mail/alice` restricted appropriately by the caller.
+#[derive(Clone)]
+pub struct MailClient {
+    node: Node,
+    registry: Capability,
+}
+
+impl MailClient {
+    /// Opens a client over a registry directory capability.
+    pub fn new(node: Node, registry: Capability) -> Self {
+        MailClient { node, registry }
+    }
+
+    /// Creates a mailbox for `user` on this client's node and registers
+    /// it. Returns the full-rights capability (keep it private; the
+    /// registry holds a deliver-only restriction).
+    pub fn register_user(&self, user: &str) -> eden_kernel::Result<Capability> {
+        let mailbox = self.node.create_object(MailboxType::NAME, &[])?;
+        // The public registry entry can deliver but not read.
+        let deliver_only = mailbox.restrict(MailboxType::DELIVER);
+        self.node.invoke(
+            self.registry,
+            "bind",
+            &[Value::Str(user.to_string()), Value::Cap(deliver_only)],
+        )?;
+        Ok(mailbox)
+    }
+
+    /// Sends a message to `to`.
+    pub fn send(&self, from: &str, to: &str, subject: &str, body: &str) -> eden_kernel::Result<u64> {
+        let out = self
+            .node
+            .invoke(self.registry, "lookup", &[Value::Str(to.to_string())])?;
+        let mailbox = out
+            .first()
+            .and_then(Value::as_cap)
+            .ok_or_else(|| eden_kernel::EdenError::BadRequest(format!("no user '{to}'")))?;
+        let mut msg = BTreeMap::new();
+        msg.insert("from".to_string(), Value::Str(from.to_string()));
+        msg.insert("subject".to_string(), Value::Str(subject.to_string()));
+        msg.insert("body".to_string(), Value::Str(body.to_string()));
+        let out = self
+            .node
+            .invoke(mailbox, "deliver", &[Value::Map(msg)])?;
+        Ok(out.first().and_then(Value::as_u64).unwrap_or(0))
+    }
+
+    /// Reads the headers in a mailbox (requires a READ-capable
+    /// capability — the owner's, not the registry's).
+    pub fn headers(&self, mailbox: Capability) -> eden_kernel::Result<Vec<(u64, String, String)>> {
+        let out = self.node.invoke(mailbox, "list", &[])?;
+        Ok(out
+            .first()
+            .and_then(Value::as_list)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|item| {
+                        let m = item.as_map()?;
+                        Some((
+                            m.get("id")?.as_u64()?,
+                            m.get("from")?.as_str()?.to_string(),
+                            m.get("subject")?.as_str()?.to_string(),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Fetches one message body.
+    pub fn body(&self, mailbox: Capability, id: u64) -> eden_kernel::Result<String> {
+        let out = self.node.invoke(mailbox, "fetch", &[Value::U64(id)])?;
+        Ok(out
+            .first()
+            .and_then(Value::as_map)
+            .and_then(|m| m.get("body"))
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string())
+    }
+}

@@ -1,0 +1,104 @@
+//! A shared work queue synchronized entirely by invocation classes.
+//!
+//! §4.2: "by limiting a class to one process, mutual exclusion is
+//! obtained among operations of that class." The queue's `enqueue`,
+//! `dequeue` and `drain` all share one limit-1 class, so the type code
+//! contains not a single lock — the coordinator is the lock.
+
+use eden_capability::Rights;
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// A FIFO queue of [`Value`]s.
+///
+/// Operations (all in the single `mutators` class, limit 1, except
+/// `len`):
+///
+/// | op | effect |
+/// |---|---|
+/// | `enqueue [value]` | append; returns the new length |
+/// | `dequeue` | pop the head, or `Unit` when empty |
+/// | `drain [u64 max]` | pop up to `max` items as a list |
+/// | `len` | current length (concurrent reads) |
+pub struct SharedQueueType;
+
+impl SharedQueueType {
+    /// The registered type name.
+    pub const NAME: &'static str = "shared-queue";
+}
+
+impl TypeManager for SharedQueueType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(SharedQueueType::NAME)
+            .class("mutators", 1)
+            .class("reads", 4)
+            .op("enqueue", "mutators", Rights::WRITE)
+            .op("dequeue", "mutators", Rights::READ | Rights::WRITE)
+            .op("drain", "mutators", Rights::READ | Rights::WRITE)
+            .op("len", "reads", Rights::READ)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, _args: &[Value]) -> Result<(), OpError> {
+        ctx.mutate_repr(|r| {
+            r.put_u64("head", 0);
+            r.put_u64("tail", 0);
+        })?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "enqueue" => {
+                let item = args
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| OpError::type_error("enqueue(value)"))?;
+                let len = ctx.mutate_repr(|r| {
+                    let tail = r.get_u64("tail").unwrap_or(0);
+                    r.put_value(format!("item:{tail:016}"), &item);
+                    r.put_u64("tail", tail + 1);
+                    tail + 1 - r.get_u64("head").unwrap_or(0)
+                })?;
+                Ok(vec![Value::U64(len)])
+            }
+            "dequeue" => {
+                let item = ctx.mutate_repr(|r| {
+                    let head = r.get_u64("head").unwrap_or(0);
+                    let tail = r.get_u64("tail").unwrap_or(0);
+                    if head >= tail {
+                        return None;
+                    }
+                    let seg = format!("item:{head:016}");
+                    let item = r.get_value(&seg);
+                    r.remove(&seg);
+                    r.put_u64("head", head + 1);
+                    item
+                })?;
+                Ok(vec![item.unwrap_or(Value::Unit)])
+            }
+            "drain" => {
+                let max = args.first().and_then(Value::as_u64).unwrap_or(u64::MAX);
+                let items = ctx.mutate_repr(|r| {
+                    let mut out = Vec::new();
+                    let mut head = r.get_u64("head").unwrap_or(0);
+                    let tail = r.get_u64("tail").unwrap_or(0);
+                    while head < tail && (out.len() as u64) < max {
+                        let seg = format!("item:{head:016}");
+                        if let Some(item) = r.get_value(&seg) {
+                            out.push(item);
+                        }
+                        r.remove(&seg);
+                        head += 1;
+                    }
+                    r.put_u64("head", head);
+                    out
+                })?;
+                Ok(vec![Value::List(items)])
+            }
+            "len" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.get_u64("tail").unwrap_or(0) - r.get_u64("head").unwrap_or(0)
+            }))]),
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}

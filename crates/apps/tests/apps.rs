@@ -1,0 +1,429 @@
+//! Application-level tests: the distributed mail, calendar, queue and
+//! policy applications running on real clusters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eden_apps::{
+    with_apps, CalendarType, MailClient, MailboxType, MeetingScheduler, PolicyObjectType,
+    SharedQueueType,
+};
+use eden_capability::Rights;
+use eden_efs::{DirectoryType, Efs};
+use eden_kernel::{Cluster, EdenError};
+use eden_wire::{Status, Value};
+
+fn cluster(n: usize) -> Cluster {
+    with_apps(Cluster::builder().nodes(n)).build()
+}
+
+// ----- Mail -----
+
+#[test]
+fn mail_flows_between_users_on_different_nodes() {
+    let c = cluster(3);
+    // The registry directory lives on node 2 (the "file server").
+    let registry = c
+        .node(2)
+        .create_object(DirectoryType::NAME, &[])
+        .unwrap();
+
+    let alice_client = MailClient::new(c.node(0).clone(), registry);
+    let bob_client = MailClient::new(c.node(1).clone(), registry);
+    let alice_box = alice_client.register_user("alice").unwrap();
+    let _bob_box = bob_client.register_user("bob").unwrap();
+
+    bob_client
+        .send("bob", "alice", "lunch?", "12:30 at the lab")
+        .unwrap();
+    bob_client
+        .send("bob", "alice", "re: lunch", "make it 13:00")
+        .unwrap();
+
+    let headers = alice_client.headers(alice_box).unwrap();
+    assert_eq!(headers.len(), 2);
+    assert_eq!(headers[0].1, "bob");
+    assert_eq!(headers[0].2, "lunch?");
+    let body = alice_client.body(alice_box, headers[1].0).unwrap();
+    assert_eq!(body, "make it 13:00");
+}
+
+#[test]
+fn registry_capability_cannot_read_mail() {
+    let c = cluster(2);
+    let registry = c
+        .node(0)
+        .create_object(DirectoryType::NAME, &[])
+        .unwrap();
+    let client = MailClient::new(c.node(0).clone(), registry);
+    client.register_user("carol").unwrap();
+
+    // Fetch the public (deliver-only) capability from the registry and
+    // try to read with it.
+    let out = c
+        .node(1)
+        .invoke(registry, "lookup", &[Value::Str("carol".into())])
+        .unwrap();
+    let public_cap = out[0].as_cap().unwrap();
+    assert!(public_cap.permits(MailboxType::DELIVER));
+    let err = c.node(1).invoke(public_cap, "list", &[]).unwrap_err();
+    assert!(
+        matches!(err, EdenError::Invoke(Status::RightsViolation { .. })),
+        "deliver-only capability must not read: {err:?}"
+    );
+}
+
+#[test]
+fn mailbox_survives_crash_and_follows_moves() {
+    let c = cluster(3);
+    let registry = c
+        .node(0)
+        .create_object(DirectoryType::NAME, &[])
+        .unwrap();
+    let client = MailClient::new(c.node(0).clone(), registry);
+    let mailbox = client.register_user("dave").unwrap();
+    client.send("eve", "dave", "one", "first message").unwrap();
+
+    // The mailbox follows its user to node 1.
+    c.node(0)
+        .invoke(mailbox, "relocate", &[Value::U64(1)])
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !c.node(1).is_local(mailbox.name()) {
+        assert!(std::time::Instant::now() < deadline, "move never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Mail still arrives, transparently.
+    client.send("eve", "dave", "two", "second message").unwrap();
+    let headers = client.headers(mailbox).unwrap();
+    assert_eq!(headers.len(), 2);
+}
+
+#[test]
+fn mail_over_efs_registry_exercises_every_layer() {
+    // Figure 3 end-to-end: application (mail) over EFS naming over the
+    // kernel over the network.
+    let c = cluster(2);
+    let efs = Efs::format(c.node(1).clone()).unwrap();
+    let mail_dir = efs.mkdir_p("/system/mail").unwrap();
+    let client = MailClient::new(c.node(0).clone(), mail_dir);
+    let mbox = client.register_user("frank").unwrap();
+    client.send("grace", "frank", "hi", "hello across layers").unwrap();
+    assert_eq!(client.headers(mbox).unwrap().len(), 1);
+    // The registry binding is visible through the EFS path API too.
+    assert!(efs.list("/system/mail").unwrap().contains(&"frank".to_string()));
+}
+
+// ----- Calendar -----
+
+#[test]
+fn scheduler_finds_a_common_slot_across_nodes() {
+    let c = cluster(3);
+    let cals: Vec<_> = (0..3)
+        .map(|i| c.node(i).create_object(CalendarType::NAME, &[]).unwrap())
+        .collect();
+
+    // Pre-book conflicting appointments: 9 is busy for cal0, 10 busy for
+    // cal1, 11 busy for cal2 → first common slot is 12.
+    for (i, cal) in cals.iter().enumerate() {
+        let hour = 9 + i as u64;
+        let out = c
+            .node(0)
+            .invoke(
+                *cal,
+                "book",
+                &[Value::U64(100), Value::U64(hour), Value::Str("busy".into())],
+            )
+            .unwrap();
+        assert_eq!(out, vec![Value::Bool(true)]);
+    }
+
+    let scheduler = MeetingScheduler::new(c.node(0).clone());
+    let hour = scheduler.schedule(&cals, 100, "eden sync").unwrap();
+    assert_eq!(hour, Some(12));
+
+    // Booked everywhere.
+    for cal in &cals {
+        let out = c.node(1).invoke(*cal, "agenda", &[Value::U64(100)]).unwrap();
+        let agenda = out[0].as_list().unwrap();
+        assert!(agenda.iter().any(|item| {
+            item.as_list()
+                .map(|pair| pair[0].as_u64() == Some(12))
+                .unwrap_or(false)
+        }));
+    }
+}
+
+#[test]
+fn scheduler_reports_when_no_slot_exists() {
+    let c = cluster(1);
+    let cal = c.node(0).create_object(CalendarType::NAME, &[]).unwrap();
+    for hour in 9..17 {
+        c.node(0)
+            .invoke(
+                cal,
+                "book",
+                &[Value::U64(7), Value::U64(hour), Value::Str("slammed".into())],
+            )
+            .unwrap();
+    }
+    let scheduler = MeetingScheduler::new(c.node(0).clone());
+    assert_eq!(scheduler.schedule(&[cal], 7, "impossible").unwrap(), None);
+}
+
+#[test]
+fn double_booking_is_refused() {
+    let c = cluster(1);
+    let cal = c.node(0).create_object(CalendarType::NAME, &[]).unwrap();
+    let book = |title: &str| {
+        c.node(0)
+            .invoke(
+                cal,
+                "book",
+                &[Value::U64(1), Value::U64(10), Value::Str(title.into())],
+            )
+            .unwrap()[0]
+            .as_bool()
+            .unwrap()
+    };
+    assert!(book("first"));
+    assert!(!book("second"));
+}
+
+#[test]
+fn out_of_range_hours_are_type_errors() {
+    let c = cluster(1);
+    let cal = c.node(0).create_object(CalendarType::NAME, &[]).unwrap();
+    let err = c
+        .node(0)
+        .invoke(
+            cal,
+            "book",
+            &[Value::U64(1), Value::U64(23), Value::Str("midnight".into())],
+        )
+        .unwrap_err();
+    assert!(matches!(err, EdenError::Invoke(Status::TypeError(_))));
+}
+
+// ----- Shared queue -----
+
+#[test]
+fn queue_is_fifo_across_nodes() {
+    let c = cluster(2);
+    let q = c.node(0).create_object(SharedQueueType::NAME, &[]).unwrap();
+    for i in 0..5 {
+        c.node(1).invoke(q, "enqueue", &[Value::I64(i)]).unwrap();
+    }
+    for i in 0..5 {
+        let out = c.node(0).invoke(q, "dequeue", &[]).unwrap();
+        assert_eq!(out, vec![Value::I64(i)]);
+    }
+    assert_eq!(
+        c.node(0).invoke(q, "dequeue", &[]).unwrap(),
+        vec![Value::Unit]
+    );
+}
+
+#[test]
+fn concurrent_producers_and_consumers_lose_nothing() {
+    let c = Arc::new(cluster(2));
+    let q = c.node(0).create_object(SharedQueueType::NAME, &[]).unwrap();
+    let n_producers = 4;
+    let per_producer = 50i64;
+
+    let mut handles = Vec::new();
+    for p in 0..n_producers {
+        let c = c.clone();
+        handles.push(std::thread::spawn(move || {
+            let node = c.node((p % 2) as usize);
+            for i in 0..per_producer {
+                node.invoke(q, "enqueue", &[Value::I64(p as i64 * 1000 + i)])
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Drain everything and verify per-producer FIFO plus no loss.
+    let out = c.node(1).invoke(q, "drain", &[Value::U64(10_000)]).unwrap();
+    let items = out[0].as_list().unwrap();
+    assert_eq!(items.len(), (n_producers as i64 * per_producer) as usize);
+    for p in 0..n_producers {
+        let seq: Vec<i64> = items
+            .iter()
+            .filter_map(Value::as_i64)
+            .filter(|v| v / 1000 == p as i64)
+            .collect();
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted, "per-producer order must hold");
+    }
+}
+
+#[test]
+fn drain_respects_the_limit() {
+    let c = cluster(1);
+    let q = c.node(0).create_object(SharedQueueType::NAME, &[]).unwrap();
+    for i in 0..10 {
+        c.node(0).invoke(q, "enqueue", &[Value::I64(i)]).unwrap();
+    }
+    let out = c.node(0).invoke(q, "drain", &[Value::U64(3)]).unwrap();
+    assert_eq!(out[0].as_list().unwrap().len(), 3);
+    let out = c.node(0).invoke(q, "len", &[]).unwrap();
+    assert_eq!(out, vec![Value::U64(7)]);
+}
+
+// ----- Policy objects -----
+
+#[test]
+fn policy_object_relocates_objects_it_holds_move_rights_on() {
+    let c = cluster(3);
+    let policy = c
+        .node(0)
+        .create_object(PolicyObjectType::NAME, &[])
+        .unwrap();
+    let q = c.node(0).create_object(SharedQueueType::NAME, &[]).unwrap();
+
+    c.node(0)
+        .invoke(policy, "send_to", &[Value::Cap(q), Value::U64(2)])
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !c.node(2).is_local(q.name()) {
+        assert!(std::time::Instant::now() < deadline, "policy move never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Still invocable from anywhere.
+    c.node(1).invoke(q, "enqueue", &[Value::I64(9)]).unwrap();
+}
+
+#[test]
+fn policy_object_refuses_undelegated_move() {
+    let c = cluster(2);
+    let policy = c
+        .node(0)
+        .create_object(PolicyObjectType::NAME, &[])
+        .unwrap();
+    let q = c.node(0).create_object(SharedQueueType::NAME, &[]).unwrap();
+    let no_move = q.restrict(Rights::READ | Rights::WRITE);
+    let err = c
+        .node(0)
+        .invoke(policy, "place", &[Value::Cap(no_move)])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EdenError::Invoke(Status::AppError { code: 403, .. })
+    ));
+}
+
+#[test]
+fn policy_object_reports_its_node_set() {
+    let c = cluster(4);
+    let policy = c
+        .node(1)
+        .create_object(PolicyObjectType::NAME, &[])
+        .unwrap();
+    let out = c.node(1).invoke(policy, "nodes", &[]).unwrap();
+    let nodes: Vec<u64> = out[0]
+        .as_list()
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_u64)
+        .collect();
+    assert_eq!(nodes, vec![0, 1, 2, 3]);
+}
+
+// ----- Type hierarchy (§5) -----
+
+#[test]
+fn subtypes_inherit_operations_two_levels_deep() {
+    use eden_apps::AuditedQueueType;
+    let c = cluster(2);
+    let q = c
+        .node(0)
+        .create_object(AuditedQueueType::NAME, &[Value::Str("jobs".into())])
+        .unwrap();
+
+    // `push` is the subtype's own (audited) implementation.
+    c.node(1).invoke(q, "push", &[Value::I64(1)]).unwrap();
+    c.node(1).invoke(q, "push", &[Value::I64(2)]).unwrap();
+
+    // `pop` and `depth` are inherited from resource.queue.
+    let out = c.node(0).invoke(q, "depth", &[]).unwrap();
+    assert_eq!(out, vec![Value::U64(2)]);
+    let out = c.node(0).invoke(q, "pop", &[]).unwrap();
+    assert_eq!(out, vec![Value::I64(1)]);
+
+    // `label` and `whereis` come from the root, two levels up.
+    let out = c.node(1).invoke(q, "label", &[]).unwrap();
+    assert_eq!(out, vec![Value::Str("jobs".into())]);
+    let out = c.node(1).invoke(q, "whereis", &[]).unwrap();
+    assert_eq!(out, vec![Value::U64(0)]);
+
+    // The audit trail recorded both pushes.
+    let out = c.node(0).invoke(q, "audit", &[]).unwrap();
+    assert_eq!(out[0].as_list().unwrap().len(), 2);
+}
+
+#[test]
+fn subtype_overrides_replace_inherited_display_code() {
+    use eden_apps::{NamedQueueType, ResourceType};
+    let c = cluster(1);
+    let plain = c
+        .node(0)
+        .create_object(ResourceType::NAME, &[Value::Str("disk".into())])
+        .unwrap();
+    let queue = c
+        .node(0)
+        .create_object(NamedQueueType::NAME, &[Value::Str("print".into())])
+        .unwrap();
+    c.node(0).invoke(queue, "push", &[Value::Unit]).unwrap();
+
+    let plain_desc = c.node(0).invoke(plain, "describe", &[]).unwrap()[0]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let queue_desc = c.node(0).invoke(queue, "describe", &[]).unwrap()[0]
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(plain_desc.starts_with("resource 'disk'"), "{plain_desc}");
+    assert!(queue_desc.starts_with("queue 'print' (1 queued)"), "{queue_desc}");
+}
+
+#[test]
+fn inherited_location_operations_move_the_subtype_instance() {
+    use eden_apps::NamedQueueType;
+    let c = cluster(2);
+    let q = c
+        .node(0)
+        .create_object(NamedQueueType::NAME, &[Value::Str("mobile".into())])
+        .unwrap();
+    c.node(0).invoke(q, "push", &[Value::I64(7)]).unwrap();
+    // `relocate` is defined on the root supertype; it must move *this*
+    // instance, carrying the subtype's representation along.
+    c.node(0).invoke(q, "relocate", &[Value::U64(1)]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !c.node(1).is_local(q.name()) {
+        assert!(std::time::Instant::now() < deadline, "inherited move never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let out = c.node(0).invoke(q, "pop", &[]).unwrap();
+    assert_eq!(out, vec![Value::I64(7)], "state travelled with the instance");
+}
+
+#[test]
+fn supertype_instances_do_not_gain_subtype_operations() {
+    use eden_apps::ResourceType;
+    let c = cluster(1);
+    let plain = c
+        .node(0)
+        .create_object(ResourceType::NAME, &[])
+        .unwrap();
+    let err = c.node(0).invoke(plain, "push", &[Value::Unit]).unwrap_err();
+    assert_eq!(
+        err,
+        EdenError::Invoke(Status::NoSuchOperation("push".into()))
+    );
+}

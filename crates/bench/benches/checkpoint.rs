@@ -1,0 +1,71 @@
+//! E3/F4 micro-benchmarks: checkpoint cost through the kernel and raw
+//! store writes underneath it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eden_bench::types::{bench_cluster, PayloadType};
+use eden_capability::{NameGenerator, NodeId};
+use eden_store::disk::SyncPolicy;
+use eden_store::{CheckpointStore, DiskStore, MemStore};
+use eden_wire::Value;
+
+fn bench_kernel_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_kernel");
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let cluster = bench_cluster(1);
+        let cap = cluster
+            .node(0)
+            .create_object(PayloadType::NAME, &[])
+            .expect("create");
+        cluster
+            .node(0)
+            .invoke(cap, "fill", &[Value::U64(size as u64)])
+            .expect("fill");
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &(), |b, ()| {
+            b.iter(|| cluster.node(0).invoke(cap, "checkpoint", &[]).expect("ckpt"))
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_raw_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_store_put");
+    let g = NameGenerator::new(NodeId(0));
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let payload = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        let mem = MemStore::with_retention(4);
+        let name = g.next_name();
+        group.bench_with_input(BenchmarkId::new("mem", size), &(), |b, ()| {
+            b.iter(|| mem.put(name, &payload).expect("put"))
+        });
+
+        let dir = std::env::temp_dir().join(format!("eden-bench-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        let disk =
+            DiskStore::open(dir.join(format!("{size}.log")), SyncPolicy::Never).expect("disk");
+        let name = g.next_name();
+        group.bench_with_input(BenchmarkId::new("disk_nosync", size), &(), |b, ()| {
+            b.iter(|| disk.put(name, &payload).expect("put"))
+        });
+        drop(disk);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernel_checkpoint, bench_raw_stores
+}
+criterion_main!(benches);

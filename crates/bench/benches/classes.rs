@@ -1,0 +1,29 @@
+//! E2 macro-benchmark: batch completion under different invocation-class
+//! limits (each iteration runs the full 16-client batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::exp_e2_classes::throughput_for_limit;
+
+fn bench_class_limits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("class_limit_batch");
+    for limit in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            b.iter(|| throughput_for_limit(limit))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_class_limits
+}
+criterion_main!(benches);

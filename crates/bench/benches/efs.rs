@@ -1,0 +1,57 @@
+//! E8/E9 micro-benchmarks: EFS write/read paths and single-transaction
+//! commit latency under both concurrency-control disciplines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::types::bench_cluster;
+use eden_efs::Efs;
+
+fn bench_efs_paths(c: &mut Criterion) {
+    let cluster = bench_cluster(1);
+    let efs = Efs::format(cluster.node(0).clone()).expect("format");
+    efs.write("/bench/file", b"seed").expect("seed");
+
+    c.bench_function("efs_write_new_version", |b| {
+        b.iter(|| efs.write("/bench/file", b"another version").expect("write"))
+    });
+    c.bench_function("efs_read_latest", |b| {
+        b.iter(|| efs.read("/bench/file").expect("read"))
+    });
+    c.bench_function("efs_path_lookup_3deep", |b| {
+        efs.write("/a/b/c/leaf", b"x").expect("deep write");
+        b.iter(|| efs.lookup("/a/b/c/leaf").expect("lookup"))
+    });
+    cluster.shutdown();
+}
+
+fn bench_txn_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit_uncontended");
+    for cc in ["2pl", "occ"] {
+        let cluster = bench_cluster(1);
+        let efs = Efs::format(cluster.node(0).clone()).expect("format");
+        let file = efs.create_file("/t").expect("create");
+        let mgr = efs.transaction_manager(cc).expect("manager");
+        group.bench_with_input(BenchmarkId::from_parameter(cc), &(), |b, ()| {
+            b.iter(|| {
+                let txn = efs.begin(mgr).expect("begin");
+                txn.write(file, b"value").expect("write");
+                assert!(txn.commit().expect("commit"));
+            })
+        });
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_efs_paths, bench_txn_commit
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7 micro-benchmarks: discrete-event simulation speed and the
+//! simulated throughput points themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_ethersim::{EthernetConfig, EthernetSim, FrameSizes, Workload};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ethernet_sim_1s");
+    for (stations, load) in [(5usize, 0.5), (16, 0.9), (16, 1.5), (64, 1.5)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{stations}_l{load}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let sim = EthernetSim::new(
+                        EthernetConfig::dix(),
+                        Workload {
+                            stations,
+                            offered_load: load,
+                            frame_sizes: FrameSizes::Fixed(1000),
+                        },
+                        7,
+                    );
+                    sim.run(1.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1 micro-benchmarks: invocation latency, local and remote, by
+//! payload size.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eden_bench::types::{bench_cluster, EchoType};
+use eden_wire::Value;
+
+fn bench_invocation(c: &mut Criterion) {
+    let cluster = bench_cluster(2);
+    let cap = cluster
+        .node(0)
+        .create_object(EchoType::NAME, &[])
+        .expect("create echo");
+    // Warm the location cache.
+    cluster.node(1).invoke(cap, "echo", &[]).expect("warm");
+
+    let mut group = c.benchmark_group("invocation_latency");
+    for payload in [0usize, 64, 1024, 16384] {
+        let args = [Value::Blob(Bytes::from(vec![0u8; payload]))];
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_with_input(BenchmarkId::new("local", payload), &args, |b, args| {
+            b.iter(|| cluster.node(0).invoke(cap, "echo", args).expect("echo"))
+        });
+        group.bench_with_input(BenchmarkId::new("remote", payload), &args, |b, args| {
+            b.iter(|| cluster.node(1).invoke(cap, "echo", args).expect("echo"))
+        });
+    }
+    group.finish();
+    cluster.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_invocation
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! F2 macro-benchmark: the virtual-processor gate (each iteration runs
+//! the full 16-invocation fixed-service-time batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::exp_f2_vprocs::held_batch_seconds;
+
+fn bench_vprocs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vproc_batch");
+    for vprocs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(vprocs), &vprocs, |b, &vp| {
+            b.iter(|| held_batch_seconds(vp))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_vprocs
+}
+criterion_main!(benches);

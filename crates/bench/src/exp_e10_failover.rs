@@ -1,0 +1,129 @@
+//! E10 — reliability: node failure and reincarnation at the checksite.
+//!
+//! The full §4.4 story with a stopwatch: an object executing on node 0
+//! keeps its long-term state on node 1; node 0 is killed; the next
+//! invocation finds the passive copy and reincarnates it. Expected
+//! shape: recovery = location search + reincarnation, far below any
+//! human-visible outage; state is exactly the last checkpoint.
+
+use std::time::{Duration, Instant};
+
+use eden_capability::{Capability, NodeId, Rights};
+use eden_kernel::{Cluster, OpCtx, OpError, OpResult, ReliabilityLevel, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+use crate::table::Table;
+use crate::types::with_bench_types;
+
+/// A counter that can place its checksite (bench-local twin of the
+/// kernel-test type).
+struct DurableCounter;
+
+impl TypeManager for DurableCounter {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new("bench.durable")
+            .class("all", 2)
+            .op("add_ckpt", "all", Rights::WRITE)
+            .op("get", "all", Rights::READ)
+            .op("checksite", "all", Rights::OWNER)
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "add_ckpt" => {
+                let d = OpCtx::i64_arg(args, 0)?;
+                let v = ctx.mutate_repr(|r| {
+                    let v = r.get_i64("count").unwrap_or(0) + d;
+                    r.put_i64("count", v);
+                    v
+                })?;
+                ctx.checkpoint()?;
+                Ok(vec![Value::I64(v)])
+            }
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("count").unwrap_or(0)),
+            )]),
+            "checksite" => {
+                let node = OpCtx::u64_arg(args, 0)? as u16;
+                let replicas = args.get(1).and_then(Value::as_u64).unwrap_or(0) as usize;
+                let level = if replicas == 0 {
+                    ReliabilityLevel::Local
+                } else {
+                    ReliabilityLevel::Replicated(replicas)
+                };
+                ctx.set_checksite(NodeId(node), level)?;
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+fn failover_cluster() -> Cluster {
+    with_bench_types(eden_apps::with_apps(
+        Cluster::builder()
+            .nodes(5)
+            .register(|| Box::new(DurableCounter)),
+    ))
+    .build()
+}
+
+/// One failover run: returns (recovery µs, recovered value).
+pub fn failover_run(replicas: usize, kill_checksite_too: bool) -> (f64, i64) {
+    let cluster = failover_cluster();
+    let cap: Capability = cluster
+        .node(0)
+        .create_object("bench.durable", &[])
+        .expect("create");
+    cluster
+        .node(0)
+        .invoke(
+            cap,
+            "checksite",
+            &[Value::U64(1), Value::U64(replicas as u64)],
+        )
+        .expect("checksite");
+    cluster
+        .node(0)
+        .invoke(cap, "add_ckpt", &[Value::I64(7)])
+        .expect("checkpointing add");
+
+    cluster.kill(0);
+    if kill_checksite_too {
+        cluster.kill(1);
+    }
+
+    // Invoke from node 4, which never received a checkpoint replica, so
+    // recovery genuinely exercises the location search.
+    let start = Instant::now();
+    let out = cluster
+        .node(4)
+        .invoke_with_timeout(cap, "get", &[], Duration::from_secs(15))
+        .expect("failover get");
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    let value = out[0].as_i64().expect("i64");
+    cluster.shutdown();
+    (us, value)
+}
+
+/// Runs E10 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E10 — node failure → reincarnation at the checksite",
+        &["scenario", "recovery time", "recovered value (expected 7)"],
+    );
+    let (us, v) = failover_run(0, false);
+    t.row(vec![
+        "kill executing node; checksite survives".into(),
+        crate::fmt_us(us),
+        v.to_string(),
+    ]);
+    let (us, v) = failover_run(2, true);
+    t.row(vec![
+        "kill executing node AND checksite; 2 replicas".into(),
+        crate::fmt_us(us),
+        v.to_string(),
+    ]);
+    t.note("expected shape: recovery ≈ failed-candidate timeout + broadcast + reincarnation; state = last checkpoint");
+    t
+}

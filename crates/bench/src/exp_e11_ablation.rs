@@ -1,0 +1,137 @@
+//! E11 — ablations: what the kernel's optimizations actually buy.
+//!
+//! Two switches in [`NodeConfig`] disable one mechanism each:
+//!
+//! * the **location hint cache** — without it every remote invocation
+//!   re-resolves from hints or broadcast;
+//! * the **request retransmission / reply cache** (the at-most-once RPC
+//!   layer) — without it a single lost frame costs the whole candidate
+//!   budget.
+//!
+//! Expected shape: the cache matters for objects that have *moved off*
+//! their birth node (the hint dead-ends and broadcasts repeat);
+//! retransmission dominates on lossy links.
+
+use std::time::{Duration, Instant};
+
+use eden_kernel::{Cluster, NodeConfig};
+use eden_transport::MeshOptions;
+use eden_wire::Value;
+
+use crate::table::Table;
+use crate::types::{with_bench_types, PayloadType};
+
+fn cluster_with(config: NodeConfig, mesh: MeshOptions, nodes: usize) -> Cluster {
+    with_bench_types(eden_apps::with_apps(
+        Cluster::builder()
+            .nodes(nodes)
+            .node_config(config)
+            .mesh(mesh),
+    ))
+    .build()
+}
+
+/// (total ms, broadcasts, system-wide forwards) for `reads` invocations
+/// against an object that moved off its birth node, with/without the
+/// hint cache.
+fn cache_ablation(enable_cache: bool) -> (f64, u64, u64) {
+    let config = NodeConfig {
+        enable_location_cache: enable_cache,
+        ..Default::default()
+    };
+    let cluster = cluster_with(config, MeshOptions::default(), 4);
+    let cap = cluster
+        .node(0)
+        .create_object(PayloadType::NAME, &[])
+        .expect("create");
+    // Move it off the birth node so the birth hint dead-ends at a
+    // forwarder, making the cache the only way to learn the new home.
+    cluster
+        .node(0)
+        .invoke(cap, "migrate", &[Value::U64(2)])
+        .expect("migrate");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cluster.node(2).is_local(cap.name()) {
+        assert!(Instant::now() < deadline, "move never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let reads = 50;
+    let invoker = cluster.node(3);
+    let b0 = invoker.metrics().location_broadcasts;
+    let f0: u64 = cluster.nodes().iter().map(|n| n.metrics().forwards).sum();
+    let start = Instant::now();
+    for _ in 0..reads {
+        invoker.invoke(cap, "touch", &[]).expect("touch");
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let broadcasts = invoker.metrics().location_broadcasts - b0;
+    let forwards: u64 =
+        cluster.nodes().iter().map(|n| n.metrics().forwards).sum::<u64>() - f0;
+    cluster.shutdown();
+    (ms, broadcasts, forwards)
+}
+
+/// Successful invocations out of 20 on a 30%-loss link, with/without
+/// retransmission.
+fn retransmission_ablation(enable: bool) -> usize {
+    let config = NodeConfig {
+        enable_retransmission: enable,
+        remote_try_timeout: Duration::from_millis(400),
+        default_invoke_timeout: Duration::from_secs(2),
+        ..Default::default()
+    };
+    let mesh = MeshOptions {
+        loss_probability: 0.3,
+        seed: 111,
+        ..Default::default()
+    };
+    let cluster = cluster_with(config, mesh, 2);
+    let cap = cluster
+        .node(0)
+        .create_object(PayloadType::NAME, &[])
+        .expect("create");
+    let ok = (0..20)
+        .filter(|_| cluster.node(1).invoke(cap, "touch", &[]).is_ok())
+        .count();
+    cluster.shutdown();
+    ok
+}
+
+/// Runs E11 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E11 — ablations: hint cache and at-most-once retransmission",
+        &["mechanism", "configuration", "result"],
+    );
+    let (ms, broadcasts, forwards) = cache_ablation(true);
+    t.row(vec![
+        "location cache".into(),
+        "enabled".into(),
+        format!(
+            "50 invocations of a moved object: {ms:.1} ms, {broadcasts} broadcasts, {forwards} forwards"
+        ),
+    ]);
+    let (ms, broadcasts, forwards) = cache_ablation(false);
+    t.row(vec![
+        "location cache".into(),
+        "DISABLED".into(),
+        format!(
+            "50 invocations of a moved object: {ms:.1} ms, {broadcasts} broadcasts, {forwards} forwards"
+        ),
+    ]);
+    let ok = retransmission_ablation(true);
+    t.row(vec![
+        "retransmission".into(),
+        "enabled".into(),
+        format!("{ok}/20 invocations succeed at 30% frame loss"),
+    ]);
+    let ok = retransmission_ablation(false);
+    t.row(vec![
+        "retransmission".into(),
+        "DISABLED".into(),
+        format!("{ok}/20 invocations succeed at 30% frame loss"),
+    ]);
+    t.note("expected shape: disabling the cache repeats location work per invocation; disabling retransmission turns frame loss directly into invocation failures");
+    t
+}

@@ -1,0 +1,121 @@
+//! E1 — local vs. remote invocation latency (the cost of location
+//! transparency).
+//!
+//! Four configurations — same node, cross-node over the zero-latency
+//! mesh, cross-node over a 10 Mb/s-LAN-shaped mesh, and cross-kernel
+//! over real TCP sockets — each at four payload sizes. Expected shape:
+//! local ≪ remote; remote cost grows with payload (serialization and,
+//! on the LAN model, wire time); TCP sits between the zero-latency mesh
+//! and the LAN model.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use eden_capability::Capability;
+use eden_kernel::{Node, NodeConfig, TypeRegistry};
+use eden_store::MemStore;
+use eden_transport::{LatencyModel, MeshOptions, TcpMesh};
+use eden_wire::Value;
+
+use crate::table::Table;
+use crate::types::{bench_cluster, with_bench_types, EchoType};
+use crate::fmt_us;
+
+const PAYLOADS: [usize; 4] = [0, 64, 1024, 65536];
+
+fn mean_echo_us(invoker: &Node, cap: Capability, payload: usize, iters: usize) -> f64 {
+    let blob = Value::Blob(Bytes::from(vec![0u8; payload]));
+    let args = [blob];
+    // Warm the location cache and code paths.
+    for _ in 0..3 {
+        invoker
+            .invoke_with_timeout(cap, "echo", &args, Duration::from_secs(10))
+            .expect("echo");
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        invoker
+            .invoke_with_timeout(cap, "echo", &args, Duration::from_secs(10))
+            .expect("echo");
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn iters_for(payload: usize, lan: bool) -> usize {
+    match (payload, lan) {
+        (65536, true) => 5,
+        (65536, false) => 30,
+        (_, true) => 40,
+        _ => 200,
+    }
+}
+
+/// Runs E1 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1 — invocation latency: local vs remote (mean µs/invocation)",
+        &["payload", "local", "mesh (0-lat)", "mesh (10Mb/s LAN)", "tcp loopback"],
+    );
+
+    // Local + zero-latency mesh share one cluster.
+    let cluster = bench_cluster(2);
+    let cap = cluster
+        .node(0)
+        .create_object(EchoType::NAME, &[])
+        .expect("create echo");
+
+    // LAN-shaped cluster.
+    let lan = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(2).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 1,
+        }),
+    ))
+    .build();
+    let lan_cap = lan
+        .node(0)
+        .create_object(EchoType::NAME, &[])
+        .expect("create echo");
+
+    // TCP pair.
+    let meshes = TcpMesh::bind_local_cluster(2).expect("tcp cluster");
+    let tcp_nodes: Vec<Node> = meshes
+        .into_iter()
+        .map(|mesh| {
+            let registry = Arc::new(TypeRegistry::new());
+            registry.register(Arc::new(EchoType)).unwrap();
+            Node::new(
+                NodeConfig::default(),
+                Arc::new(mesh),
+                Arc::new(MemStore::new()),
+                registry,
+            )
+        })
+        .collect();
+    let tcp_cap = tcp_nodes[0]
+        .create_object(EchoType::NAME, &[])
+        .expect("create echo");
+
+    for payload in PAYLOADS {
+        let local = mean_echo_us(cluster.node(0), cap, payload, iters_for(payload, false));
+        let mesh = mean_echo_us(cluster.node(1), cap, payload, iters_for(payload, false));
+        let lan_us = mean_echo_us(lan.node(1), lan_cap, payload, iters_for(payload, true));
+        let tcp = mean_echo_us(&tcp_nodes[1], tcp_cap, payload, iters_for(payload, false));
+        t.row(vec![
+            format!("{payload} B"),
+            fmt_us(local),
+            fmt_us(mesh),
+            fmt_us(lan_us),
+            fmt_us(tcp),
+        ]);
+    }
+    t.note("expected shape: local ≪ remote; LAN cost dominated by serialization time for large payloads");
+    for node in &tcp_nodes {
+        node.shutdown();
+    }
+    cluster.shutdown();
+    lan.shutdown();
+    t
+}

@@ -1,0 +1,108 @@
+//! E3 — checkpoint cost and reincarnation latency vs. representation
+//! size (§4.4).
+//!
+//! Expected shape: both costs grow roughly linearly with the
+//! representation once serialization dominates; the disk store adds a
+//! near-constant write overhead on top of the in-memory store.
+
+use std::time::{Duration, Instant};
+
+use eden_store::disk::SyncPolicy;
+use eden_store::{CheckpointStore, DiskStore, MemStore};
+use eden_wire::Value;
+
+use crate::fmt_us;
+use crate::table::Table;
+use crate::types::{bench_cluster, PayloadType};
+
+const SIZES: [usize; 4] = [1 << 10, 16 << 10, 256 << 10, 1 << 20];
+
+/// Mean checkpoint time (µs) for a representation of `bytes`.
+pub fn checkpoint_us(bytes: usize, iters: usize) -> f64 {
+    let cluster = bench_cluster(1);
+    let cap = cluster
+        .node(0)
+        .create_object(PayloadType::NAME, &[])
+        .expect("create payload");
+    cluster
+        .node(0)
+        .invoke(cap, "fill", &[Value::U64(bytes as u64)])
+        .expect("fill");
+    let start = Instant::now();
+    for _ in 0..iters {
+        cluster.node(0).invoke(cap, "checkpoint", &[]).expect("checkpoint");
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    cluster.shutdown();
+    us
+}
+
+/// Mean reincarnation latency (µs): crash, then time the first
+/// invocation that revives the object.
+pub fn reincarnation_us(bytes: usize, iters: usize) -> f64 {
+    let cluster = bench_cluster(1);
+    let node = cluster.node(0);
+    let cap = node
+        .create_object(PayloadType::NAME, &[])
+        .expect("create payload");
+    node.invoke(cap, "fill", &[Value::U64(bytes as u64)]).expect("fill");
+    node.invoke(cap, "checkpoint", &[]).expect("checkpoint");
+
+    let mut total = 0.0;
+    for _ in 0..iters {
+        node.invoke(cap, "crash", &[]).expect("crash");
+        // Wait for the teardown to settle.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while node.is_local(cap.name()) {
+            assert!(Instant::now() < deadline, "crash never settled");
+            std::thread::yield_now();
+        }
+        let start = Instant::now();
+        node.invoke(cap, "touch", &[]).expect("reincarnating touch");
+        total += start.elapsed().as_secs_f64() * 1e6;
+    }
+    cluster.shutdown();
+    total / iters as f64
+}
+
+/// Raw store write throughput for context (MemStore vs DiskStore).
+fn store_put_us(store: &dyn CheckpointStore, bytes: usize, iters: usize) -> f64 {
+    let name = eden_capability::NameGenerator::new(eden_capability::NodeId(0)).next_name();
+    let payload = vec![0xAAu8; bytes];
+    let start = Instant::now();
+    for _ in 0..iters {
+        store.put(name, &payload).expect("put");
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Runs E3 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E3 — checkpoint & reincarnation vs representation size",
+        &[
+            "repr size",
+            "checkpoint",
+            "reincarnate",
+            "raw mem put",
+            "raw disk put (no fsync)",
+        ],
+    );
+    let dir = std::env::temp_dir().join(format!("eden-e3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    let disk = DiskStore::open(dir.join("e3.log"), SyncPolicy::Never).expect("disk store");
+    let mem = MemStore::new();
+    for bytes in SIZES {
+        let iters = if bytes >= 256 << 10 { 10 } else { 40 };
+        t.row(vec![
+            format!("{} KiB", bytes >> 10),
+            fmt_us(checkpoint_us(bytes, iters)),
+            fmt_us(reincarnation_us(bytes, 6)),
+            fmt_us(store_put_us(&mem, bytes, iters)),
+            fmt_us(store_put_us(&disk, bytes, iters)),
+        ]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    t.note("expected shape: linear growth with size; reincarnation ≈ checkpoint + dispatch overhead");
+    t
+}

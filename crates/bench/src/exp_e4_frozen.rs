@@ -1,0 +1,73 @@
+//! E4 — frozen-object replication (§4.3).
+//!
+//! A read-mostly dictionary is frozen and its replica cached on the
+//! reading node. Expected shape: per-read latency collapses to the
+//! local cost and the remote message count drops to zero — "replicated
+//! and cached at several sites in order to save the overhead of remote
+//! invocations."
+
+use std::time::Instant;
+
+use eden_transport::{LatencyModel, MeshOptions};
+use eden_wire::Value;
+
+use crate::fmt_us;
+use crate::table::Table;
+use crate::types::with_bench_types;
+
+const READS: usize = 100;
+
+/// Runs E4 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4 — frozen-object replica caching (100 reads from node 3)",
+        &["configuration", "mean read", "remote invocations", "frames sent"],
+    );
+
+    // A LAN-shaped mesh makes the saving visible in time as well as in
+    // message counts.
+    let cluster = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(4).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 4,
+        }),
+    ))
+    .build();
+
+    // An EFS blob is the canonical frozen read-mostly object.
+    let blob = cluster
+        .node(0)
+        .create_object(
+            eden_efs::BlobType::NAME,
+            &[Value::Blob(bytes::Bytes::from(vec![7u8; 4096]))],
+        )
+        .expect("create blob");
+
+    let reader = cluster.node(3);
+    let measure = |label: &str, t: &mut Table| {
+        let m0 = reader.metrics();
+        let n0 = reader.transport_stats();
+        let start = Instant::now();
+        for _ in 0..READS {
+            reader.invoke(blob, "read", &[]).expect("read");
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / READS as f64;
+        let dm = reader.metrics().delta(&m0);
+        let dn = reader.transport_stats().delta(&n0);
+        t.row(vec![
+            label.to_string(),
+            fmt_us(us),
+            dm.remote_invocations_sent.to_string(),
+            dn.frames_sent.to_string(),
+        ]);
+    };
+
+    measure("remote (before caching)", &mut t);
+    reader.cache_replica(blob).expect("cache replica");
+    measure("cached frozen replica", &mut t);
+
+    t.note("expected shape: after caching, remote invocations = 0 and latency ≈ local");
+    cluster.shutdown();
+    t
+}

@@ -1,0 +1,103 @@
+//! E5 — object mobility (§4.3): move cost vs. size, and the locality
+//! payoff of co-locating chatty objects.
+//!
+//! Expected shape: move time grows with the representation
+//! (serialization + transfer); after co-location, a chatty exchange
+//! loses its per-message network cost entirely.
+
+use std::time::{Duration, Instant};
+
+use eden_transport::{LatencyModel, MeshOptions};
+use eden_wire::Value;
+
+use crate::fmt_us;
+use crate::table::Table;
+use crate::types::{with_bench_types, EchoType, PayloadType};
+
+/// Time (µs) to move a `bytes`-sized object node 0 → node 1, measured
+/// from the move request to the object answering on the destination.
+///
+/// Runs over the LAN-shaped mesh: the in-process zero-latency mesh
+/// passes reference-counted buffers, so only a wire model makes the
+/// size-dependent transfer cost visible.
+pub fn move_us(bytes: usize) -> f64 {
+    let cluster = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(2).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 55,
+        }),
+    ))
+    .build();
+    let node = cluster.node(0);
+    let cap = node
+        .create_object(PayloadType::NAME, &[])
+        .expect("create payload");
+    node.invoke(cap, "fill", &[Value::U64(bytes as u64)]).expect("fill");
+
+    let start = Instant::now();
+    node.invoke(cap, "migrate", &[Value::U64(1)]).expect("migrate");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cluster.node(1).is_local(cap.name()) {
+        assert!(Instant::now() < deadline, "move never completed");
+        std::thread::yield_now();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    cluster.shutdown();
+    us
+}
+
+/// Runs E5 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E5 — object mobility: move cost and locality payoff",
+        &["measurement", "value"],
+    );
+    for bytes in [1usize << 10, 16 << 10, 256 << 10, 1 << 20] {
+        t.row(vec![
+            format!("move {} KiB object (0→1)", bytes >> 10),
+            fmt_us(move_us(bytes)),
+        ]);
+    }
+
+    // The chatty-pair payoff, on a LAN-shaped mesh.
+    let cluster = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(2).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 5,
+        }),
+    ))
+    .build();
+    let echo = cluster
+        .node(1)
+        .create_object(EchoType::NAME, &[])
+        .expect("create echo");
+    let chat = |label: &str, t: &mut Table| {
+        const MSGS: usize = 50;
+        let start = Instant::now();
+        for i in 0..MSGS {
+            cluster
+                .node(0)
+                .invoke(echo, "echo", &[Value::U64(i as u64)])
+                .expect("chat");
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        t.row(vec![
+            format!("50-message exchange, {label}"),
+            format!("{total_ms:.2} ms"),
+        ]);
+    };
+    chat("cross-node (LAN)", &mut t);
+    cluster.node(1).move_object(echo, cluster.node(0).node_id()).expect("move");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cluster.node(0).is_local(echo.name()) {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    chat("co-located after move", &mut t);
+
+    t.note("expected shape: move cost grows with size; co-location removes the per-message LAN cost");
+    cluster.shutdown();
+    t
+}

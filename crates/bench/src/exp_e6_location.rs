@@ -1,0 +1,145 @@
+//! E6 — the location service: what each lookup path costs.
+//!
+//! The kernel resolves a name through, in order: the local table, the
+//! hint cache, the birth-node hint, forwarding addresses, and finally a
+//! broadcast search (§2, §4.3). This experiment measures a first
+//! invocation through each path on a 8-node system and counts the
+//! location traffic each one generates.
+
+use std::time::{Duration, Instant};
+
+use eden_wire::Value;
+
+use eden_transport::{LatencyModel, MeshOptions};
+
+use crate::fmt_us;
+use crate::table::Table;
+use crate::types::{with_bench_types, PayloadType};
+
+/// Runs E6 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E6 — location resolution paths (8-node LAN system, first invocation)",
+        &["path", "latency", "broadcasts", "forwards (system-wide)"],
+    );
+    let cluster = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(8).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 6,
+        }),
+    ))
+    .build();
+
+    let sum_forwards = |c: &eden_kernel::Cluster| -> u64 {
+        c.nodes().iter().map(|n| n.metrics().forwards).sum()
+    };
+
+    // (a) Birth-node hint: object on its birth node, fresh invoker.
+    {
+        let cap = cluster
+            .node(0)
+            .create_object(PayloadType::NAME, &[])
+            .unwrap();
+        let invoker = cluster.node(5);
+        let b0 = invoker.metrics().location_broadcasts;
+        let start = Instant::now();
+        invoker.invoke(cap, "touch", &[]).unwrap();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        t.row(vec![
+            "birth-node hint hit".into(),
+            fmt_us(us),
+            (invoker.metrics().location_broadcasts - b0).to_string(),
+            "0".into(),
+        ]);
+    }
+
+    // (b) Warm hint cache: second invocation from the same node.
+    {
+        let cap = cluster
+            .node(1)
+            .create_object(PayloadType::NAME, &[])
+            .unwrap();
+        let invoker = cluster.node(6);
+        invoker.invoke(cap, "touch", &[]).unwrap(); // Warm.
+        let h0 = invoker.metrics().location_cache_hits;
+        let start = Instant::now();
+        invoker.invoke(cap, "touch", &[]).unwrap();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        assert!(invoker.metrics().location_cache_hits > h0);
+        t.row(vec![
+            "hint-cache hit".into(),
+            fmt_us(us),
+            "0".into(),
+            "0".into(),
+        ]);
+    }
+
+    // (c) Forwarding chase after k moves: the object walked 2 hops from
+    // its birth node; a fresh invoker follows birth hint → forward →
+    // forward.
+    {
+        let cap = cluster
+            .node(2)
+            .create_object(PayloadType::NAME, &[])
+            .unwrap();
+        for dst in [3u64, 4] {
+            cluster
+                .node(0)
+                .invoke(cap, "migrate", &[Value::U64(dst)])
+                .unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !cluster.node(dst as usize).is_local(cap.name()) {
+                assert!(Instant::now() < deadline, "move never completed");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let invoker = cluster.node(7);
+        let f0 = sum_forwards(&cluster);
+        let start = Instant::now();
+        invoker.invoke(cap, "touch", &[]).unwrap();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        t.row(vec![
+            "forwarding chase (2 moves)".into(),
+            fmt_us(us),
+            invoker.metrics().location_broadcasts.to_string(),
+            (sum_forwards(&cluster) - f0).to_string(),
+        ]);
+    }
+
+    // (d) Broadcast search: kill the birth node after moving the object
+    // off it, so hints dead-end and the invoker must broadcast.
+    {
+        let cap = cluster
+            .node(3)
+            .create_object(PayloadType::NAME, &[])
+            .unwrap();
+        cluster
+            .node(0)
+            .invoke(cap, "migrate", &[Value::U64(6)])
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cluster.node(6).is_local(cap.name()) {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cluster.kill(3); // Birth node (and its forwarding entry) gone.
+        let invoker = cluster.node(5);
+        let b0 = invoker.metrics().location_broadcasts;
+        let start = Instant::now();
+        invoker
+            .invoke_with_timeout(cap, "touch", &[], Duration::from_secs(10))
+            .unwrap();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        t.row(vec![
+            "broadcast search (dead birth node)".into(),
+            fmt_us(us),
+            (invoker.metrics().location_broadcasts - b0).to_string(),
+            "0".into(),
+        ]);
+    }
+
+    t.note("expected shape: cache ≈ birth hint < forwarding chase < broadcast search");
+    cluster.shutdown();
+    t
+}

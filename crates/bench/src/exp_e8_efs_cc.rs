@@ -1,0 +1,122 @@
+//! E8 — EFS concurrency control: 2PL vs optimistic under contention.
+//!
+//! Workers run read-modify-write transactions over a file pool whose
+//! size sets the conflict rate. Expected shape: with a large pool (low
+//! conflict) OCC edges ahead (no lock round-trips); on a hot set of one
+//! file 2PL keeps throughput (serializing cleanly) while OCC burns work
+//! in aborts — the classic crossover the paper wanted EFS to let
+//! researchers explore.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use eden_capability::Capability;
+use eden_efs::Efs;
+use eden_wire::Value;
+
+use crate::table::Table;
+use crate::types::bench_cluster;
+
+const WORKERS: usize = 6;
+const TXNS_PER_WORKER: usize = 10;
+
+/// Result of one CC run.
+pub struct CcOutcome {
+    /// Committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Aborts (CC conflicts + lock timeouts) per committed transaction.
+    pub aborts_per_commit: f64,
+}
+
+/// Runs the increment workload with the named discipline over a pool of
+/// `pool` files.
+pub fn run_cc(cc: &str, pool: usize) -> CcOutcome {
+    let cluster = bench_cluster(2);
+    let efs = Efs::format(cluster.node(0).clone()).expect("format");
+    let files: Vec<Capability> = (0..pool)
+        .map(|i| {
+            let f = efs.create_file(&format!("/pool/{i}")).expect("create");
+            cluster
+                .node(0)
+                .invoke(f, "write", &[Value::Blob(bytes::Bytes::from_static(b"0"))])
+                .expect("init");
+            f
+        })
+        .collect();
+    let mgr = efs.transaction_manager(cc).expect("manager");
+    let aborts = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let node = cluster.node(w % 2).clone();
+        let efs_w = Efs::mount(node, efs.root());
+        let files = files.clone();
+        let aborts = aborts.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng_state = w as u64 * 2654435761 + 1;
+            for _ in 0..TXNS_PER_WORKER {
+                loop {
+                    rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let file = files[(rng_state >> 33) as usize % files.len()];
+                    let txn = efs_w.begin(mgr).expect("begin");
+                    let raw = match txn.read_for_update(file) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let cur: i64 = String::from_utf8(raw.to_vec())
+                        .unwrap_or_default()
+                        .parse()
+                        .unwrap_or(0);
+                    if txn.write(file, format!("{}", cur + 1).as_bytes()).is_err() {
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match txn.commit() {
+                        Ok(true) => break,
+                        _ => {
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let commits = (WORKERS * TXNS_PER_WORKER) as f64;
+    cluster.shutdown();
+    CcOutcome {
+        commits_per_sec: commits / elapsed,
+        aborts_per_commit: aborts.load(Ordering::Relaxed) as f64 / commits,
+    }
+}
+
+/// Runs E8 and returns the table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E8 — EFS concurrency control: 2PL vs optimistic (6 workers, RMW transactions)",
+        &["file pool", "cc", "commits/s", "aborts/commit"],
+    );
+    for pool in [1usize, 4, 16] {
+        for cc in ["2pl", "occ"] {
+            let o = run_cc(cc, pool);
+            t.row(vec![
+                pool.to_string(),
+                cc.to_string(),
+                format!("{:.0}", o.commits_per_sec),
+                format!("{:.2}", o.aborts_per_commit),
+            ]);
+        }
+    }
+    t.note("expected shape: OCC aborts grow as the pool shrinks; 2PL aborts stay near zero");
+    t.note("measured shape: polling-RPC locks make 2PL pay sleep time per conflict, so OCC wins throughput at every conflict level while 2PL wins wasted work (zero aborts)");
+    t
+}

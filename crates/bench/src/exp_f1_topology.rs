@@ -1,0 +1,71 @@
+//! F1 — Figure 1 as a measured system: the five-node 1981 prototype.
+//!
+//! Five node machines on a LAN-shaped network, node 4 acting as the
+//! file server; a ring of cross-node invocations plus EFS traffic, with
+//! the per-node kernel counters as the "figure".
+
+use eden_efs::Efs;
+use eden_transport::{LatencyModel, MeshOptions};
+use eden_wire::Value;
+
+use crate::table::Table;
+use crate::types::{with_bench_types, EchoType};
+
+/// Runs F1 and returns the table.
+pub fn run() -> Table {
+    let cluster = with_bench_types(eden_apps::with_apps(
+        eden_kernel::Cluster::builder().nodes(5).mesh(MeshOptions {
+            latency: LatencyModel::lan_10mbps(),
+            loss_probability: 0.0,
+            seed: 1981,
+        }),
+    ))
+    .build();
+
+    // The file server hosts EFS; each workstation writes home files.
+    let efs = Efs::format(cluster.node(4).clone()).expect("format EFS");
+    for i in 0..4 {
+        let ws = Efs::mount(cluster.node(i).clone(), efs.root());
+        ws.write(&format!("/home/user{i}/profile"), &vec![b'x'; 512])
+            .expect("home write");
+    }
+
+    // A ring of echo objects: node i hosts one, node (i+1)%5 chats with it.
+    let caps: Vec<_> = (0..5)
+        .map(|i| {
+            cluster
+                .node(i)
+                .create_object(EchoType::NAME, &[])
+                .expect("create echo")
+        })
+        .collect();
+    for round in 0..10u64 {
+        for i in 0..5usize {
+            cluster
+                .node((i + 1) % 5)
+                .invoke(caps[i], "echo", &[Value::U64(round)])
+                .expect("ring echo");
+        }
+    }
+
+    let mut t = Table::new(
+        "F1 — the five-node prototype under ring + EFS load (per-node kernel counters)",
+        &["node", "role", "local inv", "remote served", "remote sent", "frames sent", "bytes sent"],
+    );
+    for (i, node) in cluster.nodes().iter().enumerate() {
+        let m = node.metrics();
+        let n = node.transport_stats();
+        t.row(vec![
+            format!("N{i}"),
+            if i == 4 { "file server".into() } else { "workstation".into() },
+            m.local_invocations.to_string(),
+            m.remote_invocations_served.to_string(),
+            m.remote_invocations_sent.to_string(),
+            n.frames_sent.to_string(),
+            n.bytes_sent.to_string(),
+        ]);
+    }
+    t.note("the file server serves EFS traffic; workstations serve + send the ring — every node is both client and server");
+    cluster.shutdown();
+    t
+}

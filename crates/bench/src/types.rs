@@ -1,0 +1,175 @@
+//! Benchmark-specific type managers and cluster builders.
+
+use eden_capability::Rights;
+use eden_kernel::{Cluster, ClusterBuilder, NodeConfig, OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// Echoes its blob argument back — the null-RPC workload for E1.
+pub struct EchoType;
+
+impl EchoType {
+    /// The registered type name.
+    pub const NAME: &'static str = "bench.echo";
+}
+
+impl TypeManager for EchoType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(EchoType::NAME)
+            .class("all", 16)
+            .op("echo", "all", Rights::EXECUTE)
+    }
+
+    fn dispatch(&self, _ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "echo" => Ok(args.to_vec()),
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// Burns CPU for a controlled number of iterations — the F2 workload.
+pub struct SpinType;
+
+impl SpinType {
+    /// The registered type name.
+    pub const NAME: &'static str = "bench.spin";
+}
+
+impl TypeManager for SpinType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(SpinType::NAME)
+            .class("all", 64)
+            .op("spin", "all", Rights::EXECUTE)
+    }
+
+    fn dispatch(&self, _ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "spin" => {
+                let iters = args.first().and_then(Value::as_u64).unwrap_or(0);
+                // An opaque arithmetic loop the optimizer cannot remove.
+                let mut acc = std::hint::black_box(0x9e3779b97f4a7c15u64);
+                for i in 0..iters {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                Ok(vec![Value::U64(std::hint::black_box(acc))])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// An operation that holds its invocation process for a fixed time —
+/// the E2 class-limit workload (think "talks to a slow disk").
+pub struct HoldType {
+    type_name: String,
+    limit: usize,
+}
+
+impl HoldType {
+    /// A holder type with the given class limit, named
+    /// `bench.hold{limit}`.
+    pub fn with_limit(limit: usize) -> Self {
+        HoldType {
+            type_name: format!("bench.hold{limit}"),
+            limit,
+        }
+    }
+
+    /// The registered name for a limit.
+    pub fn name_for(limit: usize) -> String {
+        format!("bench.hold{limit}")
+    }
+}
+
+impl TypeManager for HoldType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(self.type_name.clone())
+            .class("held", self.limit)
+            .op("hold_ms", "held", Rights::EXECUTE)
+    }
+
+    fn dispatch(&self, _ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "hold_ms" => {
+                let ms = args.first().and_then(Value::as_u64).unwrap_or(1);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// Carries a configurable-size representation — the E3/E5 payload.
+pub struct PayloadType;
+
+impl PayloadType {
+    /// The registered type name.
+    pub const NAME: &'static str = "bench.payload";
+}
+
+impl TypeManager for PayloadType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(PayloadType::NAME)
+            .class("all", 4)
+            .op("fill", "all", Rights::WRITE)
+            .op("touch", "all", Rights::READ)
+            .op("checkpoint", "all", Rights::CHECKPOINT)
+            .op("crash", "all", Rights::OWNER)
+            .op("migrate", "all", Rights::MOVE)
+            .op("freeze", "all", Rights::FREEZE)
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "fill" => {
+                let bytes = args.first().and_then(Value::as_u64).unwrap_or(0) as usize;
+                ctx.mutate_repr(|r| {
+                    r.put("payload", bytes::Bytes::from(vec![0xEDu8; bytes]));
+                })?;
+                Ok(vec![])
+            }
+            "touch" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.get("payload").map(|b| b.len() as u64).unwrap_or(0)
+            }))]),
+            "checkpoint" => Ok(vec![Value::U64(ctx.checkpoint()?)]),
+            "crash" => {
+                ctx.crash();
+                Ok(vec![])
+            }
+            "migrate" => {
+                let dst = OpCtx::u64_arg(args, 0)? as u16;
+                ctx.move_to(eden_capability::NodeId(dst))?;
+                Ok(vec![])
+            }
+            "freeze" => Ok(vec![Value::U64(ctx.freeze()?)]),
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// Registers every benchmark type on a builder.
+pub fn with_bench_types(builder: ClusterBuilder) -> ClusterBuilder {
+    let builder = builder
+        .register(|| Box::new(EchoType))
+        .register(|| Box::new(SpinType))
+        .register(|| Box::new(PayloadType));
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .fold(builder, |b, limit| {
+            b.register(move || Box::new(HoldType::with_limit(limit)))
+        })
+}
+
+/// A standard benchmark cluster: `n` nodes, all app/EFS/bench types.
+pub fn bench_cluster(n: usize) -> Cluster {
+    with_bench_types(eden_apps::with_apps(Cluster::builder().nodes(n))).build()
+}
+
+/// A benchmark cluster with a custom node config.
+pub fn bench_cluster_with(n: usize, config: NodeConfig) -> Cluster {
+    with_bench_types(eden_apps::with_apps(
+        Cluster::builder().nodes(n).node_config(config),
+    ))
+    .build()
+}

@@ -1,0 +1,220 @@
+//! Capability lists — the capability segment of an object's representation.
+//!
+//! §4.1 describes an object's representation as "the data and capability
+//! segments that form the object's long-term state". Data segments hold
+//! uninterpreted bytes; the capability segment holds [`Capability`] values
+//! under symbolic slot names, and is the only representation component from
+//! which authority can be exercised. Keeping capabilities in a dedicated,
+//! typed segment mirrors the iAPX 432's tagged separation of data and
+//! access descriptors, and lets the checkpoint machinery preserve (and the
+//! wire codec validate) capabilities explicitly.
+
+use std::collections::BTreeMap;
+
+use crate::{Capability, Rights};
+
+/// An ordered, named collection of capabilities.
+///
+/// Slot names are small strings chosen by the type manager (e.g. `"log"`,
+/// `"next"`, `"member:alice"`). Iteration order is the slot-name order,
+/// which keeps checkpoint bytes deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use eden_capability::{Capability, CList, NameGenerator, NodeId, Rights};
+///
+/// let mut names = NameGenerator::new(NodeId(0));
+/// let mut cl = CList::new();
+/// cl.put("peer", Capability::mint(names.next_name()));
+/// assert!(cl.get("peer").is_some());
+/// assert_eq!(cl.len(), 1);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct CList {
+    slots: BTreeMap<String, Capability>,
+}
+
+impl CList {
+    /// Creates an empty capability list.
+    pub fn new() -> Self {
+        CList::default()
+    }
+
+    /// Stores `cap` under `slot`, returning the previous occupant if any.
+    pub fn put(&mut self, slot: impl Into<String>, cap: Capability) -> Option<Capability> {
+        self.slots.insert(slot.into(), cap)
+    }
+
+    /// Looks up the capability stored under `slot`.
+    pub fn get(&self, slot: &str) -> Option<Capability> {
+        self.slots.get(slot).copied()
+    }
+
+    /// Removes and returns the capability stored under `slot`.
+    pub fn remove(&mut self, slot: &str) -> Option<Capability> {
+        self.slots.remove(slot)
+    }
+
+    /// Tests whether `slot` is occupied.
+    pub fn contains(&self, slot: &str) -> bool {
+        self.slots.contains_key(slot)
+    }
+
+    /// The number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tests whether the list holds no capabilities.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(slot, capability)` pairs in slot-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Capability)> {
+        self.slots.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over slot names in order.
+    pub fn slots(&self) -> impl Iterator<Item = &str> {
+        self.slots.keys().map(String::as_str)
+    }
+
+    /// Replaces the capability in `slot` with a restricted copy.
+    ///
+    /// Returns the restricted capability, or `None` if the slot is empty.
+    /// Restriction in place is the idiomatic way for a type manager to
+    /// attenuate authority before handing a capability out of the object.
+    pub fn restrict_in_place(&mut self, slot: &str, keep: Rights) -> Option<Capability> {
+        let cap = self.slots.get_mut(slot)?;
+        *cap = cap.restrict(keep);
+        Some(*cap)
+    }
+
+    /// Removes every slot whose name starts with `prefix`, returning how
+    /// many were removed. Useful for types that index dynamic collections
+    /// by prefixed slot names (`"member:..."`).
+    pub fn remove_prefix(&mut self, prefix: &str) -> usize {
+        let doomed: Vec<String> = self
+            .slots
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            self.slots.remove(k);
+        }
+        doomed.len()
+    }
+}
+
+impl core::fmt::Debug for CList {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.slots.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Capability)> for CList {
+    fn from_iter<T: IntoIterator<Item = (String, Capability)>>(iter: T) -> Self {
+        CList {
+            slots: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NameGenerator, NodeId};
+    use proptest::prelude::*;
+
+    fn gen() -> NameGenerator {
+        NameGenerator::with_epoch(NodeId(5), 99)
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let g = gen();
+        let mut cl = CList::new();
+        let cap = Capability::mint(g.next_name());
+        assert!(cl.put("a", cap).is_none());
+        assert_eq!(cl.get("a"), Some(cap));
+        assert_eq!(cl.remove("a"), Some(cap));
+        assert!(cl.get("a").is_none());
+        assert!(cl.is_empty());
+    }
+
+    #[test]
+    fn put_returns_displaced_capability() {
+        let g = gen();
+        let mut cl = CList::new();
+        let first = Capability::mint(g.next_name());
+        let second = Capability::mint(g.next_name());
+        cl.put("x", first);
+        assert_eq!(cl.put("x", second), Some(first));
+        assert_eq!(cl.get("x"), Some(second));
+    }
+
+    #[test]
+    fn restrict_in_place_attenuates() {
+        let g = gen();
+        let mut cl = CList::new();
+        cl.put("x", Capability::mint(g.next_name()));
+        let got = cl.restrict_in_place("x", Rights::READ).unwrap();
+        assert_eq!(got.rights(), Rights::READ);
+        assert_eq!(cl.get("x").unwrap().rights(), Rights::READ);
+        assert!(cl.restrict_in_place("missing", Rights::READ).is_none());
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered() {
+        let g = gen();
+        let mut cl = CList::new();
+        for slot in ["zeta", "alpha", "mid"] {
+            cl.put(slot, Capability::mint(g.next_name()));
+        }
+        let order: Vec<&str> = cl.slots().collect();
+        assert_eq!(order, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn remove_prefix_removes_exactly_matching() {
+        let g = gen();
+        let mut cl = CList::new();
+        for slot in ["member:a", "member:b", "membrane", "other"] {
+            cl.put(slot, Capability::mint(g.next_name()));
+        }
+        assert_eq!(cl.remove_prefix("member:"), 2);
+        assert!(cl.contains("membrane"));
+        assert!(cl.contains("other"));
+        assert_eq!(cl.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn len_tracks_distinct_slots(slots in proptest::collection::vec("[a-z]{1,6}", 0..64)) {
+            let g = gen();
+            let mut cl = CList::new();
+            let mut distinct = std::collections::HashSet::new();
+            for s in &slots {
+                cl.put(s.clone(), Capability::mint(g.next_name()));
+                distinct.insert(s.clone());
+            }
+            prop_assert_eq!(cl.len(), distinct.len());
+        }
+
+        #[test]
+        fn from_iter_round_trips(slots in proptest::collection::btree_map("[a-z]{1,6}", 0u32.., 0..32)) {
+            let g = gen();
+            let pairs: Vec<(String, Capability)> = slots
+                .keys()
+                .map(|k| (k.clone(), Capability::mint(g.next_name())))
+                .collect();
+            let cl: CList = pairs.clone().into_iter().collect();
+            for (k, c) in pairs {
+                prop_assert_eq!(cl.get(&k), Some(c));
+            }
+        }
+    }
+}

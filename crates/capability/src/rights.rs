@@ -1,0 +1,254 @@
+//! Access rights carried by capabilities.
+//!
+//! Eden gives each type manager freedom to decide which rights each of its
+//! operations requires (§4.1: "Possession of a capability for an object
+//! implies the ability to manipulate that object's representation by
+//! invoking *some subset* of the operations defined for objects of that
+//! type"). Rights are therefore a flat 32-bit set: a handful of bits carry
+//! system-wide conventions (read, write, owner, …) and the rest are
+//! type-defined.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not, Sub};
+
+/// A set of access rights, represented as a 32-bit mask.
+///
+/// The low eight bits have conventional meanings used by the kernel and the
+/// standard type managers; bits 8–31 ([`Rights::user`]) are free for each
+/// type manager to assign.
+///
+/// # Examples
+///
+/// ```
+/// use eden_capability::Rights;
+///
+/// let r = Rights::READ | Rights::WRITE;
+/// assert!(r.contains(Rights::READ));
+/// assert!(!r.contains(Rights::OWNER));
+/// assert_eq!(r - Rights::WRITE, Rights::READ);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Rights(u32);
+
+impl Rights {
+    /// Read operations on the object's abstraction.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Mutating operations on the object's abstraction.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Invoking "executable" behaviour (e.g. running a program object).
+    pub const EXECUTE: Rights = Rights(1 << 2);
+    /// Full control: granted to the creator; required for administrative
+    /// operations a type reserves to the owner.
+    pub const OWNER: Rights = Rights(1 << 3);
+    /// Destroying the object (releasing its name and long-term state).
+    pub const DESTROY: Rights = Rights(1 << 4);
+    /// Asking the kernel to move the object to another node (§4.3 allows
+    /// "policy objects" to make location decisions for other objects).
+    pub const MOVE: Rights = Rights(1 << 5);
+    /// Freezing the object's representation (§4.3).
+    pub const FREEZE: Rights = Rights(1 << 6);
+    /// Forcing a checkpoint of the object from outside (administrative).
+    pub const CHECKPOINT: Rights = Rights(1 << 7);
+
+    /// The empty rights set.
+    pub const fn empty() -> Rights {
+        Rights(0)
+    }
+
+    /// Every right, conventional and type-defined.
+    pub const fn all() -> Rights {
+        Rights(u32::MAX)
+    }
+
+    /// The `n`-th type-defined right (`n < 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 24`, which would collide with the conventional bits.
+    pub const fn user(n: u8) -> Rights {
+        assert!(n < 24, "type-defined rights are limited to 24 bits");
+        Rights(1 << (8 + n))
+    }
+
+    /// Builds a rights set from a raw mask (wire decoding, stores).
+    pub const fn from_bits(bits: u32) -> Rights {
+        Rights(bits)
+    }
+
+    /// The raw mask (wire encoding, stores).
+    pub const fn bits(&self) -> u32 {
+        self.0
+    }
+
+    /// Tests whether every right in `other` is present in `self`.
+    pub const fn contains(&self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Tests whether `self` and `other` share any right.
+    pub const fn intersects(&self, other: Rights) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Tests whether no rights are present.
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the rights in `self` that are missing from `held` — the set
+    /// a rights-violation error reports.
+    pub const fn missing_from(&self, held: Rights) -> Rights {
+        Rights(self.0 & !held.0)
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for Rights {
+    type Output = Rights;
+    fn bitxor(self, rhs: Rights) -> Rights {
+        Rights(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for Rights {
+    type Output = Rights;
+    fn sub(self, rhs: Rights) -> Rights {
+        Rights(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Rights {
+    type Output = Rights;
+    fn not(self) -> Rights {
+        Rights(!self.0)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u32::MAX {
+            return write!(f, "Rights(ALL)");
+        }
+        let mut parts = Vec::new();
+        for (bit, label) in [
+            (Rights::READ, "READ"),
+            (Rights::WRITE, "WRITE"),
+            (Rights::EXECUTE, "EXECUTE"),
+            (Rights::OWNER, "OWNER"),
+            (Rights::DESTROY, "DESTROY"),
+            (Rights::MOVE, "MOVE"),
+            (Rights::FREEZE, "FREEZE"),
+            (Rights::CHECKPOINT, "CHECKPOINT"),
+        ] {
+            if self.contains(bit) {
+                parts.push(label.to_string());
+            }
+        }
+        for n in 0..24u8 {
+            if self.contains(Rights::user(n)) {
+                parts.push(format!("U{n}"));
+            }
+        }
+        write!(f, "Rights({})", parts.join("|"))
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_contains_only_empty() {
+        assert!(Rights::empty().contains(Rights::empty()));
+        assert!(!Rights::empty().contains(Rights::READ));
+        assert!(Rights::empty().is_empty());
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        assert!(Rights::all().contains(Rights::READ | Rights::user(23)));
+    }
+
+    #[test]
+    fn user_bits_do_not_collide_with_conventional_bits() {
+        let conventional = Rights::READ
+            | Rights::WRITE
+            | Rights::EXECUTE
+            | Rights::OWNER
+            | Rights::DESTROY
+            | Rights::MOVE
+            | Rights::FREEZE
+            | Rights::CHECKPOINT;
+        for n in 0..24u8 {
+            assert!(!conventional.intersects(Rights::user(n)), "U{n} collides");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 24 bits")]
+    fn user_bit_out_of_range_panics() {
+        let _ = Rights::user(24);
+    }
+
+    #[test]
+    fn missing_from_reports_exact_gap() {
+        let required = Rights::READ | Rights::WRITE;
+        let held = Rights::READ;
+        assert_eq!(required.missing_from(held), Rights::WRITE);
+    }
+
+    #[test]
+    fn debug_lists_named_bits() {
+        let s = format!("{:?}", Rights::READ | Rights::MOVE | Rights::user(3));
+        assert!(s.contains("READ") && s.contains("MOVE") && s.contains("U3"));
+    }
+
+    proptest! {
+        #[test]
+        fn bits_round_trip(raw in 0u32..) {
+            prop_assert_eq!(Rights::from_bits(raw).bits(), raw);
+        }
+
+        #[test]
+        fn subtraction_removes_exactly(a in 0u32.., b in 0u32..) {
+            let r = Rights::from_bits(a) - Rights::from_bits(b);
+            prop_assert!(!r.intersects(Rights::from_bits(b)));
+            prop_assert!(Rights::from_bits(a).contains(r));
+        }
+
+        #[test]
+        fn intersection_is_contained_in_both(a in 0u32.., b in 0u32..) {
+            let (ra, rb) = (Rights::from_bits(a), Rights::from_bits(b));
+            let i = ra & rb;
+            prop_assert!(ra.contains(i));
+            prop_assert!(rb.contains(i));
+        }
+
+        #[test]
+        fn union_contains_both(a in 0u32.., b in 0u32..) {
+            let (ra, rb) = (Rights::from_bits(a), Rights::from_bits(b));
+            prop_assert!((ra | rb).contains(ra));
+            prop_assert!((ra | rb).contains(rb));
+        }
+    }
+}

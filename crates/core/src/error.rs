@@ -1,0 +1,99 @@
+//! Kernel error types.
+
+use eden_store::StoreError;
+use eden_transport::TransportError;
+use eden_wire::Status;
+
+/// Errors surfaced by kernel primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdenError {
+    /// An invocation completed with a non-`Ok` status (the status word of
+    /// §4.2's `Returns (status)`).
+    Invoke(Status),
+    /// The network layer failed outright (closed transport, unknown peer).
+    Transport(TransportError),
+    /// Long-term storage failed.
+    Store(StoreError),
+    /// The named type is not registered on the node that needed it.
+    UnknownType(String),
+    /// A type registration was rejected (duplicate, bad classes, missing
+    /// parent, …), with the reason.
+    BadTypeSpec(String),
+    /// The kernel is shutting down.
+    ShuttingDown,
+    /// Invalid arguments to a kernel primitive.
+    BadRequest(String),
+}
+
+impl EdenError {
+    /// The invocation status, if this error carries one.
+    pub fn status(&self) -> Option<&Status> {
+        match self {
+            EdenError::Invoke(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: is this an invocation timeout?
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, EdenError::Invoke(Status::Timeout))
+    }
+}
+
+impl core::fmt::Display for EdenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EdenError::Invoke(s) => write!(f, "invocation failed: {s}"),
+            EdenError::Transport(e) => write!(f, "transport: {e}"),
+            EdenError::Store(e) => write!(f, "store: {e}"),
+            EdenError::UnknownType(t) => write!(f, "unknown type: {t}"),
+            EdenError::BadTypeSpec(m) => write!(f, "bad type spec: {m}"),
+            EdenError::ShuttingDown => write!(f, "kernel shutting down"),
+            EdenError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EdenError {}
+
+impl From<TransportError> for EdenError {
+    fn from(e: TransportError) -> Self {
+        EdenError::Transport(e)
+    }
+}
+
+impl From<StoreError> for EdenError {
+    fn from(e: StoreError) -> Self {
+        EdenError::Store(e)
+    }
+}
+
+/// Kernel result alias.
+pub type Result<T> = std::result::Result<T, EdenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_accessor() {
+        let e = EdenError::Invoke(Status::Timeout);
+        assert_eq!(e.status(), Some(&Status::Timeout));
+        assert!(e.is_timeout());
+        assert_eq!(EdenError::ShuttingDown.status(), None);
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: EdenError = TransportError::Closed.into();
+        assert_eq!(e, EdenError::Transport(TransportError::Closed));
+        let e: EdenError = StoreError::Injected("x").into();
+        assert_eq!(e, EdenError::Store(StoreError::Injected("x")));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", EdenError::UnknownType("mailbox".into()));
+        assert!(s.contains("mailbox"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Kernel event counters.
+//!
+//! Every mechanism under measurement in EXPERIMENTS.md increments a
+//! counter here, so experiments can assert *mechanism* effects (e.g.
+//! "after caching the frozen replica, remote invocations stop") rather
+//! than inferring them from timing alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of one node's kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelMetrics {
+    /// Invocations executed against local objects (including replicas).
+    pub local_invocations: u64,
+    /// Invocations sent to another node.
+    pub remote_invocations_sent: u64,
+    /// Invocation requests received from other nodes.
+    pub remote_invocations_served: u64,
+    /// Requests forwarded along a post-move forwarding address.
+    pub forwards: u64,
+    /// Broadcast `WhereIs` queries issued.
+    pub location_broadcasts: u64,
+    /// Location answers served from the hint cache.
+    pub location_cache_hits: u64,
+    /// Reincarnations performed (§4.2/§4.4).
+    pub reincarnations: u64,
+    /// Checkpoints written (locally or to a remote checksite).
+    pub checkpoints: u64,
+    /// Objects crashed via the crash primitive.
+    pub crashes: u64,
+    /// Objects moved away from this node.
+    pub moves_out: u64,
+    /// Objects installed by an inbound move.
+    pub moves_in: u64,
+    /// Frozen replicas cached on this node.
+    pub replicas_cached: u64,
+    /// Invocations that returned `Status::Timeout`.
+    pub timeouts: u64,
+    /// Invocations rejected for insufficient rights.
+    pub rights_violations: u64,
+    /// Invocation processes spawned (the paper's per-invocation
+    /// processes).
+    pub invocation_processes: u64,
+    /// Invocations that waited in a class queue before dispatch.
+    pub class_queued: u64,
+}
+
+/// Shared counter cell.
+#[derive(Debug, Default)]
+pub struct MetricsCell {
+    pub(crate) local_invocations: AtomicU64,
+    pub(crate) remote_invocations_sent: AtomicU64,
+    pub(crate) remote_invocations_served: AtomicU64,
+    pub(crate) forwards: AtomicU64,
+    pub(crate) location_broadcasts: AtomicU64,
+    pub(crate) location_cache_hits: AtomicU64,
+    pub(crate) reincarnations: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) crashes: AtomicU64,
+    pub(crate) moves_out: AtomicU64,
+    pub(crate) moves_in: AtomicU64,
+    pub(crate) replicas_cached: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) rights_violations: AtomicU64,
+    pub(crate) invocation_processes: AtomicU64,
+    pub(crate) class_queued: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($field:ident => $method:ident),* $(,)?) => {
+        impl MetricsCell {
+            $(
+                /// Increments the corresponding counter.
+                pub(crate) fn $method(&self) {
+                    self.$field.fetch_add(1, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+bump! {
+    local_invocations => bump_local,
+    remote_invocations_sent => bump_remote_sent,
+    remote_invocations_served => bump_remote_served,
+    forwards => bump_forward,
+    location_broadcasts => bump_broadcast,
+    location_cache_hits => bump_cache_hit,
+    reincarnations => bump_reincarnation,
+    checkpoints => bump_checkpoint,
+    crashes => bump_crash,
+    moves_out => bump_move_out,
+    moves_in => bump_move_in,
+    replicas_cached => bump_replica,
+    timeouts => bump_timeout,
+    rights_violations => bump_rights_violation,
+    invocation_processes => bump_process,
+    class_queued => bump_class_queued,
+}
+
+impl MetricsCell {
+    /// Takes a snapshot of every counter.
+    pub fn snapshot(&self) -> KernelMetrics {
+        KernelMetrics {
+            local_invocations: self.local_invocations.load(Ordering::Relaxed),
+            remote_invocations_sent: self.remote_invocations_sent.load(Ordering::Relaxed),
+            remote_invocations_served: self.remote_invocations_served.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            location_broadcasts: self.location_broadcasts.load(Ordering::Relaxed),
+            location_cache_hits: self.location_cache_hits.load(Ordering::Relaxed),
+            reincarnations: self.reincarnations.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            moves_out: self.moves_out.load(Ordering::Relaxed),
+            moves_in: self.moves_in.load(Ordering::Relaxed),
+            replicas_cached: self.replicas_cached.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rights_violations: self.rights_violations.load(Ordering::Relaxed),
+            invocation_processes: self.invocation_processes.load(Ordering::Relaxed),
+            class_queued: self.class_queued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl KernelMetrics {
+    /// The difference `self - earlier`, for measuring an interval.
+    #[must_use]
+    pub fn delta(&self, earlier: &KernelMetrics) -> KernelMetrics {
+        KernelMetrics {
+            local_invocations: self.local_invocations - earlier.local_invocations,
+            remote_invocations_sent: self.remote_invocations_sent - earlier.remote_invocations_sent,
+            remote_invocations_served: self.remote_invocations_served
+                - earlier.remote_invocations_served,
+            forwards: self.forwards - earlier.forwards,
+            location_broadcasts: self.location_broadcasts - earlier.location_broadcasts,
+            location_cache_hits: self.location_cache_hits - earlier.location_cache_hits,
+            reincarnations: self.reincarnations - earlier.reincarnations,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            crashes: self.crashes - earlier.crashes,
+            moves_out: self.moves_out - earlier.moves_out,
+            moves_in: self.moves_in - earlier.moves_in,
+            replicas_cached: self.replicas_cached - earlier.replicas_cached,
+            timeouts: self.timeouts - earlier.timeouts,
+            rights_violations: self.rights_violations - earlier.rights_violations,
+            invocation_processes: self.invocation_processes - earlier.invocation_processes,
+            class_queued: self.class_queued - earlier.class_queued,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_show_in_snapshot() {
+        let m = MetricsCell::default();
+        m.bump_local();
+        m.bump_local();
+        m.bump_reincarnation();
+        let s = m.snapshot();
+        assert_eq!(s.local_invocations, 2);
+        assert_eq!(s.reincarnations, 1);
+        assert_eq!(s.remote_invocations_sent, 0);
+    }
+
+    #[test]
+    fn delta_isolates_an_interval() {
+        let m = MetricsCell::default();
+        m.bump_checkpoint();
+        let before = m.snapshot();
+        m.bump_checkpoint();
+        m.bump_checkpoint();
+        let d = m.snapshot().delta(&before);
+        assert_eq!(d.checkpoints, 2);
+    }
+}

@@ -1,0 +1,1845 @@
+//! The node: virtual memory + virtual processors + the kernel proper.
+//!
+//! §4.3: "A node is an object that supplies *virtual memory* to store the
+//! segments of active objects and *virtual processors* to execute
+//! invocations. … At any point in time each active Eden object is
+//! supported by exactly one node. This node is responsible for supplying
+//! hardware resources and for receiving and processing invocations for
+//! the object."
+//!
+//! [`Node`] is one kernel instance. Its pieces:
+//!
+//! * an **object table** (the virtual memory) of [`ObjectSlot`]s;
+//! * a **virtual-processor gate**: invocations execute on their own
+//!   threads — the paper's invocation processes — but only
+//!   [`NodeConfig::virtual_processors`] of them run concurrently; a
+//!   process yields its processor while blocked in a nested invocation,
+//!   so nesting can never deadlock the node (the default of 2 mirrors
+//!   the two GDPs of the default Eden node machine, "field upgradable"
+//!   to 4 — see experiment F2);
+//! * the **location service**: hint cache → birth-node hint → broadcast
+//!   `WhereIs` → forwarding addresses, realizing the location-independent
+//!   object address space of §2;
+//! * the **lifecycle machinery**: checkpoint / checksite / crash /
+//!   reincarnation (§4.4), move (§4.3), freeze + replica caching (§4.3);
+//! * a **receive loop** servicing the kernel-to-kernel protocol.
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden_capability::{Capability, NameGenerator, NodeId, ObjName};
+use eden_store::CheckpointStore;
+use eden_transport::Endpoint;
+use eden_wire::{
+    Frame, HeldState, Message, ObjectImage, Reader, Status, Value, WireDecode, WireEncode, Writer,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::ctx::OpCtx;
+use crate::error::{EdenError, Result};
+use crate::metrics::{KernelMetrics, MetricsCell};
+use crate::object::{
+    Checksite, CoordState, ObjStatus, ObjectSlot, PendingInvocation, ReplySink, CHECKSITE_SEGMENT,
+};
+pub use crate::object::ReliabilityLevel;
+use crate::repr::Representation;
+use crate::sync::EdenSemaphore;
+use crate::types::TypeRegistry;
+use crate::waiter::{LocationAnswer, QueryCollector, Waiter};
+
+thread_local! {
+    /// Whether the current thread holds a virtual-processor token (set
+    /// inside invocation processes so nested invokes know to yield it).
+    static HOLDS_VPROC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Kernel tuning parameters.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Concurrent invocation executions (the node machine's GDPs).
+    pub virtual_processors: usize,
+    /// Default invocation timeout when the invoker does not supply one.
+    pub default_invoke_timeout: Duration,
+    /// Budget for one remote request/reply exchange before trying the
+    /// next location candidate.
+    pub remote_try_timeout: Duration,
+    /// How long a broadcast location query collects answers when no
+    /// active holder responds immediately.
+    pub locate_window: Duration,
+    /// Budget for a move transfer to be acknowledged.
+    pub move_timeout: Duration,
+    /// Forwarding budget on invocation requests (bounds forwarding
+    /// chains left by repeated moves).
+    pub hop_limit: u8,
+    /// Hard cap on concurrent invocation processes within one object,
+    /// over and above per-class limits.
+    pub max_processes_per_object: usize,
+    /// Retransmission interval for unanswered remote invocations. The
+    /// same invocation id is re-sent, and the serving kernel dedupes,
+    /// giving at-most-once execution per holder over a lossy network.
+    pub retransmit_interval: Duration,
+    /// Ablation switch: disable the location hint cache (every remote
+    /// invocation falls back to birth hints and broadcast search).
+    pub enable_location_cache: bool,
+    /// Ablation switch: disable request retransmission (a lost frame
+    /// costs the whole candidate budget).
+    pub enable_retransmission: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            virtual_processors: 2,
+            default_invoke_timeout: Duration::from_secs(5),
+            remote_try_timeout: Duration::from_secs(2),
+            locate_window: Duration::from_millis(250),
+            move_timeout: Duration::from_secs(2),
+            hop_limit: 8,
+            max_processes_per_object: 64,
+            retransmit_interval: Duration::from_millis(150),
+            enable_location_cache: true,
+            enable_retransmission: true,
+        }
+    }
+}
+
+/// Replies the receive loop can rendezvous to a waiting requester.
+pub(crate) enum ReplyMsg {
+    Invoke(Status, Vec<Value>, NodeId),
+    MoveAck(bool, String),
+    CkptAck(bool, u64),
+    CkptData(Option<ObjectImage>),
+    Replica(Option<ObjectImage>),
+    Pong,
+}
+
+/// At-most-once bookkeeping for remotely served invocations: requests
+/// currently executing, and a bounded cache of sent replies so a lost
+/// reply can be re-sent instead of the operation re-executed.
+#[derive(Default)]
+struct ServedRequests {
+    in_progress: HashSet<(NodeId, u64)>,
+    done: HashMap<(NodeId, u64), (Status, Vec<Value>)>,
+    order: std::collections::VecDeque<(NodeId, u64)>,
+}
+
+impl ServedRequests {
+    const CAPACITY: usize = 4096;
+
+    fn record_done(&mut self, key: (NodeId, u64), status: Status, results: Vec<Value>) {
+        self.in_progress.remove(&key);
+        if self.done.insert(key, (status, results)).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > Self::CAPACITY {
+            if let Some(old) = self.order.pop_front() {
+                self.done.remove(&old);
+            }
+        }
+    }
+}
+
+struct LocationService {
+    /// Last known holder of an object (hints; may be stale).
+    cache: RwLock<HashMap<ObjName, NodeId>>,
+    /// Where objects this node moved away now live.
+    forwards: RwLock<HashMap<ObjName, NodeId>>,
+    /// Outstanding broadcast queries.
+    queries: Mutex<HashMap<u64, Arc<QueryCollector>>>,
+}
+
+pub(crate) struct NodeInner {
+    id: NodeId,
+    config: NodeConfig,
+    names: NameGenerator,
+    registry: Arc<TypeRegistry>,
+    objects: RwLock<HashMap<ObjName, Arc<ObjectSlot>>>,
+    destroyed: Mutex<HashSet<ObjName>>,
+    served: Mutex<ServedRequests>,
+    location: LocationService,
+    pending: Mutex<HashMap<u64, Arc<Waiter<ReplyMsg>>>>,
+    store: Arc<dyn CheckpointStore>,
+    endpoint: Arc<dyn Endpoint>,
+    gate: EdenSemaphore,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    metrics: MetricsCell,
+    last_move_rejection: Mutex<Option<String>>,
+    recv_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// One Eden kernel instance. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct Node {
+    inner: Arc<NodeInner>,
+}
+
+/// Introspection snapshot of one active object (see
+/// [`Node::object_info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// The object's unique name.
+    pub name: ObjName,
+    /// Its type.
+    pub type_name: String,
+    /// Lifecycle status.
+    pub status: crate::object::ObjStatus,
+    /// Whether the representation is frozen.
+    pub frozen: bool,
+    /// Whether this is a cached replica.
+    pub replica: bool,
+    /// Last durable checkpoint version.
+    pub checkpoint_version: u64,
+    /// Node keeping the long-term state.
+    pub checksite: NodeId,
+    /// Representation payload bytes.
+    pub data_size: usize,
+    /// Invocations queued at the coordinator.
+    pub queued_invocations: usize,
+    /// Invocation processes currently executing.
+    pub running_invocations: usize,
+}
+
+/// A handle on an asynchronous invocation (§4.2 promises asynchronous
+/// invocation "through a separate kernel primitive"; this is it).
+pub struct InvocationHandle {
+    waiter: Arc<Waiter<Result<Vec<Value>>>>,
+}
+
+impl InvocationHandle {
+    /// Blocks until the invocation completes or `timeout` elapses.
+    pub fn wait(&self, timeout: Duration) -> Result<Vec<Value>> {
+        match self.waiter.wait(timeout) {
+            Some(r) => r,
+            None => Err(EdenError::Invoke(Status::Timeout)),
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_take(&self) -> Option<Result<Vec<Value>>> {
+        self.waiter.try_take()
+    }
+}
+
+impl Node {
+    /// Boots a kernel on `endpoint` with the given store and type
+    /// registry, and starts its receive loop.
+    pub fn new(
+        config: NodeConfig,
+        endpoint: Arc<dyn Endpoint>,
+        store: Arc<dyn CheckpointStore>,
+        registry: Arc<TypeRegistry>,
+    ) -> Node {
+        let id = endpoint.node();
+        let inner = Arc::new(NodeInner {
+            id,
+            gate: EdenSemaphore::new(config.virtual_processors.max(1) as u64),
+            config,
+            names: NameGenerator::new(id),
+            registry,
+            objects: RwLock::new(HashMap::new()),
+            destroyed: Mutex::new(HashSet::new()),
+            served: Mutex::new(ServedRequests::default()),
+            location: LocationService {
+                cache: RwLock::new(HashMap::new()),
+                forwards: RwLock::new(HashMap::new()),
+                queries: Mutex::new(HashMap::new()),
+            },
+            pending: Mutex::new(HashMap::new()),
+            store,
+            endpoint,
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            metrics: MetricsCell::default(),
+            last_move_rejection: Mutex::new(None),
+            recv_thread: Mutex::new(None),
+        });
+        let node = Node { inner };
+        let recv_node = node.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("eden-recv-{id}"))
+            .spawn(move || recv_node.recv_loop())
+            .expect("spawn receive loop");
+        *node.inner.recv_thread.lock() = Some(handle);
+        node
+    }
+
+    /// This kernel's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// The type registry (register types before creating objects).
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.inner.registry
+    }
+
+    /// A snapshot of the kernel counters.
+    pub fn metrics(&self) -> KernelMetrics {
+        self.inner.metrics.snapshot()
+    }
+
+    /// A snapshot of the transport counters.
+    pub fn transport_stats(&self) -> eden_transport::TransportStats {
+        self.inner.endpoint.stats()
+    }
+
+    /// The other nodes reachable on this node's network — what a policy
+    /// object consults to make location decisions (§4.3).
+    pub fn peers(&self) -> Vec<NodeId> {
+        self.inner.endpoint.peers()
+    }
+
+    /// Names of objects currently active on this node.
+    pub fn active_objects(&self) -> Vec<ObjName> {
+        self.inner.objects.read().keys().copied().collect()
+    }
+
+    /// Whether `name` is active (or a cached replica) on this node.
+    pub fn is_local(&self, name: ObjName) -> bool {
+        self.inner.objects.read().contains_key(&name)
+    }
+
+    /// The kernel's checkpoint store (used by tooling and experiments).
+    pub fn store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.inner.store
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ================= Object creation =================
+
+    /// Creates a new object of `type_name` on this node; `args` go to the
+    /// type manager's `initialize`. Returns the full-rights capability.
+    pub fn create_object(&self, type_name: &str, args: &[Value]) -> Result<Capability> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(EdenError::ShuttingDown);
+        }
+        let manager = self
+            .inner
+            .registry
+            .manager(type_name)
+            .ok_or_else(|| EdenError::UnknownType(type_name.to_string()))?;
+        let name = self.inner.names.next_name();
+        let slot = ObjectSlot::new(
+            name,
+            type_name.to_string(),
+            Representation::new(),
+            ObjStatus::Active,
+            Checksite {
+                node: self.inner.id,
+                level: ReliabilityLevel::Local,
+            },
+        );
+        self.inner.objects.write().insert(name, slot.clone());
+        let cap = Capability::mint(name);
+        let ctx = OpCtx::new(self, &slot, cap, self.inner.id, "<initialize>");
+        match manager.initialize(&ctx, args) {
+            Ok(()) => Ok(cap),
+            Err(e) => {
+                self.inner.objects.write().remove(&name);
+                Err(EdenError::Invoke(e.into_status()))
+            }
+        }
+    }
+
+    // ================= Invocation =================
+
+    /// Invokes `op` on the object designated by `cap`, blocking for the
+    /// status and return parameters. Location-independent: the target may
+    /// be on any node, active or passive.
+    pub fn invoke(&self, cap: Capability, op: &str, args: &[Value]) -> Result<Vec<Value>> {
+        self.invoke_with_timeout(cap, op, args, self.inner.config.default_invoke_timeout)
+    }
+
+    /// [`Node::invoke`] with a caller-supplied timeout (§4.2: "The
+    /// invocation request may also contain a user-supplied timeout").
+    pub fn invoke_with_timeout(
+        &self,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        timeout: Duration,
+    ) -> Result<Vec<Value>> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(EdenError::ShuttingDown);
+        }
+        let (status, results) = self.do_invoke(cap, op, args, timeout);
+        match status {
+            Status::Ok => Ok(results),
+            Status::Timeout => {
+                self.inner.metrics.bump_timeout();
+                Err(EdenError::Invoke(Status::Timeout))
+            }
+            other => Err(EdenError::Invoke(other)),
+        }
+    }
+
+    /// Starts an invocation without blocking; the returned handle
+    /// rendezvouses with the eventual result.
+    pub fn invoke_async(&self, cap: Capability, op: &str, args: &[Value]) -> InvocationHandle {
+        let waiter = Arc::new(Waiter::new());
+        let handle = InvocationHandle {
+            waiter: waiter.clone(),
+        };
+        let node = self.clone();
+        let op = op.to_string();
+        let args = args.to_vec();
+        std::thread::Builder::new()
+            .name("eden-async-invoke".into())
+            .spawn(move || {
+                let r = node.invoke(cap, &op, &args);
+                waiter.complete(r);
+            })
+            .expect("spawn async invocation");
+        handle
+    }
+
+    /// Nested invocation from inside an operation: yields the virtual
+    /// processor while blocked.
+    pub(crate) fn invoke_nested(
+        &self,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>> {
+        let holds = HOLDS_VPROC.with(Cell::get);
+        if holds {
+            self.inner.gate.v();
+        }
+        let r = self.invoke(cap, op, args);
+        if holds {
+            self.inner.gate.p();
+        }
+        r
+    }
+
+    /// The invocation state machine: local slot → local checkpoint →
+    /// located remote holder.
+    fn do_invoke(
+        &self,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        timeout: Duration,
+    ) -> (Status, Vec<Value>) {
+        let deadline = Instant::now() + timeout;
+        let name = cap.name();
+
+        // Fast path: active (or replica) on this node. The lookup is
+        // bound first so the table's read guard drops before the
+        // invocation blocks (an `if let` scrutinee guard would be held
+        // across the wait and deadlock crash/move teardown).
+        let local = self.inner.objects.read().get(&name).cloned();
+        if let Some(slot) = local {
+            self.inner.metrics.bump_local();
+            return self.invoke_on_slot(&slot, cap, op, args, deadline);
+        }
+        if self.inner.destroyed.lock().contains(&name) {
+            return (Status::Destroyed, Vec::new());
+        }
+        // Passive here: reincarnate locally — but only when we have not
+        // moved the object away. An object's checkpoints legitimately
+        // stay at its checksite after a move (§4.4), so a forwarding
+        // address must win over the local checkpoint or the source node
+        // would resurrect a stale twin.
+        let moved_away = self.inner.location.forwards.read().contains_key(&name);
+        if !moved_away {
+            if let Some(slot) = self.activate_passive_local(name) {
+                self.inner.metrics.bump_local();
+                return self.invoke_on_slot(&slot, cap, op, args, deadline);
+            }
+        }
+
+        // Remote: try hints in order, then broadcast.
+        let peers = self.inner.endpoint.peers();
+        let mut tried = HashSet::new();
+        let mut candidates: Vec<(NodeId, bool)> = Vec::new(); // (node, from_cache)
+        if let Some(&fwd) = self.inner.location.forwards.read().get(&name) {
+            candidates.push((fwd, false));
+        }
+        if self.inner.config.enable_location_cache {
+            if let Some(&hint) = self.inner.location.cache.read().get(&name) {
+                candidates.push((hint, true));
+            }
+        }
+        let birth = name.birth_node();
+        if birth != self.inner.id && peers.contains(&birth) {
+            candidates.push((birth, false));
+        }
+
+        for (candidate, from_cache) in candidates {
+            if candidate == self.inner.id || !tried.insert(candidate) {
+                continue;
+            }
+            if !peers.contains(&candidate) {
+                continue;
+            }
+            let Some(budget) = self.try_budget(deadline) else {
+                return (Status::Timeout, Vec::new());
+            };
+            if from_cache {
+                self.inner.metrics.bump_cache_hit();
+            }
+            let (status, results, from) = self.remote_invoke(candidate, cap, op, args, budget);
+            match status {
+                Status::NoSuchObject | Status::Timeout => {
+                    if from_cache {
+                        self.inner.location.cache.write().remove(&name);
+                    }
+                    continue;
+                }
+                _ => {
+                    // Cache the node that *answered*: after a forwarding
+                    // chain that is the object's real home.
+                    if self.inner.config.enable_location_cache {
+                        self.inner.location.cache.write().insert(name, from);
+                    }
+                    return (status, results);
+                }
+            }
+        }
+
+        // Broadcast search.
+        if Instant::now() >= deadline {
+            return (Status::Timeout, Vec::new());
+        }
+        let answers = self.locate_broadcast(name);
+        let mut ordered: Vec<NodeId> = Vec::new();
+        for want in [HeldState::Active, HeldState::FrozenReplica, HeldState::Passive] {
+            for a in &answers {
+                if a.state == want && !ordered.contains(&a.holder) {
+                    ordered.push(a.holder);
+                }
+            }
+        }
+        for holder in ordered {
+            if holder == self.inner.id || tried.contains(&holder) {
+                continue;
+            }
+            let Some(budget) = self.try_budget(deadline) else {
+                return (Status::Timeout, Vec::new());
+            };
+            let (status, results, from) = self.remote_invoke(holder, cap, op, args, budget);
+            match status {
+                Status::NoSuchObject | Status::Timeout => continue,
+                _ => {
+                    if self.inner.config.enable_location_cache {
+                        self.inner.location.cache.write().insert(name, from);
+                    }
+                    return (status, results);
+                }
+            }
+        }
+        (Status::NoSuchObject, Vec::new())
+    }
+
+    /// Remaining time for one candidate attempt, if any remains.
+    fn try_budget(&self, deadline: Instant) -> Option<Duration> {
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        Some((deadline - now).min(self.inner.config.remote_try_timeout))
+    }
+
+    /// Validates and enqueues an invocation on a local slot, then waits.
+    fn invoke_on_slot(
+        &self,
+        slot: &Arc<ObjectSlot>,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        deadline: Instant,
+    ) -> (Status, Vec<Value>) {
+        let waiter: Arc<Waiter<(Status, Vec<Value>)>> = Arc::new(Waiter::new());
+        let pending = match self.validate(slot, cap, op, args, ReplySink::Local(waiter.clone())) {
+            Ok(p) => p,
+            Err(status) => return (status, Vec::new()),
+        };
+        self.enqueue(slot, pending);
+        let now = Instant::now();
+        let budget = if deadline > now {
+            deadline - now
+        } else {
+            Duration::ZERO
+        };
+        match waiter.wait(budget) {
+            Some((status, results)) => (status, results),
+            None => (Status::Timeout, Vec::new()),
+        }
+    }
+
+    /// Builds a validated [`PendingInvocation`], or the failure status.
+    fn validate(
+        &self,
+        slot: &Arc<ObjectSlot>,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        sink: ReplySink,
+    ) -> std::result::Result<PendingInvocation, Status> {
+        let Some(resolved) = self.inner.registry.resolve_op(&slot.type_name, op) else {
+            return Err(Status::NoSuchOperation(op.to_string()));
+        };
+        if !cap.permits(resolved.op.required) {
+            self.inner.metrics.bump_rights_violation();
+            return Err(Status::RightsViolation {
+                required: resolved.op.required,
+                held: cap.rights(),
+            });
+        }
+        Ok(PendingInvocation {
+            presented: cap,
+            operation: op.to_string(),
+            args: args.to_vec(),
+            resolved,
+            sink,
+            caller: self.inner.id,
+        })
+    }
+
+    /// Queues an invocation at the coordinator and pumps dispatch.
+    fn enqueue(&self, slot: &Arc<ObjectSlot>, pending: PendingInvocation) {
+        let mut coord = slot.coord.lock();
+        if coord.status == ObjStatus::Crashed {
+            // Teardown is in progress; the invocation rides along and is
+            // rerouted (or refused) by the teardown path.
+            coord.queue.push_back(pending);
+            return;
+        }
+        coord.queue.push_back(pending);
+        if coord.queue.len() > 1 || coord.status != ObjStatus::Active {
+            self.inner.metrics.bump_class_queued();
+        }
+        self.pump(slot, &mut coord);
+    }
+
+    /// The coordinator's dispatch rule: scan the queue for invocations
+    /// whose class has spare capacity; spawn an invocation process for
+    /// each (§4.2).
+    fn pump(&self, slot: &Arc<ObjectSlot>, coord: &mut CoordState) {
+        if coord.status != ObjStatus::Active {
+            return;
+        }
+        if coord.crash_requested || coord.destroy_requested {
+            return;
+        }
+        if let Some(dst) = coord.pending_move {
+            if coord.running == 0 {
+                coord.status = ObjStatus::Moving;
+                coord.pending_move = None;
+                let node = self.clone();
+                let slot = slot.clone();
+                std::thread::Builder::new()
+                    .name("eden-move".into())
+                    .spawn(move || node.start_move(slot, dst))
+                    .expect("spawn move");
+            }
+            return; // No dispatch while a move is pending.
+        }
+        let mut i = 0;
+        while i < coord.queue.len() {
+            if coord.running >= self.inner.config.max_processes_per_object {
+                break;
+            }
+            let class = coord.queue[i].resolved.op.class.clone();
+            let limit = coord.queue[i].resolved.limit;
+            let in_service = coord.class_in_service.get(&class).copied().unwrap_or(0);
+            if in_service < limit {
+                let pending = coord.queue.remove(i).expect("index in bounds");
+                coord.running += 1;
+                *coord.class_in_service.entry(class).or_insert(0) += 1;
+                let node = self.clone();
+                let slot = slot.clone();
+                self.inner.metrics.bump_process();
+                std::thread::Builder::new()
+                    .name("eden-invocation".into())
+                    .spawn(move || node.run_invocation(slot, pending))
+                    .expect("spawn invocation process");
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The body of one invocation process.
+    fn run_invocation(&self, slot: Arc<ObjectSlot>, pending: PendingInvocation) {
+        // Take a virtual processor for the duration of execution.
+        self.inner.gate.p();
+        HOLDS_VPROC.with(|c| c.set(true));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let ctx = OpCtx::new(
+                self,
+                &slot,
+                pending.presented,
+                pending.caller,
+                pending.operation.clone(),
+            );
+            pending.resolved.manager.dispatch(&ctx, &pending.operation, &pending.args)
+        }));
+        HOLDS_VPROC.with(|c| c.set(false));
+        self.inner.gate.v();
+
+        let (status, results) = match outcome {
+            Ok(Ok(values)) => (Status::Ok, values),
+            Ok(Err(e)) => (e.into_status(), Vec::new()),
+            Err(_) => (
+                Status::AppError {
+                    code: -3,
+                    message: format!("operation '{}' panicked", pending.operation),
+                },
+                Vec::new(),
+            ),
+        };
+        self.send_reply(pending.sink, status, results);
+
+        // Completion bookkeeping: release the class slot, then either
+        // finish a requested crash/destroy or pump the next dispatch.
+        let class = pending.resolved.op.class;
+        let mut coord = slot.coord.lock();
+        coord.running -= 1;
+        if let Some(n) = coord.class_in_service.get_mut(&class) {
+            *n -= 1;
+            if *n == 0 {
+                coord.class_in_service.remove(&class);
+            }
+        }
+        if coord.running == 0 {
+            slot.quiesce_cv.notify_all();
+            if coord.crash_requested {
+                coord.status = ObjStatus::Crashed;
+                drop(coord);
+                self.finish_crash(&slot);
+                return;
+            }
+            if coord.destroy_requested {
+                coord.status = ObjStatus::Crashed;
+                drop(coord);
+                self.finish_destroy(&slot);
+                return;
+            }
+        }
+        self.pump(&slot, &mut coord);
+    }
+
+    fn send_reply(&self, sink: ReplySink, status: Status, results: Vec<Value>) {
+        match sink {
+            ReplySink::Local(waiter) => waiter.complete((status, results)),
+            ReplySink::Remote { inv_id, reply_to } => {
+                self.inner.served.lock().record_done(
+                    (reply_to, inv_id),
+                    status.clone(),
+                    results.clone(),
+                );
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::InvokeReply {
+                        inv_id,
+                        status,
+                        results,
+                    },
+                ));
+            }
+            ReplySink::Discard => {}
+        }
+    }
+
+    /// Sends one invocation to `dst` and waits for its reply. The third
+    /// element is the node that actually answered — after a forwarding
+    /// chain this is the object's true home, which the caller caches so
+    /// the chain is paid only once.
+    fn remote_invoke(
+        &self,
+        dst: NodeId,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        budget: Duration,
+    ) -> (Status, Vec<Value>, NodeId) {
+        self.inner.metrics.bump_remote_sent();
+        let inv_id = self.fresh_id();
+        let waiter = Arc::new(Waiter::new());
+        self.inner.pending.lock().insert(inv_id, waiter.clone());
+        let sent = self.inner.endpoint.send(Frame::to(
+            self.inner.id,
+            dst,
+            Message::InvokeRequest {
+                inv_id,
+                target: cap,
+                operation: op.to_string(),
+                args: args.to_vec(),
+                reply_to: self.inner.id,
+                hops: self.inner.config.hop_limit,
+            },
+        ));
+        if sent.is_err() {
+            self.inner.pending.lock().remove(&inv_id);
+            return (Status::NodeUnreachable, Vec::new(), dst);
+        }
+        // Wait in retransmission-sized slices: an unanswered request is
+        // re-sent with the same id, and the server dedupes (at-most-once
+        // execution; a lost reply is replayed from its reply cache).
+        if !self.inner.config.enable_retransmission {
+            let result = waiter.wait(budget);
+            self.inner.pending.lock().remove(&inv_id);
+            return match result {
+                Some(ReplyMsg::Invoke(status, results, from)) => (status, results, from),
+                _ => (Status::Timeout, Vec::new(), dst),
+            };
+        }
+        let deadline = Instant::now() + budget;
+        let result = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break None;
+            }
+            let slice = self.inner.config.retransmit_interval.min(deadline - now);
+            if let Some(reply) = waiter.wait(slice) {
+                break Some(reply);
+            }
+            if Instant::now() >= deadline {
+                break None;
+            }
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                dst,
+                Message::InvokeRequest {
+                    inv_id,
+                    target: cap,
+                    operation: op.to_string(),
+                    args: args.to_vec(),
+                    reply_to: self.inner.id,
+                    hops: self.inner.config.hop_limit,
+                },
+            ));
+        };
+        self.inner.pending.lock().remove(&inv_id);
+        match result {
+            Some(ReplyMsg::Invoke(status, results, from)) => (status, results, from),
+            _ => (Status::Timeout, Vec::new(), dst),
+        }
+    }
+
+    // ================= Location =================
+
+    /// Broadcasts a `WhereIs` and collects answers for the locate window
+    /// (cut short as soon as an active holder replies).
+    fn locate_broadcast(&self, name: ObjName) -> Vec<LocationAnswer> {
+        self.inner.metrics.bump_broadcast();
+        let query_id = self.fresh_id();
+        let collector = Arc::new(QueryCollector::new());
+        self.inner
+            .location
+            .queries
+            .lock()
+            .insert(query_id, collector.clone());
+        let _ = self.inner.endpoint.send(Frame::broadcast(
+            self.inner.id,
+            Message::WhereIs {
+                query_id,
+                name,
+                reply_to: self.inner.id,
+            },
+        ));
+        let answers = collector.wait(self.inner.config.locate_window);
+        self.inner.location.queries.lock().remove(&query_id);
+        answers
+    }
+
+    // ================= Lifecycle: checkpoint / crash / reincarnate =====
+
+    /// Persists `slot`'s representation at its checksite; returns the
+    /// durable version.
+    pub(crate) fn checkpoint_slot(&self, slot: &Arc<ObjectSlot>) -> Result<u64> {
+        let cs = slot.checksite();
+        let image = {
+            let repr = slot.repr.read();
+            repr.to_image(
+                &slot.type_name,
+                slot.is_frozen(),
+                slot.checkpoint_version() + 1,
+            )
+        };
+        let version = self.put_checkpoint(cs.node, slot.name, &image)?;
+        if let ReliabilityLevel::Replicated(k) = cs.level {
+            // Best-effort replication to k additional sites: a down
+            // replica does not fail the checkpoint (the checksite copy is
+            // the durability contract; replicas raise availability).
+            let mut peers = self.inner.endpoint.peers();
+            peers.sort();
+            let mut sent = 0;
+            for peer in peers {
+                if sent >= k {
+                    break;
+                }
+                if peer == cs.node {
+                    continue;
+                }
+                let _ = self.put_checkpoint(peer, slot.name, &image);
+                sent += 1;
+            }
+            if sent < k && cs.node != self.inner.id {
+                // Fall back to a local copy to honour the replica count
+                // as far as possible.
+                let _ = self.put_checkpoint(self.inner.id, slot.name, &image);
+            }
+        }
+        slot.version.store(version, Ordering::Release);
+        self.inner.metrics.bump_checkpoint();
+        Ok(version)
+    }
+
+    /// Writes one checkpoint image at `site` (local store or remote
+    /// checksite over the wire).
+    fn put_checkpoint(&self, site: NodeId, name: ObjName, image: &ObjectImage) -> Result<u64> {
+        if site == self.inner.id {
+            let version = self.inner.store.put(name, &image.encode_to_bytes())?;
+            return Ok(version);
+        }
+        let req_id = self.fresh_id();
+        let waiter = Arc::new(Waiter::new());
+        self.inner.pending.lock().insert(req_id, waiter.clone());
+        let _ = self.inner.endpoint.send(Frame::to(
+            self.inner.id,
+            site,
+            Message::CheckpointPut {
+                req_id,
+                name,
+                image: image.clone(),
+                reply_to: self.inner.id,
+            },
+        ));
+        let result = waiter.wait(self.inner.config.remote_try_timeout);
+        self.inner.pending.lock().remove(&req_id);
+        match result {
+            Some(ReplyMsg::CkptAck(true, version)) => Ok(version),
+            Some(ReplyMsg::CkptAck(false, _)) => {
+                Err(EdenError::Store(eden_store::StoreError::Io(format!(
+                    "checksite {site} refused the checkpoint"
+                ))))
+            }
+            _ => Err(EdenError::Invoke(Status::NodeUnreachable)),
+        }
+    }
+
+    /// Sets the checksite of `slot` and persists it into the
+    /// representation so it survives checkpoints and moves.
+    pub(crate) fn set_checksite(
+        &self,
+        slot: &Arc<ObjectSlot>,
+        node: NodeId,
+        level: ReliabilityLevel,
+    ) -> Result<()> {
+        if slot.is_frozen() {
+            return Err(EdenError::BadRequest(
+                "cannot change the checksite of a frozen object".into(),
+            ));
+        }
+        if node != self.inner.id && !self.inner.endpoint.peers().contains(&node) {
+            return Err(EdenError::BadRequest(format!(
+                "checksite {node} is not a known node"
+            )));
+        }
+        *slot.checksite.lock() = Checksite { node, level };
+        let mut w = Writer::new();
+        w.put_u16(node.0);
+        match level {
+            ReliabilityLevel::Local => {
+                w.put_u8(0);
+                w.put_u32(0);
+            }
+            ReliabilityLevel::Replicated(k) => {
+                w.put_u8(1);
+                w.put_u32(k as u32);
+            }
+        }
+        slot.repr.write().put(CHECKSITE_SEGMENT, w.finish());
+        Ok(())
+    }
+
+    /// Parses a checksite persisted by [`Node::set_checksite`].
+    fn parse_checksite(repr: &Representation, fallback: NodeId) -> Checksite {
+        let Some(bytes) = repr.get(CHECKSITE_SEGMENT) else {
+            return Checksite {
+                node: fallback,
+                level: ReliabilityLevel::Local,
+            };
+        };
+        let mut r = Reader::new(bytes);
+        let mut parse = || -> std::result::Result<Checksite, eden_wire::CodecError> {
+            let node = NodeId(r.get_u16()?);
+            let level = match r.get_u8()? {
+                1 => ReliabilityLevel::Replicated(r.get_u32()? as usize),
+                _ => ReliabilityLevel::Local,
+            };
+            Ok(Checksite { node, level })
+        };
+        parse().unwrap_or(Checksite {
+            node: fallback,
+            level: ReliabilityLevel::Local,
+        })
+    }
+
+    /// Requests a crash (§4.4): active state is destroyed once running
+    /// invocations complete; queued invocations reincarnate the object
+    /// from its last checkpoint if one exists.
+    pub(crate) fn request_crash(&self, slot: &Arc<ObjectSlot>) {
+        let mut coord = slot.coord.lock();
+        coord.crash_requested = true;
+        if coord.running == 0 && coord.status == ObjStatus::Active {
+            coord.status = ObjStatus::Crashed;
+            drop(coord);
+            self.finish_crash(slot);
+        }
+    }
+
+    /// Requests permanent destruction.
+    pub(crate) fn request_destroy(&self, slot: &Arc<ObjectSlot>) {
+        let mut coord = slot.coord.lock();
+        coord.destroy_requested = true;
+        if coord.running == 0 && coord.status == ObjStatus::Active {
+            coord.status = ObjStatus::Crashed;
+            drop(coord);
+            self.finish_destroy(slot);
+        }
+    }
+
+    /// Destroys active state: the crash primitive's teardown half.
+    fn finish_crash(&self, slot: &Arc<ObjectSlot>) {
+        self.inner.metrics.bump_crash();
+        slot.short.teardown();
+        self.inner.objects.write().remove(&slot.name);
+        let queued: Vec<PendingInvocation> = slot.coord.lock().queue.drain(..).collect();
+        if queued.is_empty() {
+            return;
+        }
+        // The single-level-store illusion: invocations that arrived
+        // during the crash reincarnate the object if it checkpointed.
+        if let Some(new_slot) = self.activate_passive_local(slot.name) {
+            for pending in queued {
+                self.enqueue(&new_slot, pending);
+            }
+        } else {
+            for pending in queued {
+                self.send_reply(pending.sink, Status::ObjectCrashed, Vec::new());
+            }
+        }
+    }
+
+    /// Destroys the object and its checkpoints everywhere we know of.
+    fn finish_destroy(&self, slot: &Arc<ObjectSlot>) {
+        slot.short.teardown();
+        self.inner.objects.write().remove(&slot.name);
+        self.inner.destroyed.lock().insert(slot.name);
+        let _ = self.inner.store.delete(slot.name);
+        let cs = slot.checksite();
+        if cs.node != self.inner.id {
+            let req_id = self.fresh_id();
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                cs.node,
+                Message::CheckpointDelete {
+                    req_id,
+                    name: slot.name,
+                    reply_to: self.inner.id,
+                },
+            ));
+        }
+        for pending in slot.coord.lock().queue.drain(..) {
+            self.send_reply(pending.sink, Status::Destroyed, Vec::new());
+        }
+    }
+
+    /// Reincarnates `name` from a locally held checkpoint, if any.
+    ///
+    /// Returns the (possibly still-reincarnating) slot; invocations may be
+    /// queued against it immediately.
+    fn activate_passive_local(&self, name: ObjName) -> Option<Arc<ObjectSlot>> {
+        let image = {
+            let (version, bytes) = self.inner.store.latest(name).ok()??;
+            let image = ObjectImage::decode_from_bytes(&bytes).ok()?;
+            (version, image)
+        };
+        let (version, image) = image;
+        if !self.inner.registry.has(&image.type_name) {
+            return None;
+        }
+        let slot = {
+            let mut objects = self.inner.objects.write();
+            if let Some(existing) = objects.get(&name) {
+                return Some(existing.clone()); // Raced with another activation.
+            }
+            let repr = Representation::from_image(&image);
+            let checksite = Self::parse_checksite(&repr, self.inner.id);
+            let slot = ObjectSlot::new(
+                name,
+                image.type_name.clone(),
+                repr,
+                ObjStatus::Reincarnating,
+                checksite,
+            );
+            slot.version.store(version, Ordering::Release);
+            slot.frozen.store(image.frozen, Ordering::Release);
+            objects.insert(name, slot.clone());
+            slot
+        };
+        let node = self.clone();
+        let thread_slot = slot.clone();
+        std::thread::Builder::new()
+            .name("eden-reincarnate".into())
+            .spawn(move || node.run_reincarnation(thread_slot))
+            .expect("spawn reincarnation");
+        Some(slot)
+    }
+
+    /// Runs the reincarnation condition handler, then opens the gate for
+    /// queued invocations (§4.2).
+    fn run_reincarnation(&self, slot: Arc<ObjectSlot>) {
+        let manager = match self.inner.registry.manager(&slot.type_name) {
+            Some(m) => m,
+            None => {
+                self.fail_reincarnation(&slot, "type manager vanished");
+                return;
+            }
+        };
+        let cap = Capability::mint(slot.name);
+        let ctx = OpCtx::new(self, &slot, cap, self.inner.id, "<reincarnate>");
+        match manager.reincarnate(&ctx) {
+            Ok(()) => {
+                self.inner.metrics.bump_reincarnation();
+                let mut coord = slot.coord.lock();
+                coord.status = ObjStatus::Active;
+                self.pump(&slot, &mut coord);
+            }
+            Err(e) => {
+                let status = e.into_status();
+                self.fail_reincarnation(&slot, &format!("{status}"));
+            }
+        }
+    }
+
+    fn fail_reincarnation(&self, slot: &Arc<ObjectSlot>, reason: &str) {
+        self.inner.objects.write().remove(&slot.name);
+        for pending in slot.coord.lock().queue.drain(..) {
+            self.send_reply(
+                pending.sink,
+                Status::AppError {
+                    code: -2,
+                    message: format!("reincarnation failed: {reason}"),
+                },
+                Vec::new(),
+            );
+        }
+    }
+
+    // ================= Mobility (§4.3) =================
+
+    /// Requests that a local active object move to `dst` (rights already
+    /// verified by the caller: the object itself via [`OpCtx::move_to`],
+    /// or [`Node::move_object`] which checks `Rights::MOVE`).
+    pub(crate) fn request_move(&self, slot: &Arc<ObjectSlot>, dst: NodeId) -> Result<()> {
+        if dst == self.inner.id {
+            return Ok(());
+        }
+        if !self.inner.endpoint.peers().contains(&dst) {
+            return Err(EdenError::BadRequest(format!("{dst} is not a known node")));
+        }
+        let mut coord = slot.coord.lock();
+        if coord.status == ObjStatus::Moving || coord.pending_move.is_some() {
+            return Err(EdenError::BadRequest("move already in progress".into()));
+        }
+        coord.pending_move = Some(dst);
+        self.pump(slot, &mut coord);
+        Ok(())
+    }
+
+    /// The kernel-level move operation, usable by policy objects holding
+    /// `Rights::MOVE` on the target (§4.3: "some objects may have the
+    /// ability to make location decisions for other objects").
+    pub fn move_object(&self, cap: Capability, dst: NodeId) -> Result<()> {
+        if !cap.permits(eden_capability::Rights::MOVE) {
+            return Err(EdenError::Invoke(Status::RightsViolation {
+                required: eden_capability::Rights::MOVE,
+                held: cap.rights(),
+            }));
+        }
+        let slot = self
+            .inner
+            .objects
+            .read()
+            .get(&cap.name())
+            .cloned()
+            .ok_or(EdenError::BadRequest(
+                "move_object requires the object to be active on this node".into(),
+            ))?;
+        self.request_move(&slot, dst)
+    }
+
+    /// Executes a quiesced move: ship the image, then hand over the
+    /// queue and leave a forwarding address.
+    fn start_move(&self, slot: Arc<ObjectSlot>, dst: NodeId) {
+        let image = {
+            let repr = slot.repr.read();
+            repr.to_image(&slot.type_name, slot.is_frozen(), slot.checkpoint_version())
+        };
+        let xfer_id = self.fresh_id();
+        let waiter = Arc::new(Waiter::new());
+        self.inner.pending.lock().insert(xfer_id, waiter.clone());
+        let _ = self.inner.endpoint.send(Frame::to(
+            self.inner.id,
+            dst,
+            Message::MoveTransfer {
+                xfer_id,
+                name: slot.name,
+                image,
+                reply_to: self.inner.id,
+            },
+        ));
+        let ack = waiter.wait(self.inner.config.move_timeout);
+        self.inner.pending.lock().remove(&xfer_id);
+        match ack {
+            Some(ReplyMsg::MoveAck(true, _reason)) => {
+                self.inner.metrics.bump_move_out();
+                slot.short.teardown();
+                self.inner.objects.write().remove(&slot.name);
+                self.inner.location.forwards.write().insert(slot.name, dst);
+                self.inner.location.cache.write().insert(slot.name, dst);
+                let queued: Vec<PendingInvocation> =
+                    slot.coord.lock().queue.drain(..).collect();
+                for pending in queued {
+                    match pending.sink {
+                        ReplySink::Remote { inv_id, reply_to } => {
+                            self.inner.metrics.bump_forward();
+                            let _ = self.inner.endpoint.send(Frame::to(
+                                self.inner.id,
+                                dst,
+                                Message::InvokeRequest {
+                                    inv_id,
+                                    target: pending.presented,
+                                    operation: pending.operation,
+                                    args: pending.args,
+                                    reply_to,
+                                    hops: self.inner.config.hop_limit,
+                                },
+                            ));
+                        }
+                        ReplySink::Local(waiter) => {
+                            let node = self.clone();
+                            std::thread::Builder::new()
+                                .name("eden-move-redeliver".into())
+                                .spawn(move || {
+                                    let (status, results, _from) = node.remote_invoke(
+                                        dst,
+                                        pending.presented,
+                                        &pending.operation,
+                                        &pending.args,
+                                        node.inner.config.remote_try_timeout,
+                                    );
+                                    waiter.complete((status, results));
+                                })
+                                .expect("spawn redelivery");
+                        }
+                        ReplySink::Discard => {}
+                    }
+                }
+            }
+            other => {
+                // Rejected or timed out: resume in place. The rejection
+                // reason is recorded for introspection.
+                if let Some(ReplyMsg::MoveAck(false, reason)) = other {
+                    *self.inner.last_move_rejection.lock() = Some(reason);
+                }
+                let mut coord = slot.coord.lock();
+                coord.status = ObjStatus::Active;
+                coord.pending_move = None;
+                self.pump(&slot, &mut coord);
+            }
+        }
+    }
+
+    /// The reason the most recent outbound move was rejected, if any —
+    /// diagnostic surface for policy objects and tests.
+    pub fn last_move_rejection(&self) -> Option<String> {
+        self.inner.last_move_rejection.lock().clone()
+    }
+
+    /// Installs an object shipped to us by a move.
+    fn install_moved(&self, src: NodeId, xfer_id: u64, name: ObjName, image: ObjectImage) {
+        let reject = |reason: &str| {
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                src,
+                Message::MoveAck {
+                    xfer_id,
+                    accepted: false,
+                    reason: reason.to_string(),
+                },
+            ));
+        };
+        if !self.inner.registry.has(&image.type_name) {
+            reject(&format!("type '{}' not registered here", image.type_name));
+            return;
+        }
+        let slot = {
+            let mut objects = self.inner.objects.write();
+            if objects.contains_key(&name) {
+                drop(objects);
+                reject("object already present");
+                return;
+            }
+            let repr = Representation::from_image(&image);
+            let checksite = Self::parse_checksite(&repr, self.inner.id);
+            let slot = ObjectSlot::new(
+                name,
+                image.type_name.clone(),
+                repr,
+                ObjStatus::Reincarnating,
+                checksite,
+            );
+            slot.version.store(image.version, Ordering::Release);
+            slot.frozen.store(image.frozen, Ordering::Release);
+            objects.insert(name, slot.clone());
+            slot
+        };
+        // The object's short-term state is rebuilt from scratch on the new
+        // node: run the reincarnation condition handler.
+        let manager = self
+            .inner
+            .registry
+            .manager(&slot.type_name)
+            .expect("checked above");
+        let cap = Capability::mint(name);
+        let ctx = OpCtx::new(self, &slot, cap, src, "<reincarnate>");
+        match manager.reincarnate(&ctx) {
+            Ok(()) => {
+                self.inner.metrics.bump_move_in();
+                // If we had previously moved this object away, the old
+                // forwarding entry is now wrong.
+                self.inner.location.forwards.write().remove(&name);
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    src,
+                    Message::MoveAck {
+                        xfer_id,
+                        accepted: true,
+                        reason: String::new(),
+                    },
+                ));
+                let mut coord = slot.coord.lock();
+                coord.status = ObjStatus::Active;
+                self.pump(&slot, &mut coord);
+            }
+            Err(e) => {
+                self.inner.objects.write().remove(&name);
+                reject(&format!("reincarnation failed: {}", e.into_status()));
+            }
+        }
+    }
+
+    // ================= Frozen objects (§4.3) =================
+
+    /// Freezes `slot`: representation becomes immutable, a frozen
+    /// checkpoint is taken, and replicas may be cached elsewhere.
+    pub(crate) fn freeze_slot(&self, slot: &Arc<ObjectSlot>) -> Result<u64> {
+        slot.frozen.store(true, Ordering::Release);
+        self.checkpoint_slot(slot)
+    }
+
+    /// Fetches a frozen object's representation and installs a local
+    /// replica, so subsequent invocations run locally (§4.3: "Such an
+    /// object can be replicated and cached at several sites in order to
+    /// save the overhead of remote invocations").
+    pub fn cache_replica(&self, cap: Capability) -> Result<()> {
+        let name = cap.name();
+        if let Some(slot) = self.inner.objects.read().get(&name) {
+            return if slot.is_frozen() {
+                Ok(()) // Already local (home or replica).
+            } else {
+                Err(EdenError::BadRequest("object is local and not frozen".into()))
+            };
+        }
+        // Find the holder.
+        let mut holder = self.inner.location.cache.read().get(&name).copied();
+        if holder.is_none() {
+            let peers = self.inner.endpoint.peers();
+            let birth = name.birth_node();
+            if peers.contains(&birth) {
+                holder = Some(birth);
+            }
+        }
+        let answers;
+        let candidates: Vec<NodeId> = match holder {
+            Some(h) => vec![h],
+            None => {
+                answers = self.locate_broadcast(name);
+                answers.iter().map(|a| a.holder).collect()
+            }
+        };
+        for h in candidates {
+            let req_id = self.fresh_id();
+            let waiter = Arc::new(Waiter::new());
+            self.inner.pending.lock().insert(req_id, waiter.clone());
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                h,
+                Message::ReplicaRequest {
+                    req_id,
+                    name,
+                    reply_to: self.inner.id,
+                },
+            ));
+            let result = waiter.wait(self.inner.config.remote_try_timeout);
+            self.inner.pending.lock().remove(&req_id);
+            if let Some(ReplyMsg::Replica(Some(image))) = result {
+                if !image.frozen {
+                    return Err(EdenError::BadRequest("object is not frozen".into()));
+                }
+                if !self.inner.registry.has(&image.type_name) {
+                    return Err(EdenError::UnknownType(image.type_name));
+                }
+                let repr = Representation::from_image(&image);
+                let slot = ObjectSlot::new_replica(
+                    name,
+                    image.type_name.clone(),
+                    repr,
+                    image.version,
+                    h,
+                );
+                self.inner.objects.write().insert(name, slot);
+                self.inner.metrics.bump_replica();
+                return Ok(());
+            }
+        }
+        Err(EdenError::Invoke(Status::NoSuchObject))
+    }
+
+    /// Activates a passive object *on this node*, pulling its latest
+    /// checkpoint from whichever nodes hold one (§4.4: "the checksite
+    /// node that is responsible for maintaining an object's long-term
+    /// state need not be the node responsible for supporting its active
+    /// execution"). Picks the highest version among the answering
+    /// holders. Fails if the object is already active anywhere or no
+    /// checkpoint can be found.
+    pub fn activate_here(&self, cap: Capability) -> Result<()> {
+        let name = cap.name();
+        if self.inner.objects.read().contains_key(&name) {
+            return Ok(()); // Already active here.
+        }
+        // Try the local store first.
+        if self.activate_passive_local(name).is_some() {
+            return Ok(());
+        }
+        let answers = self.locate_broadcast(name);
+        if answers.iter().any(|a| a.state == HeldState::Active) {
+            return Err(EdenError::BadRequest(
+                "object is active elsewhere; use move_object instead".into(),
+            ));
+        }
+        // Fetch from every passive holder; keep the newest image.
+        let mut best: Option<ObjectImage> = None;
+        for answer in answers.iter().filter(|a| a.state == HeldState::Passive) {
+            let req_id = self.fresh_id();
+            let waiter = Arc::new(Waiter::new());
+            self.inner.pending.lock().insert(req_id, waiter.clone());
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                answer.holder,
+                Message::CheckpointFetch {
+                    req_id,
+                    name,
+                    reply_to: self.inner.id,
+                },
+            ));
+            let result = waiter.wait(self.inner.config.remote_try_timeout);
+            self.inner.pending.lock().remove(&req_id);
+            if let Some(ReplyMsg::CkptData(Some(image))) = result {
+                if best.as_ref().map(|b| image.version > b.version).unwrap_or(true) {
+                    best = Some(image);
+                }
+            }
+        }
+        let Some(image) = best else {
+            return Err(EdenError::Invoke(Status::NoSuchObject));
+        };
+        if !self.inner.registry.has(&image.type_name) {
+            return Err(EdenError::UnknownType(image.type_name));
+        }
+        // Persist the fetched image locally so this node can answer
+        // passive queries and re-reincarnate after its own crashes.
+        self.inner.store.put(name, &image.encode_to_bytes())?;
+        match self.activate_passive_local(name) {
+            Some(_) => Ok(()),
+            None => Err(EdenError::Invoke(Status::NoSuchObject)),
+        }
+    }
+
+    /// A point-in-time description of one locally active object.
+    pub fn object_info(&self, name: ObjName) -> Option<ObjectInfo> {
+        let slot = self.inner.objects.read().get(&name).cloned()?;
+        let (queued, running) = {
+            let coord = slot.coord.lock();
+            (coord.queue.len(), coord.running)
+        };
+        let data_size = slot.repr.read().data_size();
+        Some(ObjectInfo {
+            name,
+            type_name: slot.type_name.clone(),
+            status: slot.status(),
+            frozen: slot.is_frozen(),
+            replica: slot.is_replica(),
+            checkpoint_version: slot.checkpoint_version(),
+            checksite: slot.checksite().node,
+            data_size,
+            queued_invocations: queued,
+            running_invocations: running,
+        })
+    }
+
+    // ================= Liveness =================
+
+    /// Pings `node`; `true` if it answered within `timeout`.
+    pub fn ping(&self, node: NodeId, timeout: Duration) -> bool {
+        let token = self.fresh_id();
+        let waiter = Arc::new(Waiter::new());
+        self.inner.pending.lock().insert(token, waiter.clone());
+        let _ = self
+            .inner
+            .endpoint
+            .send(Frame::to(self.inner.id, node, Message::Ping { token }));
+        let result = waiter.wait(timeout);
+        self.inner.pending.lock().remove(&token);
+        matches!(result, Some(ReplyMsg::Pong))
+    }
+
+    /// Stops the receive loop, tears down behaviors, and detaches from
+    /// the network.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.endpoint.shutdown();
+        if let Some(h) = self.inner.recv_thread.lock().take() {
+            let _ = h.join();
+        }
+        for slot in self.inner.objects.read().values() {
+            slot.short.teardown();
+        }
+    }
+
+    // ================= The receive loop =================
+
+    fn recv_loop(&self) {
+        loop {
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match self.inner.endpoint.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(frame)) => self.handle_frame(frame),
+                Ok(None) => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn complete_pending(&self, id: u64, msg: ReplyMsg) {
+        let waiter = self.inner.pending.lock().get(&id).cloned();
+        if let Some(w) = waiter {
+            w.complete(msg);
+        }
+    }
+
+    fn handle_frame(&self, frame: Frame) {
+        let src = frame.src;
+        match frame.msg {
+            Message::InvokeRequest {
+                inv_id,
+                target,
+                operation,
+                args,
+                reply_to,
+                hops,
+            } => self.handle_invoke_request(inv_id, target, operation, args, reply_to, hops),
+            Message::InvokeReply {
+                inv_id,
+                status,
+                results,
+            } => self.complete_pending(inv_id, ReplyMsg::Invoke(status, results, src)),
+            Message::WhereIs {
+                query_id,
+                name,
+                reply_to,
+            } => {
+                let state = if let Some(slot) = self.inner.objects.read().get(&name) {
+                    Some(if slot.is_replica() {
+                        HeldState::FrozenReplica
+                    } else {
+                        HeldState::Active
+                    })
+                } else if self.inner.location.forwards.read().contains_key(&name) {
+                    // Moved away: the checkpoint here is the checksite
+                    // copy of an object active elsewhere, not a passive
+                    // object.
+                    None
+                } else if matches!(self.inner.store.latest(name), Ok(Some(_))) {
+                    Some(HeldState::Passive)
+                } else {
+                    None
+                };
+                if let Some(state) = state {
+                    let _ = self.inner.endpoint.send(Frame::to(
+                        self.inner.id,
+                        reply_to,
+                        Message::HereIs {
+                            query_id,
+                            name,
+                            state,
+                        },
+                    ));
+                }
+            }
+            Message::HereIs {
+                query_id,
+                name,
+                state,
+            } => {
+                if state == HeldState::Active {
+                    self.inner.location.cache.write().insert(name, src);
+                }
+                let collector = self.inner.location.queries.lock().get(&query_id).cloned();
+                if let Some(c) = collector {
+                    c.add(LocationAnswer { holder: src, state });
+                }
+            }
+            Message::MoveTransfer {
+                xfer_id,
+                name,
+                image,
+                reply_to,
+            } => {
+                let node = self.clone();
+                std::thread::Builder::new()
+                    .name("eden-move-install".into())
+                    .spawn(move || node.install_moved(reply_to, xfer_id, name, image))
+                    .expect("spawn move install");
+            }
+            Message::MoveAck {
+                xfer_id,
+                accepted,
+                reason,
+            } => self.complete_pending(xfer_id, ReplyMsg::MoveAck(accepted, reason)),
+            Message::ReplicaRequest {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                let image = self.inner.objects.read().get(&name).and_then(|slot| {
+                    if slot.is_frozen() {
+                        let repr = slot.repr.read();
+                        Some(repr.to_image(&slot.type_name, true, slot.checkpoint_version()))
+                    } else {
+                        None
+                    }
+                });
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::ReplicaPush {
+                        req_id,
+                        name,
+                        image,
+                    },
+                ));
+            }
+            Message::ReplicaPush { req_id, image, .. } => {
+                self.complete_pending(req_id, ReplyMsg::Replica(image))
+            }
+            Message::CheckpointPut {
+                req_id,
+                name,
+                image,
+                reply_to,
+            } => {
+                let result = self.inner.store.put(name, &image.encode_to_bytes());
+                let (ok, version) = match result {
+                    Ok(v) => (true, v),
+                    Err(_) => (false, 0),
+                };
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::CheckpointAck {
+                        req_id,
+                        ok,
+                        version,
+                    },
+                ));
+            }
+            Message::CheckpointAck {
+                req_id,
+                ok,
+                version,
+            } => self.complete_pending(req_id, ReplyMsg::CkptAck(ok, version)),
+            Message::CheckpointFetch {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                let image = self
+                    .inner
+                    .store
+                    .latest(name)
+                    .ok()
+                    .flatten()
+                    .and_then(|(_, bytes)| ObjectImage::decode_from_bytes(&bytes).ok());
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::CheckpointData {
+                        req_id,
+                        name,
+                        image,
+                    },
+                ));
+            }
+            Message::CheckpointData { req_id, image, .. } => {
+                self.complete_pending(req_id, ReplyMsg::CkptData(image))
+            }
+            Message::CheckpointDelete {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                let ok = self.inner.store.delete(name).is_ok();
+                self.inner.destroyed.lock().insert(name);
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::CheckpointAck {
+                        req_id,
+                        ok,
+                        version: 0,
+                    },
+                ));
+            }
+            Message::Ping { token } => {
+                let _ = self
+                    .inner
+                    .endpoint
+                    .send(Frame::to(self.inner.id, src, Message::Pong { token }));
+            }
+            Message::Pong { token } => self.complete_pending(token, ReplyMsg::Pong),
+        }
+    }
+
+    /// Services an invocation request from another kernel.
+    fn handle_invoke_request(
+        &self,
+        inv_id: u64,
+        target: Capability,
+        operation: String,
+        args: Vec<Value>,
+        reply_to: NodeId,
+        hops: u8,
+    ) {
+        self.inner.metrics.bump_remote_served();
+        let name = target.name();
+        let sink = ReplySink::Remote { inv_id, reply_to };
+
+        // At-most-once: replay a cached reply for a retransmitted
+        // request; drop retransmissions of requests still executing.
+        {
+            let served = self.inner.served.lock();
+            let key = (reply_to, inv_id);
+            if let Some((status, results)) = served.done.get(&key).cloned() {
+                drop(served);
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::InvokeReply {
+                        inv_id,
+                        status,
+                        results,
+                    },
+                ));
+                return;
+            }
+            if served.in_progress.contains(&key) {
+                return;
+            }
+        }
+
+        let slot = self.inner.objects.read().get(&name).cloned();
+        let slot = match slot {
+            Some(s) => Some(s),
+            None => {
+                if self.inner.destroyed.lock().contains(&name) {
+                    self.send_reply(sink, Status::Destroyed, Vec::new());
+                    return;
+                }
+                // A forwarding address wins over a local checkpoint: the
+                // checkpoint at the old checksite must not resurrect an
+                // object that is active elsewhere.
+                if self.inner.location.forwards.read().contains_key(&name) {
+                    None
+                } else {
+                    self.activate_passive_local(name)
+                }
+            }
+        };
+        if let Some(slot) = slot {
+            match self.validate(&slot, target, &operation, &args, sink) {
+                Ok(pending) => {
+                    self.inner
+                        .served
+                        .lock()
+                        .in_progress
+                        .insert((reply_to, inv_id));
+                    self.enqueue(&slot, pending);
+                }
+                Err(status) => self.send_reply(
+                    ReplySink::Remote { inv_id, reply_to },
+                    status,
+                    Vec::new(),
+                ),
+            }
+            return;
+        }
+        // Forwarding address from a past move?
+        if let Some(&fwd) = self.inner.location.forwards.read().get(&name) {
+            if hops > 0 {
+                self.inner.metrics.bump_forward();
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    fwd,
+                    Message::InvokeRequest {
+                        inv_id,
+                        target,
+                        operation,
+                        args,
+                        reply_to,
+                        hops: hops - 1,
+                    },
+                ));
+                return;
+            }
+        }
+        self.send_reply(sink, Status::NoSuchObject, Vec::new());
+    }
+}
+
+impl core::fmt::Debug for Node {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.inner.id)
+            .field("objects", &self.inner.objects.read().len())
+            .finish()
+    }
+}

@@ -1,0 +1,165 @@
+//! Placement policies.
+//!
+//! §4.3: "some objects may have the ability to make location decisions
+//! for other objects in the system; for example, there may be a policy
+//! object responsible for the location of objects in a particular
+//! subsystem." The kernel exposes the mechanism ([`Node::move_object`]
+//! guarded by `Rights::MOVE`); this module supplies reusable *policies* —
+//! strategies that pick nodes — used by EFS replica placement, the
+//! cluster harness, and the mobility experiments. `eden-apps` wraps one
+//! in an invocable policy *object*.
+//!
+//! [`Node::move_object`]: crate::Node::move_object
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use eden_capability::NodeId;
+
+/// A strategy for choosing a node from a candidate set.
+pub trait PlacementPolicy: Send + Sync {
+    /// Picks one node from `candidates` (nonempty).
+    fn place(&self, candidates: &[NodeId]) -> NodeId;
+
+    /// Picks `k` distinct nodes (fewer if `candidates` is smaller).
+    fn place_k(&self, candidates: &[NodeId], k: usize) -> Vec<NodeId> {
+        let mut picked = Vec::new();
+        let mut pool: Vec<NodeId> = candidates.to_vec();
+        while picked.len() < k && !pool.is_empty() {
+            let choice = self.place(&pool);
+            pool.retain(|&n| n != choice);
+            picked.push(choice);
+        }
+        picked
+    }
+}
+
+/// Cycles through candidates in order — the default spreading policy.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin cursor.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn place(&self, candidates: &[NodeId]) -> NodeId {
+        assert!(!candidates.is_empty(), "placement needs candidates");
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        candidates[i % candidates.len()]
+    }
+}
+
+/// Always picks the same node — co-location (§4.3: "Objects may require
+/// either co-location or distribution").
+#[derive(Debug, Clone, Copy)]
+pub struct Pin(pub NodeId);
+
+impl PlacementPolicy for Pin {
+    fn place(&self, candidates: &[NodeId]) -> NodeId {
+        if candidates.contains(&self.0) {
+            self.0
+        } else {
+            candidates[0]
+        }
+    }
+}
+
+/// Picks the candidate with the fewest placements so far (a simple
+/// load-aware policy; load is what this policy itself has assigned).
+#[derive(Debug, Default)]
+pub struct LeastLoaded {
+    counts: parking_lot::Mutex<std::collections::HashMap<NodeId, usize>>,
+}
+
+impl LeastLoaded {
+    /// A fresh load tracker.
+    pub fn new() -> Self {
+        LeastLoaded::default()
+    }
+
+    /// Records externally observed load (e.g. object counts per node).
+    pub fn record(&self, node: NodeId, load: usize) {
+        self.counts.lock().insert(node, load);
+    }
+}
+
+impl PlacementPolicy for LeastLoaded {
+    fn place(&self, candidates: &[NodeId]) -> NodeId {
+        assert!(!candidates.is_empty(), "placement needs candidates");
+        let mut counts = self.counts.lock();
+        let choice = *candidates
+            .iter()
+            .min_by_key(|n| counts.get(n).copied().unwrap_or(0))
+            .expect("nonempty");
+        *counts.entry(choice).or_insert(0) += 1;
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = RoundRobin::new();
+        let c = nodes(3);
+        let picks: Vec<NodeId> = (0..6).map(|_| p.place(&c)).collect();
+        assert_eq!(
+            picks,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn place_k_returns_distinct_nodes() {
+        let p = RoundRobin::new();
+        let picks = p.place_k(&nodes(4), 3);
+        assert_eq!(picks.len(), 3);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn place_k_caps_at_candidate_count() {
+        let p = RoundRobin::new();
+        assert_eq!(p.place_k(&nodes(2), 5).len(), 2);
+    }
+
+    #[test]
+    fn pin_prefers_its_node() {
+        let p = Pin(NodeId(2));
+        assert_eq!(p.place(&nodes(4)), NodeId(2));
+        // Falls back when the pinned node is unavailable.
+        assert_eq!(p.place(&[NodeId(0), NodeId(1)]), NodeId(0));
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let p = LeastLoaded::new();
+        let c = nodes(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10 {
+            *counts.entry(p.place(&c)).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&NodeId(0)], 5);
+        assert_eq!(counts[&NodeId(1)], 5);
+    }
+
+    #[test]
+    fn least_loaded_respects_recorded_load() {
+        let p = LeastLoaded::new();
+        p.record(NodeId(0), 100);
+        p.record(NodeId(1), 0);
+        assert_eq!(p.place(&nodes(2)), NodeId(1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Object representations: the long-term state.
+//!
+//! §4.1: "The representation consists of the data and capability segments
+//! that form the object's long-term state; these segments contain the
+//! data structures that implement any data abstraction."
+//!
+//! A [`Representation`] is a set of named data segments (uninterpreted
+//! bytes, with typed [`Value`] convenience accessors) plus a capability
+//! segment ([`CList`]). It converts losslessly to and from the portable
+//! [`ObjectImage`] used by checkpointing, mobility and replication.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use eden_capability::{CList, Capability};
+use eden_wire::{ObjectImage, Value, WireDecode, WireEncode};
+
+/// The long-term state of one object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Representation {
+    data: BTreeMap<String, Bytes>,
+    caps: CList,
+}
+
+impl Representation {
+    /// An empty representation.
+    pub fn new() -> Self {
+        Representation::default()
+    }
+
+    /// Stores raw bytes under `segment`.
+    pub fn put(&mut self, segment: impl Into<String>, bytes: impl Into<Bytes>) {
+        self.data.insert(segment.into(), bytes.into());
+    }
+
+    /// Reads the raw bytes of `segment`.
+    pub fn get(&self, segment: &str) -> Option<&Bytes> {
+        self.data.get(segment)
+    }
+
+    /// Removes `segment`, returning its bytes.
+    pub fn remove(&mut self, segment: &str) -> Option<Bytes> {
+        self.data.remove(segment)
+    }
+
+    /// Tests whether `segment` exists.
+    pub fn contains(&self, segment: &str) -> bool {
+        self.data.contains_key(segment)
+    }
+
+    /// Stores a [`Value`] under `segment` (wire-encoded).
+    pub fn put_value(&mut self, segment: impl Into<String>, value: &Value) {
+        self.data.insert(segment.into(), value.encode_to_bytes());
+    }
+
+    /// Reads a [`Value`] from `segment`; `None` if absent or undecodable.
+    pub fn get_value(&self, segment: &str) -> Option<Value> {
+        self.data
+            .get(segment)
+            .and_then(|b| Value::decode_from_bytes(b).ok())
+    }
+
+    /// Stores a string under `segment`.
+    pub fn put_str(&mut self, segment: impl Into<String>, s: &str) {
+        self.put_value(segment, &Value::Str(s.to_string()));
+    }
+
+    /// Reads a string from `segment`.
+    pub fn get_str(&self, segment: &str) -> Option<String> {
+        match self.get_value(segment)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Stores an unsigned counter under `segment`.
+    pub fn put_u64(&mut self, segment: impl Into<String>, v: u64) {
+        self.put_value(segment, &Value::U64(v));
+    }
+
+    /// Reads an unsigned counter from `segment`.
+    pub fn get_u64(&self, segment: &str) -> Option<u64> {
+        self.get_value(segment)?.as_u64()
+    }
+
+    /// Stores a signed integer under `segment`.
+    pub fn put_i64(&mut self, segment: impl Into<String>, v: i64) {
+        self.put_value(segment, &Value::I64(v));
+    }
+
+    /// Reads a signed integer from `segment`.
+    pub fn get_i64(&self, segment: &str) -> Option<i64> {
+        self.get_value(segment)?.as_i64()
+    }
+
+    /// Iterates data segment names in order.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.data.keys().map(String::as_str)
+    }
+
+    /// Segment names starting with `prefix`, in order — the idiom types
+    /// use for dynamic collections (`"msg:0001"`, `"msg:0002"`, …).
+    pub fn segments_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.data
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// The capability segment.
+    pub fn caps(&self) -> &CList {
+        &self.caps
+    }
+
+    /// The capability segment, mutable.
+    pub fn caps_mut(&mut self) -> &mut CList {
+        &mut self.caps
+    }
+
+    /// Total payload bytes across data segments.
+    pub fn data_size(&self) -> usize {
+        self.data.iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+
+    /// Serializes into a portable image.
+    pub fn to_image(&self, type_name: &str, frozen: bool, version: u64) -> ObjectImage {
+        ObjectImage {
+            type_name: type_name.to_string(),
+            data: self
+                .data
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            caps: self
+                .caps
+                .iter()
+                .map(|(slot, cap)| (slot.to_string(), cap))
+                .collect(),
+            frozen,
+            version,
+        }
+    }
+
+    /// Rebuilds a representation from an image.
+    pub fn from_image(image: &ObjectImage) -> Self {
+        Representation {
+            data: image
+                .data
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            caps: image
+                .caps
+                .iter()
+                .map(|(slot, cap): &(String, Capability)| (slot.clone(), *cap))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::{NameGenerator, NodeId, Rights};
+    use proptest::prelude::*;
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut r = Representation::new();
+        r.put_str("title", "eden");
+        r.put_u64("count", 42);
+        r.put_i64("delta", -7);
+        assert_eq!(r.get_str("title").as_deref(), Some("eden"));
+        assert_eq!(r.get_u64("count"), Some(42));
+        assert_eq!(r.get_i64("delta"), Some(-7));
+        assert_eq!(r.get_str("count"), None, "type confusion must miss");
+        assert_eq!(r.get_u64("missing"), None);
+    }
+
+    #[test]
+    fn raw_and_value_segments_coexist() {
+        let mut r = Representation::new();
+        r.put("blob", Bytes::from_static(b"\xff\xfe\xfd"));
+        r.put_value("v", &Value::Bool(true));
+        assert_eq!(&r.get("blob").unwrap()[..], b"\xff\xfe\xfd");
+        assert_eq!(r.get_value("v"), Some(Value::Bool(true)));
+        assert_eq!(r.get_value("blob"), None, "undecodable raw bytes miss");
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut r = Representation::new();
+        for k in ["msg:0002", "msg:0001", "msgx", "other"] {
+            r.put_u64(k, 1);
+        }
+        let got: Vec<&str> = r.segments_with_prefix("msg:").collect();
+        assert_eq!(got, vec!["msg:0001", "msg:0002"]);
+    }
+
+    #[test]
+    fn image_round_trip_preserves_everything() {
+        let g = NameGenerator::with_epoch(NodeId(1), 9);
+        let mut r = Representation::new();
+        r.put_str("s", "text");
+        r.put("raw", Bytes::from_static(&[9, 9]));
+        r.caps_mut()
+            .put("peer", eden_capability::Capability::mint(g.next_name()).restrict(Rights::READ));
+        let img = r.to_image("mailbox", true, 7);
+        assert_eq!(img.type_name, "mailbox");
+        assert!(img.frozen);
+        assert_eq!(img.version, 7);
+        let back = Representation::from_image(&img);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn data_size_counts_keys_and_payload() {
+        let mut r = Representation::new();
+        r.put("ab", Bytes::from_static(&[0; 10]));
+        assert_eq!(r.data_size(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_segments_survive_image_round_trip(
+            segs in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(0u8.., 0..64), 0..16)
+        ) {
+            let mut r = Representation::new();
+            for (k, v) in &segs {
+                r.put(k.clone(), Bytes::from(v.clone()));
+            }
+            let back = Representation::from_image(&r.to_image("t", false, 0));
+            prop_assert_eq!(back, r);
+        }
+    }
+}

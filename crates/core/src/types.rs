@@ -1,0 +1,542 @@
+//! Types, type managers and the type registry.
+//!
+//! §4.1: "An object's type describes the set of routines that maintain the
+//! abstraction of which this object is a single instance. … On a single
+//! node, the type code can be shared by several instances of the type."
+//! In this reproduction a *type manager* is a Rust value implementing
+//! [`TypeManager`]; one instance per node is shared by every object of
+//! the type, exactly as the paper's instruction segments are.
+//!
+//! §4.2's invocation classes are declared in the [`TypeSpec`]: "the
+//! programmer divides the invocations into an exhaustive and mutually
+//! exclusive set of invocation classes, and specifies the number of
+//! concurrent processes that are allowed to be servicing each class."
+//! [`TypeRegistry::register`] validates exhaustiveness (every operation
+//! names a declared class) and exclusivity (exactly one class per
+//! operation, unique names) at registration time.
+//!
+//! The §5 *abstract type hierarchy* is supported through
+//! [`TypeSpec::with_parent`]: "One type may be declared as a subtype of
+//! another, so that the subtype inherits the operations of its supertype."
+//! Operation lookup walks the parent chain; an inherited operation
+//! executes the ancestor's code against the subtype instance's
+//! representation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eden_capability::Rights;
+use eden_wire::{Status, Value};
+use parking_lot::RwLock;
+
+use crate::ctx::OpCtx;
+use crate::error::EdenError;
+
+/// One operation exported by a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpec {
+    /// Operation name presented in invocations.
+    pub name: String,
+    /// The invocation class this operation belongs to.
+    pub class: String,
+    /// Rights the presented capability must carry.
+    pub required: Rights,
+}
+
+/// One invocation class and its concurrency limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Class name.
+    pub name: String,
+    /// Maximum invocation processes concurrently serving this class
+    /// (`1` gives mutual exclusion among the class's operations).
+    pub limit: usize,
+}
+
+/// The declaration of a type: name, optional supertype, classes and
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeSpec {
+    /// Type name (unique per registry).
+    pub name: String,
+    /// Supertype whose operations are inherited, if any.
+    pub parent: Option<String>,
+    /// Declared invocation classes.
+    pub classes: Vec<ClassSpec>,
+    /// Declared operations.
+    pub ops: Vec<OpSpec>,
+}
+
+impl TypeSpec {
+    /// Starts a spec for `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeSpec {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares `parent` as the supertype.
+    #[must_use]
+    pub fn with_parent(mut self, parent: impl Into<String>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Declares an invocation class.
+    #[must_use]
+    pub fn class(mut self, name: impl Into<String>, limit: usize) -> Self {
+        self.classes.push(ClassSpec {
+            name: name.into(),
+            limit,
+        });
+        self
+    }
+
+    /// Declares an operation in `class` requiring `required` rights.
+    #[must_use]
+    pub fn op(mut self, name: impl Into<String>, class: impl Into<String>, required: Rights) -> Self {
+        self.ops.push(OpSpec {
+            name: name.into(),
+            class: class.into(),
+            required,
+        });
+        self
+    }
+
+    /// Validates internal consistency (§4.2's exhaustive / mutually
+    /// exclusive partition).
+    pub fn validate(&self) -> Result<(), EdenError> {
+        if self.name.is_empty() {
+            return Err(EdenError::BadTypeSpec("type name must be nonempty".into()));
+        }
+        let mut class_names = std::collections::HashSet::new();
+        for c in &self.classes {
+            if c.limit == 0 {
+                return Err(EdenError::BadTypeSpec(format!(
+                    "class '{}' has limit 0; a class must admit at least one process",
+                    c.name
+                )));
+            }
+            if !class_names.insert(c.name.as_str()) {
+                return Err(EdenError::BadTypeSpec(format!(
+                    "duplicate class '{}'",
+                    c.name
+                )));
+            }
+        }
+        let mut op_names = std::collections::HashSet::new();
+        for op in &self.ops {
+            if !op_names.insert(op.name.as_str()) {
+                return Err(EdenError::BadTypeSpec(format!(
+                    "duplicate operation '{}'",
+                    op.name
+                )));
+            }
+            if !class_names.contains(op.class.as_str()) {
+                return Err(EdenError::BadTypeSpec(format!(
+                    "operation '{}' names undeclared class '{}' (the partition must be exhaustive)",
+                    op.name, op.class
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An error reported from inside a type manager's operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// Application-level failure, surfaced as [`Status::AppError`].
+    App {
+        /// Type-defined code.
+        code: i32,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The arguments did not match the operation's signature.
+    Type(String),
+    /// The operation does not exist (used by `dispatch` fallthrough arms).
+    NoSuchOp(String),
+    /// A mutation was attempted on a frozen representation.
+    Frozen,
+    /// A nested kernel primitive failed.
+    Kernel(EdenError),
+}
+
+impl OpError {
+    /// An application error with `code` and `message`.
+    pub fn app(code: i32, message: impl Into<String>) -> Self {
+        OpError::App {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A type (argument) error with an expected-signature hint.
+    pub fn type_error(expected: impl Into<String>) -> Self {
+        OpError::Type(expected.into())
+    }
+
+    /// The fallthrough error for unknown operations.
+    pub fn no_such_op(op: impl Into<String>) -> Self {
+        OpError::NoSuchOp(op.into())
+    }
+
+    /// Converts to the invocation status word.
+    pub fn into_status(self) -> Status {
+        match self {
+            OpError::App { code, message } => Status::AppError { code, message },
+            OpError::Type(m) => Status::TypeError(m),
+            OpError::NoSuchOp(op) => Status::NoSuchOperation(op),
+            OpError::Frozen => Status::Frozen,
+            OpError::Kernel(EdenError::Invoke(s)) => s,
+            OpError::Kernel(e) => Status::AppError {
+                code: -1,
+                message: format!("kernel error inside operation: {e}"),
+            },
+        }
+    }
+}
+
+impl From<EdenError> for OpError {
+    fn from(e: EdenError) -> Self {
+        OpError::Kernel(e)
+    }
+}
+
+/// The result of one operation execution.
+pub type OpResult = std::result::Result<Vec<Value>, OpError>;
+
+/// A type manager: the shared code maintaining an abstraction.
+///
+/// Implementations must be stateless with respect to individual objects —
+/// all per-object state lives in the representation (long-term) or the
+/// short-term facilities reached through [`OpCtx`]. The same manager value
+/// serves every instance of the type on its node.
+pub trait TypeManager: Send + Sync {
+    /// The type's declaration. Called once, at registration.
+    fn spec(&self) -> TypeSpec;
+
+    /// Executes one operation against the object bound to `ctx`.
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult;
+
+    /// Initializes a freshly created object (the creation parameters are
+    /// the invocation-style `args` passed to `create_object`).
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        let _ = (ctx, args);
+        Ok(())
+    }
+
+    /// The reincarnation condition handler (§4.2): runs after the
+    /// representation is reloaded and before queued invocations dispatch.
+    /// "The reincarnation condition handler does any work needed to
+    /// reinitialize the object, build temporary data structures, and so
+    /// on" — including spawning behaviors.
+    fn reincarnate(&self, ctx: &OpCtx<'_>) -> Result<(), OpError> {
+        let _ = ctx;
+        Ok(())
+    }
+}
+
+/// A resolved operation: the manager whose code runs, and the effective
+/// specs after inheritance.
+#[derive(Clone)]
+pub struct ResolvedOp {
+    /// The manager that defined the operation (an ancestor for inherited
+    /// operations).
+    pub manager: Arc<dyn TypeManager>,
+    /// The operation's spec.
+    pub op: OpSpec,
+    /// The operation's class spec (from the defining type).
+    pub limit: usize,
+}
+
+struct Registered {
+    manager: Arc<dyn TypeManager>,
+    spec: TypeSpec,
+}
+
+/// The per-node registry of type managers.
+///
+/// Registration order matters only in that a parent must be registered
+/// before its subtypes.
+pub struct TypeRegistry {
+    types: RwLock<HashMap<String, Registered>>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TypeRegistry {
+            types: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a type manager, validating its spec and parent link.
+    pub fn register(&self, manager: Arc<dyn TypeManager>) -> Result<(), EdenError> {
+        let spec = manager.spec();
+        spec.validate()?;
+        let mut types = self.types.write();
+        if types.contains_key(&spec.name) {
+            return Err(EdenError::BadTypeSpec(format!(
+                "type '{}' already registered",
+                spec.name
+            )));
+        }
+        if let Some(parent) = &spec.parent {
+            if !types.contains_key(parent) {
+                return Err(EdenError::BadTypeSpec(format!(
+                    "supertype '{parent}' of '{}' not registered",
+                    spec.name
+                )));
+            }
+        }
+        types.insert(spec.name.clone(), Registered { manager, spec });
+        Ok(())
+    }
+
+    /// Tests whether `type_name` is registered.
+    pub fn has(&self, type_name: &str) -> bool {
+        self.types.read().contains_key(type_name)
+    }
+
+    /// The manager registered for `type_name` (its own code, not an
+    /// ancestor's).
+    pub fn manager(&self, type_name: &str) -> Option<Arc<dyn TypeManager>> {
+        self.types.read().get(type_name).map(|r| r.manager.clone())
+    }
+
+    /// The registered names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.types.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Resolves `op` on `type_name`, walking the inheritance chain.
+    ///
+    /// Returns the *defining* type's manager and specs: a subtype instance
+    /// invoked with an inherited operation executes the supertype's code
+    /// (which manipulates the instance's representation through the ctx).
+    pub fn resolve_op(&self, type_name: &str, op: &str) -> Option<ResolvedOp> {
+        let types = self.types.read();
+        let mut current = type_name;
+        // Bounded walk to survive accidental parent cycles.
+        for _ in 0..32 {
+            let reg = types.get(current)?;
+            if let Some(op_spec) = reg.spec.ops.iter().find(|o| o.name == op) {
+                let limit = reg
+                    .spec
+                    .classes
+                    .iter()
+                    .find(|c| c.name == op_spec.class)
+                    .map(|c| c.limit)
+                    .unwrap_or(1);
+                return Some(ResolvedOp {
+                    manager: reg.manager.clone(),
+                    op: op_spec.clone(),
+                    limit,
+                });
+            }
+            match &reg.spec.parent {
+                Some(p) => current = p,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Lists the full effective operation set of `type_name`, own ops
+    /// first, then inherited ones not overridden.
+    pub fn effective_ops(&self, type_name: &str) -> Vec<OpSpec> {
+        let types = self.types.read();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut current = type_name.to_string();
+        for _ in 0..32 {
+            let Some(reg) = types.get(&current) else { break };
+            for op in &reg.spec.ops {
+                if seen.insert(op.name.clone()) {
+                    out.push(op.clone());
+                }
+            }
+            match &reg.spec.parent {
+                Some(p) => current = p.clone(),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        TypeRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub(TypeSpec);
+
+    impl TypeManager for Stub {
+        fn spec(&self) -> TypeSpec {
+            self.0.clone()
+        }
+        fn dispatch(&self, _ctx: &OpCtx<'_>, op: &str, _args: &[Value]) -> OpResult {
+            Ok(vec![Value::Str(format!("{}::{}", self.0.name, op))])
+        }
+    }
+
+    fn base_spec() -> TypeSpec {
+        TypeSpec::new("base")
+            .class("reads", 4)
+            .class("writes", 1)
+            .op("get", "reads", Rights::READ)
+            .op("set", "writes", Rights::WRITE)
+    }
+
+    #[test]
+    fn valid_spec_registers() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        assert!(reg.has("base"));
+        assert_eq!(reg.type_names(), vec!["base".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        assert!(matches!(
+            reg.register(Arc::new(Stub(base_spec()))),
+            Err(EdenError::BadTypeSpec(_))
+        ));
+    }
+
+    #[test]
+    fn op_with_undeclared_class_is_rejected() {
+        let spec = TypeSpec::new("broken").op("x", "ghost-class", Rights::READ);
+        assert!(matches!(spec.validate(), Err(EdenError::BadTypeSpec(_))));
+    }
+
+    #[test]
+    fn duplicate_ops_and_classes_are_rejected() {
+        let spec = TypeSpec::new("dup")
+            .class("c", 1)
+            .op("x", "c", Rights::READ)
+            .op("x", "c", Rights::READ);
+        assert!(spec.validate().is_err());
+        let spec = TypeSpec::new("dup2").class("c", 1).class("c", 2);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn zero_limit_class_is_rejected() {
+        let spec = TypeSpec::new("z").class("c", 0).op("x", "c", Rights::READ);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn missing_parent_is_rejected() {
+        let reg = TypeRegistry::new();
+        let spec = TypeSpec::new("orphan")
+            .with_parent("nonexistent")
+            .class("c", 1)
+            .op("x", "c", Rights::READ);
+        assert!(matches!(
+            reg.register(Arc::new(Stub(spec))),
+            Err(EdenError::BadTypeSpec(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_finds_own_op_with_class_limit() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        let r = reg.resolve_op("base", "set").unwrap();
+        assert_eq!(r.op.name, "set");
+        assert_eq!(r.limit, 1);
+        assert_eq!(r.op.required, Rights::WRITE);
+        assert!(reg.resolve_op("base", "missing").is_none());
+    }
+
+    #[test]
+    fn subtype_inherits_and_overrides() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        let sub = TypeSpec::new("sub")
+            .with_parent("base")
+            .class("reads", 8)
+            .op("get", "reads", Rights::READ) // Override.
+            .op("extra", "reads", Rights::READ); // New.
+        reg.register(Arc::new(Stub(sub))).unwrap();
+
+        // Overridden: resolved on the subtype with its class limit.
+        let get = reg.resolve_op("sub", "get").unwrap();
+        assert_eq!(get.limit, 8);
+        // Inherited: resolved on the parent, parent's limit.
+        let set = reg.resolve_op("sub", "set").unwrap();
+        assert_eq!(set.limit, 1);
+        assert_eq!(set.op.required, Rights::WRITE);
+        // New op exists only on the subtype.
+        assert!(reg.resolve_op("base", "extra").is_none());
+        assert!(reg.resolve_op("sub", "extra").is_some());
+    }
+
+    #[test]
+    fn effective_ops_lists_inherited_without_duplicates() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        let sub = TypeSpec::new("sub")
+            .with_parent("base")
+            .class("reads", 2)
+            .op("get", "reads", Rights::READ);
+        reg.register(Arc::new(Stub(sub))).unwrap();
+        let ops: Vec<String> = reg
+            .effective_ops("sub")
+            .into_iter()
+            .map(|o| o.name)
+            .collect();
+        assert_eq!(ops, vec!["get".to_string(), "set".to_string()]);
+    }
+
+    #[test]
+    fn grandparent_chain_resolves() {
+        let reg = TypeRegistry::new();
+        reg.register(Arc::new(Stub(base_spec()))).unwrap();
+        reg.register(Arc::new(Stub(
+            TypeSpec::new("mid").with_parent("base"),
+        )))
+        .unwrap();
+        reg.register(Arc::new(Stub(
+            TypeSpec::new("leaf").with_parent("mid"),
+        )))
+        .unwrap();
+        assert!(reg.resolve_op("leaf", "get").is_some());
+        assert!(reg.resolve_op("leaf", "set").is_some());
+    }
+
+    #[test]
+    fn op_error_maps_to_status() {
+        assert_eq!(
+            OpError::app(4, "boom").into_status(),
+            Status::AppError {
+                code: 4,
+                message: "boom".into()
+            }
+        );
+        assert_eq!(
+            OpError::no_such_op("zap").into_status(),
+            Status::NoSuchOperation("zap".into())
+        );
+        assert_eq!(OpError::Frozen.into_status(), Status::Frozen);
+        assert_eq!(
+            OpError::Kernel(EdenError::Invoke(Status::Timeout)).into_status(),
+            Status::Timeout
+        );
+    }
+}

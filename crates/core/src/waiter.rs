@@ -1,0 +1,202 @@
+//! Rendezvous cells for request/reply correlation.
+//!
+//! Every remote interaction in the kernel (invocation, checkpoint ack,
+//! replica fetch, move ack, location query) is request/reply over a
+//! best-effort network. A [`Waiter`] is the blocking rendezvous the
+//! requesting thread parks on; the receive loop completes it when the
+//! correlated reply frame arrives. [`QueryCollector`] is the multi-reply
+//! variant used by the broadcast location protocol, where several nodes
+//! may answer one `WhereIs`.
+
+use std::time::{Duration, Instant};
+
+use eden_capability::NodeId;
+use eden_wire::HeldState;
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot rendezvous: one thread waits, one completes.
+pub struct Waiter<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> Waiter<T> {
+    /// An empty waiter.
+    pub fn new() -> Self {
+        Waiter {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits the value and wakes the waiter. A second completion is
+    /// ignored (late duplicate replies are legal on a lossy network).
+    pub fn complete(&self, value: T) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(value);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until completed or `timeout` elapses.
+    pub fn wait(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut slot, deadline - now);
+        }
+    }
+
+    /// Non-blocking check.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.lock().take()
+    }
+}
+
+impl<T> Default for Waiter<T> {
+    fn default() -> Self {
+        Waiter::new()
+    }
+}
+
+/// One answer to a location query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationAnswer {
+    /// The node that answered.
+    pub holder: NodeId,
+    /// How it holds the object.
+    pub state: HeldState,
+}
+
+/// Collects `HereIs` answers for one broadcast `WhereIs`.
+///
+/// The waiter returns early as soon as an *active* holder answers (the
+/// common case); otherwise it collects until the deadline so the caller
+/// can pick the best passive/replica holder.
+pub struct QueryCollector {
+    answers: Mutex<Vec<LocationAnswer>>,
+    cv: Condvar,
+}
+
+impl QueryCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        QueryCollector {
+            answers: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records one answer.
+    pub fn add(&self, answer: LocationAnswer) {
+        let mut answers = self.answers.lock();
+        answers.push(answer);
+        self.cv.notify_all();
+    }
+
+    /// Waits until an active holder answers or `timeout` elapses, then
+    /// returns everything collected.
+    pub fn wait(&self, timeout: Duration) -> Vec<LocationAnswer> {
+        let deadline = Instant::now() + timeout;
+        let mut answers = self.answers.lock();
+        loop {
+            if answers.iter().any(|a| a.state == HeldState::Active) {
+                return answers.clone();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return answers.clone();
+            }
+            self.cv.wait_for(&mut answers, deadline - now);
+        }
+    }
+}
+
+impl Default for QueryCollector {
+    fn default() -> Self {
+        QueryCollector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn complete_before_wait_returns_immediately() {
+        let w = Waiter::new();
+        w.complete(5);
+        assert_eq!(w.wait(Duration::from_millis(1)), Some(5));
+    }
+
+    #[test]
+    fn wait_times_out_without_completion() {
+        let w: Waiter<u32> = Waiter::new();
+        let start = Instant::now();
+        assert_eq!(w.wait(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(28));
+    }
+
+    #[test]
+    fn cross_thread_completion_wakes_waiter() {
+        let w = Arc::new(Waiter::new());
+        let w2 = w.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.complete("done");
+        });
+        assert_eq!(w.wait(Duration::from_secs(2)), Some("done"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_completion_is_ignored() {
+        let w = Waiter::new();
+        w.complete(1);
+        w.complete(2);
+        assert_eq!(w.wait(Duration::from_millis(1)), Some(1));
+    }
+
+    #[test]
+    fn collector_returns_early_on_active_answer() {
+        let c = Arc::new(QueryCollector::new());
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || {
+            c2.add(LocationAnswer {
+                holder: NodeId(3),
+                state: HeldState::Passive,
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            c2.add(LocationAnswer {
+                holder: NodeId(4),
+                state: HeldState::Active,
+            });
+        });
+        let start = Instant::now();
+        let answers = c.wait(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1), "must not wait out the deadline");
+        assert_eq!(answers.len(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn collector_returns_passives_at_deadline() {
+        let c = QueryCollector::new();
+        c.add(LocationAnswer {
+            holder: NodeId(1),
+            state: HeldState::Passive,
+        });
+        let answers = c.wait(Duration::from_millis(20));
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].state, HeldState::Passive);
+    }
+}

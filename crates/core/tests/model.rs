@@ -1,0 +1,166 @@
+//! Model-based property test: the §4.4 durability semantics.
+//!
+//! A reference model tracks what a correct Eden must return from a
+//! counter subjected to random sequences of `add`, `checkpoint`,
+//! `crash` and cross-node `get` operations:
+//!
+//! * the visible value is `checkpointed + pending`,
+//! * `checkpoint` promotes `pending` into `checkpointed`,
+//! * `crash` discards `pending`; if the object has never checkpointed it
+//!   is lost for good,
+//! * location never matters: any node may issue any step.
+//!
+//! Running hundreds of random interleavings against a live cluster is
+//! the strongest single check in the suite: it exercises reincarnation,
+//! teardown/requeue races and the location service together.
+
+use eden_capability::Rights;
+use eden_kernel::{Cluster, EdenError, OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::{Status, Value};
+use proptest::prelude::*;
+
+struct Counter;
+
+impl TypeManager for Counter {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new("counter")
+            .class("writes", 1)
+            .class("reads", 4)
+            .op("add", "writes", Rights::WRITE)
+            .op("get", "reads", Rights::READ)
+            .op("checkpoint", "writes", Rights::CHECKPOINT)
+            .op("crash", "writes", Rights::OWNER)
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "add" => {
+                let d = OpCtx::i64_arg(args, 0)?;
+                let v = ctx.mutate_repr(|r| {
+                    let v = r.get_i64("n").unwrap_or(0) + d;
+                    r.put_i64("n", v);
+                    v
+                })?;
+                Ok(vec![Value::I64(v)])
+            }
+            "get" => Ok(vec![Value::I64(ctx.read_repr(|r| r.get_i64("n").unwrap_or(0)))]),
+            "checkpoint" => Ok(vec![Value::U64(ctx.checkpoint()?)]),
+            "crash" => {
+                ctx.crash();
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Add `delta` via node `node`.
+    Add { node: usize, delta: i64 },
+    /// Checkpoint via node `node`.
+    Checkpoint { node: usize },
+    /// Crash the object.
+    Crash { node: usize },
+    /// Read and verify via node `node`.
+    Get { node: usize },
+}
+
+fn step_strategy(nodes: usize) -> impl Strategy<Value = Step> {
+    let n = 0..nodes;
+    prop_oneof![
+        4 => (n.clone(), -10i64..10).prop_map(|(node, delta)| Step::Add { node, delta }),
+        2 => n.clone().prop_map(|node| Step::Checkpoint { node }),
+        1 => n.clone().prop_map(|node| Step::Crash { node }),
+        3 => n.prop_map(|node| Step::Get { node }),
+    ]
+}
+
+/// The reference model.
+struct Model {
+    checkpointed: Option<i64>,
+    pending: i64,
+    /// Lost: crashed without ever checkpointing.
+    lost: bool,
+}
+
+impl Model {
+    fn value(&self) -> i64 {
+        self.checkpointed.unwrap_or(0) + self.pending
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn counter_matches_the_durability_model(steps in proptest::collection::vec(step_strategy(3), 1..24)) {
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .register(|| Box::new(Counter))
+            .build();
+        let cap = cluster.node(0).create_object("counter", &[]).unwrap();
+        let mut model = Model { checkpointed: None, pending: 0, lost: false };
+
+        for step in &steps {
+            match *step {
+                Step::Add { node, delta } => {
+                    let result = cluster.node(node).invoke(cap, "add", &[Value::I64(delta)]);
+                    if model.lost {
+                        prop_assert!(result.is_err(), "add to a lost object must fail");
+                    } else {
+                        let out = result.expect("add");
+                        model.pending += delta;
+                        prop_assert_eq!(&out, &vec![Value::I64(model.value())]);
+                    }
+                }
+                Step::Checkpoint { node } => {
+                    let result = cluster.node(node).invoke(cap, "checkpoint", &[]);
+                    if model.lost {
+                        prop_assert!(result.is_err());
+                    } else {
+                        result.expect("checkpoint");
+                        model.checkpointed = Some(model.value());
+                        model.pending = 0;
+                    }
+                }
+                Step::Crash { node } => {
+                    let result = cluster.node(node).invoke(cap, "crash", &[]);
+                    if model.lost {
+                        prop_assert!(result.is_err());
+                    } else {
+                        result.expect("crash");
+                        model.pending = 0;
+                        if model.checkpointed.is_none() {
+                            model.lost = true;
+                        }
+                        // Let the teardown retire before the next step so
+                        // ObjectCrashed races don't blur the oracle.
+                        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+                        while cluster.node(0).is_local(cap.name()) {
+                            prop_assert!(std::time::Instant::now() < deadline);
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    }
+                }
+                Step::Get { node } => {
+                    let result = cluster.node(node).invoke(cap, "get", &[]);
+                    if model.lost {
+                        match result {
+                            Err(EdenError::Invoke(Status::NoSuchObject)) => {}
+                            other => prop_assert!(false, "lost object answered: {other:?}"),
+                        }
+                    } else {
+                        let out = result.expect("get");
+                        prop_assert_eq!(&out, &vec![Value::I64(model.value())]);
+                    }
+                }
+            }
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,126 @@
+//! EFS directories: hierarchical naming over capabilities.
+//!
+//! A directory binds component names to capabilities in its capability
+//! segment — naming in Eden *is* capability storage, so possession of a
+//! directory capability with READ rights is what lets a user resolve
+//! names under it. Directories checkpoint after every mutation: naming
+//! is the root of reachability, so it must survive crashes.
+
+use eden_capability::Rights;
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// The EFS directory type manager.
+///
+/// Operations:
+///
+/// | op | class | rights | effect |
+/// |---|---|---|---|
+/// | `lookup [name]` | reads (8) | READ | capability bound to a component |
+/// | `list` | reads | READ | bound component names |
+/// | `bind [name, cap]` | writes (1) | WRITE | bind (or rebind) a name |
+/// | `unbind [name]` | writes | WRITE | remove a binding |
+/// | `mkdir [name]` | writes | WRITE | create and bind a child directory |
+pub struct DirectoryType;
+
+impl DirectoryType {
+    /// The registered type name.
+    pub const NAME: &'static str = "efs.directory";
+}
+
+impl TypeManager for DirectoryType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(DirectoryType::NAME)
+            .class("reads", 8)
+            .class("writes", 1)
+            .op("lookup", "reads", Rights::READ)
+            .op("list", "reads", Rights::READ)
+            .op("bind", "writes", Rights::WRITE)
+            .op("unbind", "writes", Rights::WRITE)
+            .op("mkdir", "writes", Rights::WRITE)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, _args: &[Value]) -> Result<(), OpError> {
+        ctx.checkpoint()?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "lookup" => {
+                let name = OpCtx::str_arg(args, 0)?;
+                validate_component(name)?;
+                let cap = ctx.read_repr(|r| r.caps().get(name));
+                match cap {
+                    Some(c) => Ok(vec![Value::Cap(c)]),
+                    None => Err(OpError::app(404, format!("no binding for '{name}'"))),
+                }
+            }
+            "list" => {
+                let names: Vec<Value> = ctx.read_repr(|r| {
+                    r.caps()
+                        .slots()
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect()
+                });
+                Ok(vec![Value::List(names)])
+            }
+            "bind" => {
+                let name = OpCtx::str_arg(args, 0)?.to_string();
+                validate_component(&name)?;
+                let cap = OpCtx::cap_arg(args, 1)?;
+                ctx.mutate_repr(|r| r.caps_mut().put(name, cap))?;
+                ctx.checkpoint()?;
+                Ok(vec![])
+            }
+            "unbind" => {
+                let name = OpCtx::str_arg(args, 0)?;
+                validate_component(name)?;
+                let removed = ctx.mutate_repr(|r| r.caps_mut().remove(name))?;
+                if removed.is_none() {
+                    return Err(OpError::app(404, format!("no binding for '{name}'")));
+                }
+                ctx.checkpoint()?;
+                Ok(vec![])
+            }
+            "mkdir" => {
+                let name = OpCtx::str_arg(args, 0)?.to_string();
+                validate_component(&name)?;
+                let exists = ctx.read_repr(|r| r.caps().contains(&name));
+                if exists {
+                    return Err(OpError::app(409, format!("'{name}' already bound")));
+                }
+                let child = ctx.create_object(DirectoryType::NAME, &[])?;
+                ctx.mutate_repr(|r| r.caps_mut().put(name, child))?;
+                ctx.checkpoint()?;
+                Ok(vec![Value::Cap(child)])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// Component-name hygiene shared by every directory operation.
+fn validate_component(name: &str) -> Result<(), OpError> {
+    if name.is_empty() {
+        return Err(OpError::type_error("component name must be nonempty"));
+    }
+    if name.contains('/') {
+        return Err(OpError::type_error(
+            "component name must not contain '/' (resolve paths client-side)",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_validation() {
+        assert!(validate_component("ok").is_ok());
+        assert!(validate_component("").is_err());
+        assert!(validate_component("a/b").is_err());
+    }
+}

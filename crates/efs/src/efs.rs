@@ -1,0 +1,312 @@
+//! The EFS client facade: paths, files, directories and transactions.
+//!
+//! Everything here is sugar over invocations — the facade holds only a
+//! kernel handle and the root directory capability, so any node in the
+//! system can mount the same EFS by sharing that one capability (which
+//! is exactly how Eden intends sharing to work: possession of a
+//! capability *is* access).
+
+use bytes::Bytes;
+use eden_capability::Capability;
+use eden_kernel::{EdenError, Node};
+use eden_wire::{Status, Value};
+
+use crate::dir::DirectoryType;
+use crate::file::FileType;
+use crate::txn::{Transaction, TxnManagerType};
+
+/// EFS client errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EfsError {
+    /// A path component was missing.
+    NotFound(String),
+    /// A path was malformed (empty component, no leading `/`, …).
+    BadPath(String),
+    /// The path exists but is the wrong kind of object for the call.
+    WrongKind(String),
+    /// The kernel reported an error.
+    Kernel(EdenError),
+}
+
+impl core::fmt::Display for EfsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EfsError::NotFound(p) => write!(f, "not found: {p}"),
+            EfsError::BadPath(p) => write!(f, "bad path: {p}"),
+            EfsError::WrongKind(p) => write!(f, "wrong object kind at: {p}"),
+            EfsError::Kernel(e) => write!(f, "kernel: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EfsError {}
+
+impl From<EdenError> for EfsError {
+    fn from(e: EdenError) -> Self {
+        EfsError::Kernel(e)
+    }
+}
+
+/// A mounted Eden File System.
+///
+/// Cheap to clone; clones share the same root.
+#[derive(Clone)]
+pub struct Efs {
+    node: Node,
+    root: Capability,
+}
+
+impl Efs {
+    /// Creates a fresh EFS: a new root directory on `node`.
+    pub fn format(node: Node) -> Result<Efs, EfsError> {
+        let root = node.create_object(DirectoryType::NAME, &[])?;
+        Ok(Efs { node, root })
+    }
+
+    /// Mounts an existing EFS through its root capability — typically on
+    /// a different node than the one that formatted it.
+    pub fn mount(node: Node, root: Capability) -> Efs {
+        Efs { node, root }
+    }
+
+    /// The root directory capability (share it to share the filesystem).
+    pub fn root(&self) -> Capability {
+        self.root
+    }
+
+    /// The kernel this client issues invocations through.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    fn split(path: &str) -> Result<Vec<&str>, EfsError> {
+        if !path.starts_with('/') {
+            return Err(EfsError::BadPath(format!("{path} (must be absolute)")));
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.is_empty() {
+            return Err(EfsError::BadPath(format!("{path} (no components)")));
+        }
+        Ok(comps)
+    }
+
+    /// Resolves the directory holding the final component, creating
+    /// intermediate directories when `create` is set. Returns
+    /// `(directory, final_component)`.
+    fn resolve_parent<'p>(
+        &self,
+        path: &'p str,
+        create: bool,
+    ) -> Result<(Capability, &'p str), EfsError> {
+        let comps = Self::split(path)?;
+        let (last, dirs) = comps.split_last().expect("nonempty");
+        let mut current = self.root;
+        for comp in dirs {
+            match self
+                .node
+                .invoke(current, "lookup", &[Value::Str(comp.to_string())])
+            {
+                Ok(out) => {
+                    current = out
+                        .first()
+                        .and_then(Value::as_cap)
+                        .ok_or_else(|| EfsError::WrongKind(comp.to_string()))?;
+                }
+                Err(EdenError::Invoke(Status::AppError { code: 404, .. })) if create => {
+                    let out = self
+                        .node
+                        .invoke(current, "mkdir", &[Value::Str(comp.to_string())])?;
+                    current = out
+                        .first()
+                        .and_then(Value::as_cap)
+                        .ok_or_else(|| EfsError::WrongKind(comp.to_string()))?;
+                }
+                Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                    return Err(EfsError::NotFound(path.to_string()));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok((current, last))
+    }
+
+    /// Looks up the capability at `path`.
+    pub fn lookup(&self, path: &str) -> Result<Capability, EfsError> {
+        let (dir, last) = self.resolve_parent(path, false)?;
+        match self
+            .node
+            .invoke(dir, "lookup", &[Value::Str(last.to_string())])
+        {
+            Ok(out) => out
+                .first()
+                .and_then(Value::as_cap)
+                .ok_or_else(|| EfsError::WrongKind(path.to_string())),
+            Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                Err(EfsError::NotFound(path.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Creates (or opens) the file at `path`, creating directories along
+    /// the way. Returns its capability.
+    pub fn create_file(&self, path: &str) -> Result<Capability, EfsError> {
+        let (dir, last) = self.resolve_parent(path, true)?;
+        match self
+            .node
+            .invoke(dir, "lookup", &[Value::Str(last.to_string())])
+        {
+            Ok(out) => out
+                .first()
+                .and_then(Value::as_cap)
+                .ok_or_else(|| EfsError::WrongKind(path.to_string())),
+            Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                let file = self.node.create_object(FileType::NAME, &[])?;
+                self.node.invoke(
+                    dir,
+                    "bind",
+                    &[Value::Str(last.to_string()), Value::Cap(file)],
+                )?;
+                Ok(file)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes `data` as a new version of the file at `path` (creating it
+    /// and intermediate directories as needed). Returns the version.
+    pub fn write(&self, path: &str, data: &[u8]) -> Result<u64, EfsError> {
+        let file = self.create_file(path)?;
+        let out = self
+            .node
+            .invoke(file, "write", &[Value::Blob(Bytes::copy_from_slice(data))])?;
+        Ok(out.first().and_then(Value::as_u64).unwrap_or(0))
+    }
+
+    /// Reads the latest version of the file at `path`.
+    pub fn read(&self, path: &str) -> Result<Bytes, EfsError> {
+        let file = self.lookup(path)?;
+        self.read_file(file, None)
+    }
+
+    /// Reads a specific version of the file at `path`.
+    pub fn read_version(&self, path: &str, version: u64) -> Result<Bytes, EfsError> {
+        let file = self.lookup(path)?;
+        self.read_file(file, Some(version))
+    }
+
+    fn read_file(&self, file: Capability, version: Option<u64>) -> Result<Bytes, EfsError> {
+        let args: Vec<Value> = version.map(Value::U64).into_iter().collect();
+        match self.node.invoke(file, "read", &args) {
+            Ok(out) => Ok(out.first().and_then(Value::as_blob).cloned().unwrap_or_default()),
+            Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                Err(EfsError::NotFound("version".into()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists the retained version numbers of the file at `path`.
+    pub fn history(&self, path: &str) -> Result<Vec<u64>, EfsError> {
+        let file = self.lookup(path)?;
+        let out = self.node.invoke(file, "history", &[])?;
+        Ok(out
+            .first()
+            .and_then(Value::as_list)
+            .map(|l| l.iter().filter_map(Value::as_u64).collect())
+            .unwrap_or_default())
+    }
+
+    /// Creates the directory at `path` (with intermediates). Idempotent.
+    pub fn mkdir_p(&self, path: &str) -> Result<Capability, EfsError> {
+        let (dir, last) = self.resolve_parent(path, true)?;
+        match self
+            .node
+            .invoke(dir, "lookup", &[Value::Str(last.to_string())])
+        {
+            Ok(out) => out
+                .first()
+                .and_then(Value::as_cap)
+                .ok_or_else(|| EfsError::WrongKind(path.to_string())),
+            Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                let out = self
+                    .node
+                    .invoke(dir, "mkdir", &[Value::Str(last.to_string())])?;
+                out.first()
+                    .and_then(Value::as_cap)
+                    .ok_or_else(|| EfsError::WrongKind(path.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists the names bound in the directory at `path` (`"/"` = root).
+    pub fn list(&self, path: &str) -> Result<Vec<String>, EfsError> {
+        let dir = if path == "/" {
+            self.root
+        } else {
+            self.lookup(path)?
+        };
+        let out = self.node.invoke(dir, "list", &[])?;
+        Ok(out
+            .first()
+            .and_then(Value::as_list)
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Removes the binding at `path` (the object itself lives on until
+    /// destroyed; EFS names are bindings, not ownership).
+    pub fn unbind(&self, path: &str) -> Result<(), EfsError> {
+        let (dir, last) = self.resolve_parent(path, false)?;
+        match self
+            .node
+            .invoke(dir, "unbind", &[Value::Str(last.to_string())])
+        {
+            Ok(_) => Ok(()),
+            Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
+                Err(EfsError::NotFound(path.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Publishes the latest version of the file at `path` as a frozen,
+    /// cacheable blob object and returns its capability.
+    pub fn publish(&self, path: &str) -> Result<Capability, EfsError> {
+        let file = self.lookup(path)?;
+        let out = self.node.invoke(file, "publish", &[])?;
+        out.first()
+            .and_then(Value::as_cap)
+            .ok_or_else(|| EfsError::WrongKind(path.to_string()))
+    }
+
+    /// Creates a transaction manager object using the named concurrency
+    /// control (`"2pl"` or `"occ"`).
+    pub fn transaction_manager(&self, cc: &str) -> Result<Capability, EfsError> {
+        let type_name = TxnManagerType::name_for(cc);
+        Ok(self.node.create_object(&type_name, &[])?)
+    }
+
+    /// Begins a transaction on `manager`.
+    pub fn begin(&self, manager: Capability) -> Result<Transaction, EfsError> {
+        Ok(Transaction::begin(self.node.clone(), manager)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_validates_paths() {
+        assert!(Efs::split("/a/b").is_ok());
+        assert_eq!(Efs::split("/a//b").unwrap(), vec!["a", "b"]);
+        assert!(Efs::split("relative").is_err());
+        assert!(Efs::split("/").is_err());
+    }
+}

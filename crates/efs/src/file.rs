@@ -1,0 +1,304 @@
+//! EFS files: immutable version sequences, and frozen blob publications.
+//!
+//! A file's representation holds every retained version under
+//! `ver:NNNNNNNN` segments. Writing never mutates a version — it appends
+//! the next one and checkpoints, which is what makes EFS "transaction-
+//! based, storing immutable versions" implementable with simple locking.
+//!
+//! Files are also two-phase-commit participants: the transaction manager
+//! drives `lock` / `prepare` / `commit` / `abort` operations, with the
+//! staged write held in *short-term* state (a kernel crash before commit
+//! aborts the transaction naturally — staged data is never checkpointed).
+
+use bytes::Bytes;
+use eden_capability::Rights;
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// Segment name of version `v`.
+fn ver_segment(v: u64) -> String {
+    format!("ver:{v:08}")
+}
+
+/// The EFS file type manager.
+///
+/// Operations (class → limit):
+///
+/// | op | class | rights | effect |
+/// |---|---|---|---|
+/// | `read [version?]` | reads (8) | READ | bytes of a version (default latest) |
+/// | `write [blob]` | writes (1) | WRITE | append version, checkpoint, return its number |
+/// | `latest_version` | reads | READ | highest version number (0 = empty) |
+/// | `history` | reads | READ | retained version numbers |
+/// | `publish [version?]` | writes | READ | clone a version into a frozen blob object, return its capability |
+/// | `lock [txid, exclusive]` | control (1) | WRITE | try-acquire; returns granted |
+/// | `unlock [txid]` | control | WRITE | release |
+/// | `prepare [txid, blob, expected?]` | control | WRITE | stage a write (optionally validating the base version) |
+/// | `commit [txid]` | control | WRITE | staged write becomes a version |
+/// | `abort [txid]` | control | WRITE | drop staged write, release locks |
+pub struct FileType;
+
+impl FileType {
+    /// The registered type name.
+    pub const NAME: &'static str = "efs.file";
+}
+
+/// Lock state keys in scratch.
+const LOCK_OWNER: &str = "lock.exclusive";
+/// Scratch key of the transaction currently prepared on this file.
+const PREPARED_OWNER: &str = "prepared.owner";
+const LOCK_SHARED: &str = "lock.shared";
+
+fn shared_holders(ctx: &OpCtx<'_>) -> Vec<u64> {
+    match ctx.scratch_get(LOCK_SHARED) {
+        Some(Value::List(items)) => items.iter().filter_map(Value::as_u64).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn put_shared(ctx: &OpCtx<'_>, holders: &[u64]) {
+    ctx.scratch_put(
+        LOCK_SHARED,
+        Value::List(holders.iter().map(|&t| Value::U64(t)).collect()),
+    );
+}
+
+impl TypeManager for FileType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(FileType::NAME)
+            .class("reads", 8)
+            .class("writes", 1)
+            // All transaction-control operations share one limit-1 class:
+            // the coordinator's lock/prepare/commit steps on one file are
+            // mutually exclusive, which is precisely §4.2's "by limiting
+            // a class to one process, mutual exclusion is obtained".
+            .class("control", 1)
+            .op("read", "reads", Rights::READ)
+            .op("latest_version", "reads", Rights::READ)
+            .op("history", "reads", Rights::READ)
+            .op("write", "writes", Rights::WRITE)
+            .op("publish", "writes", Rights::READ)
+            .op("lock", "control", Rights::WRITE)
+            .op("unlock", "control", Rights::WRITE)
+            .op("prepare", "control", Rights::WRITE)
+            .op("commit", "control", Rights::WRITE)
+            .op("abort", "control", Rights::WRITE)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        ctx.mutate_repr(|r| r.put_u64("latest", 0))?;
+        if let Some(initial) = args.first().and_then(Value::as_blob) {
+            let data = initial.clone();
+            ctx.mutate_repr(|r| {
+                r.put("ver:00000001", data);
+                r.put_u64("latest", 1);
+            })?;
+        }
+        ctx.checkpoint()?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "read" => {
+                let version = args.first().and_then(Value::as_u64);
+                let data = ctx.read_repr(|r| {
+                    let v = version.unwrap_or_else(|| r.get_u64("latest").unwrap_or(0));
+                    r.get(&ver_segment(v)).cloned()
+                });
+                match data {
+                    Some(bytes) => Ok(vec![Value::Blob(bytes)]),
+                    None => Err(OpError::app(404, "no such version")),
+                }
+            }
+            "latest_version" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.get_u64("latest").unwrap_or(0)
+            }))]),
+            "history" => {
+                let versions: Vec<Value> = ctx.read_repr(|r| {
+                    r.segments_with_prefix("ver:")
+                        .filter_map(|s| s[4..].parse::<u64>().ok())
+                        .map(Value::U64)
+                        .collect()
+                });
+                Ok(vec![Value::List(versions)])
+            }
+            "write" => {
+                let data = args
+                    .first()
+                    .and_then(Value::as_blob)
+                    .ok_or_else(|| OpError::type_error("write(blob)"))?
+                    .clone();
+                let v = append_version(ctx, data)?;
+                Ok(vec![Value::U64(v)])
+            }
+            "publish" => {
+                let version = args.first().and_then(Value::as_u64);
+                let data = ctx.read_repr(|r| {
+                    let v = version.unwrap_or_else(|| r.get_u64("latest").unwrap_or(0));
+                    r.get(&ver_segment(v)).cloned()
+                });
+                let Some(bytes) = data else {
+                    return Err(OpError::app(404, "no such version"));
+                };
+                let blob_cap = ctx.create_object(BlobType::NAME, &[Value::Blob(bytes)])?;
+                Ok(vec![Value::Cap(blob_cap)])
+            }
+            "lock" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let exclusive = args.get(1).and_then(Value::as_bool).unwrap_or(true);
+                let owner = ctx.scratch_get(LOCK_OWNER).and_then(|v| v.as_u64());
+                let mut shared = shared_holders(ctx);
+                let granted = if exclusive {
+                    match owner {
+                        Some(o) if o != txid => false,
+                        _ => {
+                            if shared.iter().any(|&t| t != txid) {
+                                false // Other readers present.
+                            } else {
+                                ctx.scratch_put(LOCK_OWNER, Value::U64(txid));
+                                true
+                            }
+                        }
+                    }
+                } else {
+                    match owner {
+                        Some(o) if o != txid => false,
+                        _ => {
+                            if !shared.contains(&txid) {
+                                shared.push(txid);
+                                put_shared(ctx, &shared);
+                            }
+                            true
+                        }
+                    }
+                };
+                Ok(vec![Value::Bool(granted)])
+            }
+            "unlock" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                release_locks(ctx, txid);
+                Ok(vec![])
+            }
+            "prepare" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let data = args
+                    .get(1)
+                    .and_then(Value::as_blob)
+                    .ok_or_else(|| OpError::type_error("prepare(txid, blob, expected?)"))?
+                    .clone();
+                // A prepared participant blocks conflicting prepares until
+                // its transaction commits or aborts: without this, a second
+                // transaction could validate against the same base version
+                // in the window between our prepare and commit, losing one
+                // of the two updates.
+                let owner = ctx.scratch_get(PREPARED_OWNER).and_then(|v| v.as_u64());
+                if matches!(owner, Some(o) if o != txid) {
+                    return Ok(vec![Value::Bool(false)]);
+                }
+                if let Some(expected) = args.get(2).and_then(Value::as_u64) {
+                    // Optimistic validation: the write must still be based
+                    // on the version the transaction read.
+                    let latest = ctx.read_repr(|r| r.get_u64("latest").unwrap_or(0));
+                    if latest != expected {
+                        return Ok(vec![Value::Bool(false)]);
+                    }
+                }
+                ctx.scratch_put(PREPARED_OWNER, Value::U64(txid));
+                ctx.scratch_put(&format!("staged:{txid}"), Value::Blob(data));
+                Ok(vec![Value::Bool(true)])
+            }
+            "commit" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let staged = ctx.scratch_remove(&format!("staged:{txid}"));
+                let Some(Value::Blob(data)) = staged else {
+                    return Err(OpError::app(409, "nothing prepared for this transaction"));
+                };
+                let v = append_version(ctx, data)?;
+                clear_prepared(ctx, txid);
+                release_locks(ctx, txid);
+                Ok(vec![Value::U64(v)])
+            }
+            "abort" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                ctx.scratch_remove(&format!("staged:{txid}"));
+                clear_prepared(ctx, txid);
+                release_locks(ctx, txid);
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+fn append_version(ctx: &OpCtx<'_>, data: Bytes) -> Result<u64, OpError> {
+    let v = ctx.mutate_repr(|r| {
+        let v = r.get_u64("latest").unwrap_or(0) + 1;
+        r.put(ver_segment(v), data);
+        r.put_u64("latest", v);
+        v
+    })?;
+    ctx.checkpoint()?;
+    Ok(v)
+}
+
+fn clear_prepared(ctx: &OpCtx<'_>, txid: u64) {
+    if ctx.scratch_get(PREPARED_OWNER).and_then(|v| v.as_u64()) == Some(txid) {
+        ctx.scratch_remove(PREPARED_OWNER);
+    }
+}
+
+fn release_locks(ctx: &OpCtx<'_>, txid: u64) {
+    if ctx.scratch_get(LOCK_OWNER).and_then(|v| v.as_u64()) == Some(txid) {
+        ctx.scratch_remove(LOCK_OWNER);
+    }
+    let shared: Vec<u64> = shared_holders(ctx).into_iter().filter(|&t| t != txid).collect();
+    put_shared(ctx, &shared);
+}
+
+/// One immutable, frozen version published for wide read sharing.
+///
+/// §5 calls for versions "replicated at multiple sites for reliability or
+/// performance enhancement"; publishing freezes the blob at creation, so
+/// any node can cache a replica through the kernel (§4.3) and serve
+/// `read` locally.
+pub struct BlobType;
+
+impl BlobType {
+    /// The registered type name.
+    pub const NAME: &'static str = "efs.blob";
+}
+
+impl TypeManager for BlobType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(BlobType::NAME)
+            .class("reads", 16)
+            .op("read", "reads", Rights::READ)
+            .op("size", "reads", Rights::READ)
+    }
+
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        let data = args
+            .first()
+            .and_then(Value::as_blob)
+            .ok_or_else(|| OpError::type_error("blob(initial: bytes)"))?
+            .clone();
+        ctx.mutate_repr(|r| r.put("data", data))?;
+        // Frozen from birth: immutable and cacheable.
+        ctx.freeze()?;
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, _args: &[Value]) -> OpResult {
+        match op {
+            "read" => {
+                let data = ctx.read_repr(|r| r.get("data").cloned());
+                Ok(vec![Value::Blob(data.unwrap_or_else(Bytes::new))])
+            }
+            "size" => Ok(vec![Value::U64(ctx.read_repr(|r| {
+                r.get("data").map(|b| b.len() as u64).unwrap_or(0)
+            }))]),
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! EFS transactions: two-phase commit with encapsulated concurrency
+//! control.
+//!
+//! §5: EFS "will be transaction-based … concurrency control will be
+//! encapsulated to facilitate experimentation with alternate approaches."
+//! The coordinator ([`TxnManagerType`]) is itself an Eden object; the
+//! discipline that orders conflicting transactions is a
+//! [`ConcurrencyControl`] strategy chosen when the manager type is
+//! registered. Two disciplines ship:
+//!
+//! * [`TwoPhaseLocking`] — strict 2PL: shared locks before reads,
+//!   exclusive locks before writes, all held to commit/abort. Deadlocks
+//!   are resolved by bounded lock retries followed by abort.
+//! * [`OptimisticCC`] — no locks during execution; reads record the
+//!   version they saw, and commit validates the read- and write-sets
+//!   (`prepare` with an expected base version) before applying.
+//!
+//! Commit is two-phase across the written files: every participant
+//! stages (`prepare`), then all apply (`commit`). Staged writes live in
+//! participants' *short-term* state, so a crash anywhere before phase
+//! two simply aborts — nothing torn is ever checkpointed. (A coordinator
+//! crash *between* phase-two applies can commit a prefix; closing that
+//! window needs a persistent coordinator log, which the paper leaves —
+//! and we leave — as the research base EFS was meant to enable.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eden_capability::{Capability, Rights};
+use eden_kernel::{OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_wire::Value;
+
+/// How many times a lock acquisition retries before the transaction
+/// gives up (deadlock/starvation resolution).
+const LOCK_RETRIES: u32 = 60;
+/// Pause between lock retries.
+const LOCK_RETRY_PAUSE: Duration = Duration::from_millis(3);
+
+/// A concurrency-control discipline for EFS transactions.
+pub trait ConcurrencyControl: Send + Sync {
+    /// Short name, used in type registration and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs before a transactional read of `file`. May block (locks).
+    /// Returns the base version the read must be validated against at
+    /// commit, if this discipline validates.
+    fn before_read(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError>;
+
+    /// Runs before a read that intends to write (`read_for_update`).
+    /// 2PL takes the exclusive lock immediately — the classic cure for
+    /// shared-to-exclusive upgrade deadlocks in read-modify-write
+    /// transactions; OCC records the version like a plain read.
+    fn before_update(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        self.before_read(ctx, txid, file)
+    }
+
+    /// Runs before buffering a transactional write of `file`.
+    fn before_write(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError>;
+
+    /// Whether `prepare` carries an expected base version (optimistic
+    /// validation) and the read set is checked at commit.
+    fn validates_at_commit(&self) -> bool;
+}
+
+/// Retries a file `lock` operation until granted or the budget runs out.
+fn acquire_lock(
+    ctx: &OpCtx<'_>,
+    txid: u64,
+    file: Capability,
+    exclusive: bool,
+) -> Result<(), OpError> {
+    for attempt in 0..LOCK_RETRIES {
+        let out = ctx.invoke(
+            file,
+            "lock",
+            &[Value::U64(txid), Value::Bool(exclusive)],
+        )?;
+        if out.first().and_then(Value::as_bool) == Some(true) {
+            return Ok(());
+        }
+        // Jitter by txid so two upgrade-deadlocked transactions do not
+        // retry in lockstep forever.
+        let jitter = Duration::from_millis(txid % 5);
+        std::thread::sleep(LOCK_RETRY_PAUSE + jitter * (attempt % 3));
+    }
+    Err(OpError::app(
+        408,
+        "lock acquisition timed out (possible deadlock); transaction aborted",
+    ))
+}
+
+/// Strict two-phase locking.
+pub struct TwoPhaseLocking;
+
+impl ConcurrencyControl for TwoPhaseLocking {
+    fn name(&self) -> &'static str {
+        "2pl"
+    }
+
+    fn before_read(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        acquire_lock(ctx, txid, file, false)?;
+        Ok(None)
+    }
+
+    fn before_update(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        acquire_lock(ctx, txid, file, true)?;
+        Ok(None)
+    }
+
+    fn before_write(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        acquire_lock(ctx, txid, file, true)?;
+        Ok(None)
+    }
+
+    fn validates_at_commit(&self) -> bool {
+        false
+    }
+}
+
+/// Optimistic concurrency control with backward validation at commit.
+pub struct OptimisticCC;
+
+impl OptimisticCC {
+    fn base_version(ctx: &OpCtx<'_>, file: Capability) -> Result<u64, OpError> {
+        let out = ctx.invoke(file, "latest_version", &[])?;
+        out.first()
+            .and_then(Value::as_u64)
+            .ok_or_else(|| OpError::app(500, "file returned no version"))
+    }
+}
+
+impl ConcurrencyControl for OptimisticCC {
+    fn name(&self) -> &'static str {
+        "occ"
+    }
+
+    fn before_read(
+        &self,
+        ctx: &OpCtx<'_>,
+        _txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        Ok(Some(Self::base_version(ctx, file)?))
+    }
+
+    fn before_write(
+        &self,
+        ctx: &OpCtx<'_>,
+        _txid: u64,
+        file: Capability,
+    ) -> Result<Option<u64>, OpError> {
+        Ok(Some(Self::base_version(ctx, file)?))
+    }
+
+    fn validates_at_commit(&self) -> bool {
+        true
+    }
+}
+
+/// The transaction-coordinator type manager.
+///
+/// Operations (`all` class, limit 8 — distinct transactions proceed
+/// concurrently; each transaction is driven serially by its client):
+///
+/// | op | effect |
+/// |---|---|
+/// | `begin` | new transaction id |
+/// | `read [txid, file]` | transactional read (read-your-writes) |
+/// | `write [txid, file, blob]` | buffer a write |
+/// | `commit [txid]` | two-phase commit; returns `true` on commit, `false` on CC abort |
+/// | `abort [txid]` | drop the transaction, release locks |
+pub struct TxnManagerType {
+    cc: Arc<dyn ConcurrencyControl>,
+    type_name: &'static str,
+}
+
+impl TxnManagerType {
+    /// The 2PL-flavoured manager (`efs.txn.2pl`).
+    pub fn two_phase_locking() -> Self {
+        TxnManagerType {
+            cc: Arc::new(TwoPhaseLocking),
+            type_name: "efs.txn.2pl",
+        }
+    }
+
+    /// The optimistic manager (`efs.txn.occ`).
+    pub fn optimistic() -> Self {
+        TxnManagerType {
+            cc: Arc::new(OptimisticCC),
+            type_name: "efs.txn.occ",
+        }
+    }
+
+    /// The registered type name for a CC discipline.
+    pub fn name_for(cc: &str) -> String {
+        format!("efs.txn.{cc}")
+    }
+}
+
+// ----- Per-transaction scratch state helpers -----
+
+fn writes_key(txid: u64) -> String {
+    format!("tx:{txid}.writes")
+}
+
+fn reads_key(txid: u64) -> String {
+    format!("tx:{txid}.reads")
+}
+
+fn locks_key(txid: u64) -> String {
+    format!("tx:{txid}.locks")
+}
+
+/// Buffered writes: `[(file, data, base_version_or_absent)]`.
+fn load_writes(ctx: &OpCtx<'_>, txid: u64) -> Vec<(Capability, bytes::Bytes, Option<u64>)> {
+    let Some(Value::List(items)) = ctx.scratch_get(&writes_key(txid)) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            let entry = item.as_list()?;
+            let cap = entry.first()?.as_cap()?;
+            let data = entry.get(1)?.as_blob()?.clone();
+            let base = entry.get(2).and_then(Value::as_u64);
+            Some((cap, data, base))
+        })
+        .collect()
+}
+
+fn store_writes(ctx: &OpCtx<'_>, txid: u64, writes: &[(Capability, bytes::Bytes, Option<u64>)]) {
+    let items: Vec<Value> = writes
+        .iter()
+        .map(|(cap, data, base)| {
+            let mut entry = vec![Value::Cap(*cap), Value::Blob(data.clone())];
+            if let Some(b) = base {
+                entry.push(Value::U64(*b));
+            }
+            Value::List(entry)
+        })
+        .collect();
+    ctx.scratch_put(&writes_key(txid), Value::List(items));
+}
+
+/// Recorded reads: `[(file, version)]`.
+fn load_reads(ctx: &OpCtx<'_>, txid: u64) -> Vec<(Capability, u64)> {
+    let Some(Value::List(items)) = ctx.scratch_get(&reads_key(txid)) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            let entry = item.as_list()?;
+            Some((entry.first()?.as_cap()?, entry.get(1)?.as_u64()?))
+        })
+        .collect()
+}
+
+fn store_reads(ctx: &OpCtx<'_>, txid: u64, reads: &[(Capability, u64)]) {
+    let items: Vec<Value> = reads
+        .iter()
+        .map(|(cap, v)| Value::List(vec![Value::Cap(*cap), Value::U64(*v)]))
+        .collect();
+    ctx.scratch_put(&reads_key(txid), Value::List(items));
+}
+
+/// Files holding locks for this transaction.
+fn load_locks(ctx: &OpCtx<'_>, txid: u64) -> Vec<Capability> {
+    let Some(Value::List(items)) = ctx.scratch_get(&locks_key(txid)) else {
+        return Vec::new();
+    };
+    items.iter().filter_map(Value::as_cap).collect()
+}
+
+fn record_lock(ctx: &OpCtx<'_>, txid: u64, file: Capability) {
+    let mut locks = load_locks(ctx, txid);
+    if !locks.contains(&file) {
+        locks.push(file);
+        let items: Vec<Value> = locks.into_iter().map(Value::Cap).collect();
+        ctx.scratch_put(&locks_key(txid), Value::List(items));
+    }
+}
+
+fn clear_txn(ctx: &OpCtx<'_>, txid: u64) {
+    ctx.scratch_remove(&writes_key(txid));
+    ctx.scratch_remove(&reads_key(txid));
+    ctx.scratch_remove(&locks_key(txid));
+}
+
+fn release_all_locks(ctx: &OpCtx<'_>, txid: u64) {
+    for file in load_locks(ctx, txid) {
+        let _ = ctx.invoke(file, "unlock", &[Value::U64(txid)]);
+    }
+}
+
+impl TypeManager for TxnManagerType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(self.type_name)
+            .class("all", 8)
+            .op("begin", "all", Rights::WRITE)
+            .op("read", "all", Rights::WRITE)
+            .op("read_for_update", "all", Rights::WRITE)
+            .op("write", "all", Rights::WRITE)
+            .op("commit", "all", Rights::WRITE)
+            .op("abort", "all", Rights::WRITE)
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "begin" => {
+                let txid = ctx.mutate_repr(|r| {
+                    let next = r.get_u64("next_txid").unwrap_or(1);
+                    r.put_u64("next_txid", next + 1);
+                    next
+                })?;
+                Ok(vec![Value::U64(txid)])
+            }
+            "read" | "read_for_update" => {
+                let for_update = op == "read_for_update";
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let file = OpCtx::cap_arg(args, 1)?;
+                // Read-your-writes.
+                let writes = load_writes(ctx, txid);
+                if let Some((_, data, _)) = writes.iter().find(|(c, _, _)| *c == file) {
+                    return Ok(vec![Value::Blob(data.clone())]);
+                }
+                let hook = if for_update {
+                    self.cc.before_update(ctx, txid, file)
+                } else {
+                    self.cc.before_read(ctx, txid, file)
+                };
+                let recorded = match hook {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Lock timeout (deadlock resolution): the whole
+                        // transaction aborts so its locks release and the
+                        // client can retry from the top.
+                        release_all_locks(ctx, txid);
+                        clear_txn(ctx, txid);
+                        return Err(e);
+                    }
+                };
+                if !self.cc.validates_at_commit() {
+                    record_lock(ctx, txid, file);
+                }
+                let out = match recorded {
+                    // Optimistic: read exactly the version we recorded so
+                    // the snapshot and the validation agree.
+                    Some(version) if version > 0 => {
+                        let mut reads = load_reads(ctx, txid);
+                        if !reads.iter().any(|(c, _)| *c == file) {
+                            reads.push((file, version));
+                            store_reads(ctx, txid, &reads);
+                        }
+                        ctx.invoke(file, "read", &[Value::U64(version)])?
+                    }
+                    Some(_) => {
+                        // Version 0: the file is empty; record and return
+                        // an empty read.
+                        let mut reads = load_reads(ctx, txid);
+                        if !reads.iter().any(|(c, _)| *c == file) {
+                            reads.push((file, 0));
+                            store_reads(ctx, txid, &reads);
+                        }
+                        vec![Value::Blob(bytes::Bytes::new())]
+                    }
+                    None => ctx.invoke(file, "read", &[])?,
+                };
+                Ok(out)
+            }
+            "write" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let file = OpCtx::cap_arg(args, 1)?;
+                let data = args
+                    .get(2)
+                    .and_then(Value::as_blob)
+                    .ok_or_else(|| OpError::type_error("write(txid, file, blob)"))?
+                    .clone();
+                let mut writes = load_writes(ctx, txid);
+                if let Some(entry) = writes.iter_mut().find(|(c, _, _)| *c == file) {
+                    entry.1 = data; // Overwrite within the transaction.
+                } else {
+                    let base = match self.cc.before_write(ctx, txid, file) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            release_all_locks(ctx, txid);
+                            clear_txn(ctx, txid);
+                            return Err(e);
+                        }
+                    };
+                    if !self.cc.validates_at_commit() {
+                        record_lock(ctx, txid, file);
+                    }
+                    writes.push((file, data, base));
+                }
+                store_writes(ctx, txid, &writes);
+                Ok(vec![])
+            }
+            "commit" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let writes = load_writes(ctx, txid);
+                let validating = self.cc.validates_at_commit();
+
+                // Optimistic read-set validation (reads of files we did
+                // not write must still be current).
+                if validating {
+                    for (file, version) in load_reads(ctx, txid) {
+                        if writes.iter().any(|(c, _, _)| *c == file) {
+                            continue; // Write validation covers it.
+                        }
+                        let out = ctx.invoke(file, "latest_version", &[])?;
+                        if out.first().and_then(Value::as_u64) != Some(version) {
+                            self.do_abort(ctx, txid, &writes)?;
+                            return Ok(vec![Value::Bool(false)]);
+                        }
+                    }
+                }
+
+                // Phase one: prepare every participant. A written file
+                // validates against the version this transaction *read*
+                // (when it read one) — validating against the version
+                // sampled at write time would admit lost updates when a
+                // competitor commits between our read and our write.
+                let reads = load_reads(ctx, txid);
+                let mut prepared = Vec::new();
+                for (file, data, base) in &writes {
+                    let mut prep_args =
+                        vec![Value::U64(txid), Value::Blob(data.clone())];
+                    if validating {
+                        let expected = reads
+                            .iter()
+                            .find(|(c, _)| c == file)
+                            .map(|(_, v)| *v)
+                            .or(*base);
+                        prep_args.push(Value::U64(expected.unwrap_or(0)));
+                    }
+                    let out = ctx.invoke(*file, "prepare", &prep_args)?;
+                    if out.first().and_then(Value::as_bool) == Some(true) {
+                        prepared.push(*file);
+                    } else {
+                        // Validation failed: abort everything staged.
+                        for p in &prepared {
+                            let _ = ctx.invoke(*p, "abort", &[Value::U64(txid)]);
+                        }
+                        self.do_abort(ctx, txid, &writes)?;
+                        return Ok(vec![Value::Bool(false)]);
+                    }
+                }
+
+                // Phase two: apply.
+                for (file, _, _) in &writes {
+                    ctx.invoke(*file, "commit", &[Value::U64(txid)])?;
+                }
+                release_all_locks(ctx, txid);
+                clear_txn(ctx, txid);
+                Ok(vec![Value::Bool(true)])
+            }
+            "abort" => {
+                let txid = OpCtx::u64_arg(args, 0)?;
+                let writes = load_writes(ctx, txid);
+                for (file, _, _) in &writes {
+                    let _ = ctx.invoke(*file, "abort", &[Value::U64(txid)]);
+                }
+                self.do_abort(ctx, txid, &writes)?;
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+impl TxnManagerType {
+    fn do_abort(
+        &self,
+        ctx: &OpCtx<'_>,
+        txid: u64,
+        _writes: &[(Capability, bytes::Bytes, Option<u64>)],
+    ) -> Result<(), OpError> {
+        release_all_locks(ctx, txid);
+        clear_txn(ctx, txid);
+        Ok(())
+    }
+}
+
+/// A client-side transaction handle (drives one txid serially).
+pub struct Transaction {
+    node: eden_kernel::Node,
+    manager: Capability,
+    txid: u64,
+    finished: bool,
+}
+
+impl Transaction {
+    /// Begins a transaction on `manager`.
+    pub fn begin(node: eden_kernel::Node, manager: Capability) -> eden_kernel::Result<Self> {
+        let out = node.invoke(manager, "begin", &[])?;
+        let txid = out
+            .first()
+            .and_then(Value::as_u64)
+            .ok_or_else(|| eden_kernel::EdenError::BadRequest("manager returned no txid".into()))?;
+        Ok(Transaction {
+            node,
+            manager,
+            txid,
+            finished: false,
+        })
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> u64 {
+        self.txid
+    }
+
+    /// Transactional read of `file`.
+    pub fn read(&self, file: Capability) -> eden_kernel::Result<bytes::Bytes> {
+        let out = self.node.invoke(
+            self.manager,
+            "read",
+            &[Value::U64(self.txid), Value::Cap(file)],
+        )?;
+        Ok(out
+            .first()
+            .and_then(Value::as_blob)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// Transactional read that intends to write back (`SELECT FOR
+    /// UPDATE`): under 2PL the exclusive lock is taken now, avoiding
+    /// upgrade deadlocks in read-modify-write transactions.
+    pub fn read_for_update(&self, file: Capability) -> eden_kernel::Result<bytes::Bytes> {
+        let out = self.node.invoke(
+            self.manager,
+            "read_for_update",
+            &[Value::U64(self.txid), Value::Cap(file)],
+        )?;
+        Ok(out
+            .first()
+            .and_then(Value::as_blob)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// Transactional write of `file`.
+    pub fn write(&self, file: Capability, data: &[u8]) -> eden_kernel::Result<()> {
+        self.node.invoke(
+            self.manager,
+            "write",
+            &[
+                Value::U64(self.txid),
+                Value::Cap(file),
+                Value::Blob(bytes::Bytes::copy_from_slice(data)),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Two-phase commit; `Ok(true)` committed, `Ok(false)` aborted by
+    /// concurrency control (retry the whole transaction).
+    pub fn commit(mut self) -> eden_kernel::Result<bool> {
+        self.finished = true;
+        let out = self
+            .node
+            .invoke(self.manager, "commit", &[Value::U64(self.txid)])?;
+        Ok(out.first().and_then(Value::as_bool).unwrap_or(false))
+    }
+
+    /// Aborts explicitly.
+    pub fn abort(mut self) -> eden_kernel::Result<()> {
+        self.finished = true;
+        self.node
+            .invoke(self.manager, "abort", &[Value::U64(self.txid)])?;
+        Ok(())
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self
+                .node
+                .invoke(self.manager, "abort", &[Value::U64(self.txid)]);
+        }
+    }
+}

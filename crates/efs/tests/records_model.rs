@@ -1,0 +1,101 @@
+//! Model-based property test: the record manager against a `BTreeMap`
+//! reference, including crash/reincarnation against a shadow model that
+//! tracks the last checkpoint.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use eden_efs::{with_efs, Records};
+use eden_kernel::Cluster;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String, Vec<u8>),
+    Delete(String),
+    Get(String),
+    Scan(String),
+    Flush,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = "[a-c]{1,3}"; // Small key space drives real collisions.
+    prop_oneof![
+        5 => (key, proptest::collection::vec(0u8.., 0..16))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.prop_map(Op::Delete),
+        4 => key.prop_map(Op::Get),
+        2 => "[a-c]{0,2}".prop_map(Op::Scan),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn records_match_a_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let cluster = with_efs(Cluster::builder().nodes(1)).build();
+        // flush_every = 1 would hide the crash semantics; use 1000 so
+        // only explicit flushes checkpoint (beyond the initial one).
+        let table = Records::create(cluster.node(0).clone(), 1000).unwrap();
+        let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        let mut checkpointed: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let existed = table.insert(k, v).unwrap();
+                    prop_assert_eq!(existed, live.contains_key(k));
+                    live.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    let existed = table.delete(k).unwrap();
+                    prop_assert_eq!(existed, live.remove(k).is_some());
+                }
+                Op::Get(k) => {
+                    let got = table.get(k).unwrap();
+                    prop_assert_eq!(
+                        got,
+                        live.get(k).map(|v| Bytes::from(v.clone())),
+                        "get({}) diverged", k
+                    );
+                }
+                Op::Scan(prefix) => {
+                    let rows = table.scan(prefix, u64::MAX).unwrap();
+                    let expected: Vec<(String, Bytes)> = live
+                        .range(prefix.clone()..)
+                        .take_while(|(k, _)| k.starts_with(prefix.as_str()))
+                        .map(|(k, v)| (k.clone(), Bytes::from(v.clone())))
+                        .collect();
+                    prop_assert_eq!(rows, expected, "scan('{}') diverged", prefix);
+                }
+                Op::Flush => {
+                    table.flush().unwrap();
+                    checkpointed = live.clone();
+                }
+                Op::Crash => {
+                    cluster
+                        .node(0)
+                        .invoke(table.capability(), "crash", &[])
+                        .unwrap();
+                    live = checkpointed.clone();
+                    // The next operation reincarnates; verify the rollback
+                    // immediately so shrinking stays informative.
+                    prop_assert_eq!(table.count().unwrap(), live.len() as u64);
+                }
+            }
+        }
+        // Final full audit.
+        prop_assert_eq!(table.count().unwrap(), live.len() as u64);
+        let rows = table.scan("", u64::MAX).unwrap();
+        let expected: Vec<(String, Bytes)> = live
+            .iter()
+            .map(|(k, v)| (k.clone(), Bytes::from(v.clone())))
+            .collect();
+        prop_assert_eq!(rows, expected);
+        cluster.shutdown();
+    }
+}

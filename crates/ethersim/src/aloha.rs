@@ -1,0 +1,271 @@
+//! Slotted ALOHA — the baseline MAC the Ethernet literature measures
+//! against.
+//!
+//! Metcalfe & Boggs position Ethernet's carrier-sense contention against
+//! the ALOHA network's free-for-all: in slotted ALOHA a station with a
+//! frame transmits at the next slot boundary regardless of the channel,
+//! so two ready stations always collide, and the channel famously peaks
+//! at `1/e ≈ 0.368` utilization. Simulating both MACs over the same
+//! workload generator shows exactly what carrier sense buys (experiment
+//! E7's protocol-comparison table).
+//!
+//! Model: time is divided into frame-length slots; each backlogged
+//! station transmits in the current slot with probability `p` (fresh
+//! arrivals transmit immediately at the next boundary); a slot with two
+//! or more transmissions is a collision and every participant backs off
+//! geometrically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use crate::metrics::{jain_fairness, quantile, Report};
+use crate::time::bits_to_ns;
+use crate::workload::Workload;
+
+/// Parameters of the slotted-ALOHA channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlohaConfig {
+    /// Channel bit rate in bits per second.
+    pub bit_rate_bps: u64,
+    /// Fixed frame size in bytes (slot length = one frame time).
+    /// Variable-size traffic is padded to this slot, as real slotted
+    /// ALOHA requires.
+    pub slot_frame_bytes: u32,
+    /// Retransmission probability per slot for a backlogged station.
+    pub retry_probability: f64,
+    /// Per-station queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl AlohaConfig {
+    /// A 10 Mb/s channel with 1000-byte slots and the classic 0.1 retry
+    /// probability.
+    pub fn classic(slot_frame_bytes: u32) -> Self {
+        AlohaConfig {
+            bit_rate_bps: 10_000_000,
+            slot_frame_bytes,
+            retry_probability: 0.1,
+            queue_capacity: 64,
+        }
+    }
+}
+
+struct Station {
+    /// Arrival times (ns) of queued frames.
+    queue: VecDeque<u64>,
+    /// Whether the head frame has already collided (backlogged).
+    backlogged: bool,
+    delivered: u64,
+}
+
+/// The slotted-ALOHA simulator.
+pub struct AlohaSim {
+    config: AlohaConfig,
+    workload: Workload,
+    rng: SmallRng,
+}
+
+impl AlohaSim {
+    /// Builds a simulator; all randomness derives from `seed`.
+    pub fn new(config: AlohaConfig, workload: Workload, seed: u64) -> Self {
+        assert!(workload.stations >= 1, "need at least one station");
+        AlohaSim {
+            config,
+            workload,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `seconds` of simulated time and reports.
+    pub fn run(mut self, seconds: f64) -> Report {
+        let slot_ns = bits_to_ns(
+            self.config.slot_frame_bytes as u64 * 8,
+            self.config.bit_rate_bps,
+        );
+        let horizon_ns = (seconds * 1e9) as u64;
+        let slots = horizon_ns / slot_ns;
+
+        let mut stations: Vec<Station> = (0..self.workload.stations)
+            .map(|_| Station {
+                queue: VecDeque::new(),
+                backlogged: false,
+                delivered: 0,
+            })
+            .collect();
+        // Pre-draw each station's next arrival time.
+        let mut next_arrival: Vec<u64> = (0..self.workload.stations)
+            .map(|_| {
+                self.workload
+                    .sample_interarrival_ns(self.config.bit_rate_bps, &mut self.rng)
+            })
+            .collect();
+
+        let mut arrivals = 0u64;
+        let mut delivered = 0u64;
+        let mut collisions = 0u64;
+        let mut dropped_queue_full = 0u64;
+        let mut delays_ns: Vec<u64> = Vec::new();
+
+        for slot in 0..slots {
+            let now = slot * slot_ns;
+            // Admit arrivals up to the slot start.
+            for (s, station) in stations.iter_mut().enumerate() {
+                while next_arrival[s] <= now {
+                    arrivals += 1;
+                    if station.queue.len() < self.config.queue_capacity {
+                        station.queue.push_back(next_arrival[s]);
+                    } else {
+                        dropped_queue_full += 1;
+                    }
+                    next_arrival[s] += self
+                        .workload
+                        .sample_interarrival_ns(self.config.bit_rate_bps, &mut self.rng);
+                }
+            }
+            // Who transmits this slot?
+            let mut transmitters: Vec<usize> = Vec::new();
+            for (s, station) in stations.iter().enumerate() {
+                if station.queue.is_empty() {
+                    continue;
+                }
+                let p = if station.backlogged {
+                    self.config.retry_probability
+                } else {
+                    1.0 // Fresh head-of-line frame: transmit immediately.
+                };
+                if self.rng.random::<f64>() < p {
+                    transmitters.push(s);
+                }
+            }
+            match transmitters.len() {
+                0 => {}
+                1 => {
+                    let s = transmitters[0];
+                    let arrival = stations[s].queue.pop_front().expect("nonempty");
+                    stations[s].backlogged = false;
+                    stations[s].delivered += 1;
+                    delivered += 1;
+                    delays_ns.push(now + slot_ns - arrival);
+                }
+                _ => {
+                    collisions += 1;
+                    for &s in &transmitters {
+                        stations[s].backlogged = true;
+                    }
+                }
+            }
+        }
+
+        let capacity_bits = self.config.bit_rate_bps as f64 * seconds;
+        let payload_bits = delivered as f64 * self.config.slot_frame_bytes as f64 * 8.0;
+        let per_station: Vec<u64> = stations.iter().map(|s| s.delivered).collect();
+        let mean_delay_us = if delays_ns.is_empty() {
+            0.0
+        } else {
+            delays_ns.iter().sum::<u64>() as f64 / delays_ns.len() as f64 / 1_000.0
+        };
+        let p95_delay_us = quantile(&mut delays_ns, 0.95) as f64 / 1_000.0;
+        let backlog_at_end: u64 = stations.iter().map(|s| s.queue.len() as u64).sum();
+        Report {
+            offered_load: self.workload.offered_load,
+            throughput: payload_bits / capacity_bits,
+            arrivals,
+            delivered,
+            backlog_at_end,
+            dropped_excess_collisions: 0,
+            dropped_queue_full,
+            collisions,
+            mean_delay_us,
+            p95_delay_us,
+            fairness: jain_fairness(&per_station),
+            sim_seconds: seconds,
+        }
+    }
+}
+
+/// The classic slotted-ALOHA throughput model: `S = G·e^{-G}` for
+/// aggregate attempt rate `G` (attempts per slot), peaking at
+/// `1/e ≈ 0.368` when `G = 1`.
+pub fn slotted_aloha_throughput(attempts_per_slot: f64) -> f64 {
+    attempts_per_slot * (-attempts_per_slot).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FrameSizes;
+
+    fn run(stations: usize, load: f64, seed: u64) -> Report {
+        AlohaSim::new(
+            AlohaConfig::classic(1000),
+            Workload {
+                stations,
+                offered_load: load,
+                frame_sizes: FrameSizes::Fixed(1000),
+            },
+            seed,
+        )
+        .run(2.0)
+    }
+
+    #[test]
+    fn single_station_never_collides() {
+        let r = run(1, 0.3, 1);
+        assert_eq!(r.collisions, 0);
+        assert!((r.throughput - 0.3).abs() < 0.05, "got {}", r.throughput);
+    }
+
+    #[test]
+    fn low_load_is_delivered() {
+        let r = run(8, 0.1, 2);
+        assert!((r.throughput - 0.1).abs() < 0.03, "got {}", r.throughput);
+    }
+
+    #[test]
+    fn saturation_caps_near_the_aloha_limit() {
+        // Overload far past G=1: throughput must collapse toward (and
+        // never meaningfully exceed) 1/e.
+        let r = run(16, 1.5, 3);
+        assert!(
+            r.throughput < 0.45,
+            "slotted ALOHA cannot sustain CSMA-level throughput: {}",
+            r.throughput
+        );
+        assert!(r.collisions > 0);
+    }
+
+    #[test]
+    fn csma_cd_beats_aloha_at_saturation() {
+        // The headline comparison: same workload, two MACs.
+        use crate::{EthernetConfig, EthernetSim};
+        let workload = Workload {
+            stations: 16,
+            offered_load: 1.5,
+            frame_sizes: FrameSizes::Fixed(1000),
+        };
+        let aloha = AlohaSim::new(AlohaConfig::classic(1000), workload, 9).run(2.0);
+        let csma = EthernetSim::new(EthernetConfig::dix(), workload, 9).run(2.0);
+        assert!(
+            csma.throughput > 2.0 * aloha.throughput,
+            "carrier sense must at least double saturated throughput: csma {} vs aloha {}",
+            csma.throughput,
+            aloha.throughput
+        );
+    }
+
+    #[test]
+    fn analytic_model_peaks_at_inverse_e() {
+        let peak = slotted_aloha_throughput(1.0);
+        assert!((peak - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(slotted_aloha_throughput(0.5) < peak);
+        assert!(slotted_aloha_throughput(2.0) < peak);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce() {
+        let a = run(8, 0.8, 42);
+        let b = run(8, 0.8, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! Closed-form Ethernet models used to validate the simulator.
+//!
+//! Metcalfe & Boggs, *Ethernet: Distributed Packet Switching for Local
+//! Computer Networks* (CACM 1976) — the paper the Eden hardware section
+//! cites — derives a simple saturation-efficiency model: with `Q` stations
+//! always ready to transmit, each contention slot is acquired with
+//! probability `A = (1 - 1/Q)^(Q-1)`, so a successful frame of duration
+//! `P` costs on average `W · (1-A)/A` slot times `W` of contention.
+//! Efficiency is `P / (P + W·(1-A)/A)`.
+//!
+//! The simulator's saturation throughput is checked against this curve in
+//! the integration tests (the simulated MAC has extra costs — jam,
+//! interframe gap, capture effects — so agreement is required only to
+//! shape and ballpark, which is also all the reproduction brief asks of
+//! benchmarks).
+
+/// The per-slot acquisition probability with `q` saturated stations.
+pub fn acquisition_probability(q: usize) -> f64 {
+    assert!(q >= 1, "need at least one station");
+    if q == 1 {
+        return 1.0;
+    }
+    (1.0 - 1.0 / q as f64).powi(q as i32 - 1)
+}
+
+/// Mean contention slots preceding a successful acquisition.
+pub fn mean_contention_slots(q: usize) -> f64 {
+    let a = acquisition_probability(q);
+    (1.0 - a) / a
+}
+
+/// Metcalfe-Boggs saturation efficiency for `q` stations sending
+/// `frame_bits`-bit frames with a `slot_bits`-bit contention slot.
+pub fn saturation_efficiency(q: usize, frame_bits: u64, slot_bits: u64) -> f64 {
+    let p = frame_bits as f64;
+    let w = slot_bits as f64;
+    p / (p + w * mean_contention_slots(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_never_contends() {
+        assert_eq!(acquisition_probability(1), 1.0);
+        assert_eq!(mean_contention_slots(1), 0.0);
+        assert_eq!(saturation_efficiency(1, 12_000, 512), 1.0);
+    }
+
+    #[test]
+    fn acquisition_probability_approaches_inverse_e() {
+        // (1 - 1/Q)^(Q-1) → e^-1 ≈ 0.3679 as Q grows.
+        let a = acquisition_probability(256);
+        assert!((a - (-1.0f64).exp()).abs() < 0.002, "got {a}");
+    }
+
+    #[test]
+    fn efficiency_decreases_with_stations() {
+        let e2 = saturation_efficiency(2, 12_000, 512);
+        let e16 = saturation_efficiency(16, 12_000, 512);
+        let e64 = saturation_efficiency(64, 12_000, 512);
+        assert!(e2 > e16 && e16 > e64);
+    }
+
+    #[test]
+    fn efficiency_increases_with_frame_size() {
+        // The Metcalfe-Boggs table: long frames amortize contention.
+        let small = saturation_efficiency(32, 64 * 8, 512);
+        let large = saturation_efficiency(32, 1500 * 8, 512);
+        assert!(large > small);
+        // 1500-byte frames on 10 Mb/s Ethernet stay above 90% even with
+        // 32 saturated stations — the famous headline result.
+        assert!(large > 0.90, "got {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_is_rejected() {
+        acquisition_probability(0);
+    }
+}

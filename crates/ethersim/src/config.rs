@@ -1,0 +1,94 @@
+//! Ethernet channel parameters.
+
+use crate::time::us;
+
+/// Physical and MAC parameters of the simulated channel.
+///
+/// Defaults are the DIX Ethernet the Eden paper cites ([Ethernet 1980]):
+/// 10 Mb/s, a 51.2 µs slot (512 bit times), a 9.6 µs interframe gap,
+/// a 32-bit jam, backoff capped at 2^10 slots and 16 attempts.
+/// [`EthernetConfig::experimental`] gives the 2.94 Mb/s Experimental
+/// Ethernet of the Almes & Lazowska measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetConfig {
+    /// Channel bit rate in bits per second.
+    pub bit_rate_bps: u64,
+    /// One-way end-to-end propagation delay, nanoseconds.
+    pub prop_delay_ns: u64,
+    /// Contention slot, nanoseconds (canonically two propagation times
+    /// plus margin; 51.2 µs on 10 Mb/s Ethernet).
+    pub slot_ns: u64,
+    /// Interframe gap, nanoseconds.
+    pub ifg_ns: u64,
+    /// Jam signal duration after collision detection, nanoseconds.
+    pub jam_ns: u64,
+    /// Truncated-binary-exponential-backoff exponent cap.
+    pub max_backoff_exp: u32,
+    /// Attempts before a frame is dropped as undeliverable.
+    pub max_attempts: u32,
+    /// Per-station transmit queue capacity (arrivals beyond it are
+    /// dropped and counted).
+    pub queue_capacity: usize,
+}
+
+impl EthernetConfig {
+    /// The DIX 10 Mb/s Ethernet.
+    pub fn dix() -> Self {
+        EthernetConfig {
+            bit_rate_bps: 10_000_000,
+            prop_delay_ns: us(10),
+            slot_ns: 51_200,
+            ifg_ns: 9_600,
+            jam_ns: 3_200,
+            max_backoff_exp: 10,
+            max_attempts: 16,
+            queue_capacity: 64,
+        }
+    }
+
+    /// The 2.94 Mb/s Experimental Ethernet measured by Almes & Lazowska.
+    pub fn experimental() -> Self {
+        EthernetConfig {
+            bit_rate_bps: 2_940_000,
+            prop_delay_ns: us(8),
+            // Slot scales with the slower bit rate (512 bit times).
+            slot_ns: 174_000,
+            ifg_ns: 32_600,
+            jam_ns: 10_900,
+            max_backoff_exp: 10,
+            max_attempts: 16,
+            queue_capacity: 64,
+        }
+    }
+
+    /// Channel capacity in bits per simulated second (identity helper for
+    /// readable load math).
+    pub fn capacity_bps(&self) -> f64 {
+        self.bit_rate_bps as f64
+    }
+}
+
+impl Default for EthernetConfig {
+    fn default() -> Self {
+        EthernetConfig::dix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dix_defaults_match_the_spec() {
+        let c = EthernetConfig::dix();
+        assert_eq!(c.bit_rate_bps, 10_000_000);
+        assert_eq!(c.slot_ns, 51_200);
+        assert_eq!(c.ifg_ns, 9_600);
+        assert_eq!(c.max_attempts, 16);
+    }
+
+    #[test]
+    fn experimental_is_slower() {
+        assert!(EthernetConfig::experimental().bit_rate_bps < EthernetConfig::dix().bit_rate_bps);
+    }
+}

@@ -1,0 +1,143 @@
+//! The discrete-event engine: a time-ordered event queue.
+//!
+//! Events at equal times pop in insertion order (a monotone sequence
+//! number breaks ties), which keeps runs bit-for-bit deterministic for a
+//! given seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use eden_ethersim::events::EventQueue;
+/// use eden_ethersim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(20), "later");
+/// q.schedule(SimTime(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime(10), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime(20), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Tests whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), 'a');
+        q.schedule(SimTime(5), 'b');
+        q.schedule(SimTime(5), 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(9), ());
+        q.schedule(SimTime(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+    }
+
+    proptest! {
+        #[test]
+        fn pops_are_time_sorted(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule(SimTime(t), t);
+            }
+            let mut popped = Vec::new();
+            while let Some((at, _)) = q.pop() {
+                popped.push(at);
+            }
+            let mut sorted = popped.clone();
+            sorted.sort();
+            prop_assert_eq!(popped, sorted);
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The event-driven CSMA/CD machine.
+//!
+//! The model is 1-persistent CSMA/CD on a single shared bus with uniform
+//! propagation delay `tau`:
+//!
+//! * A station senses the channel *as it was `tau` ago*: a transmission
+//!   started at `t0` is invisible to others until `t0 + tau`, so two
+//!   stations starting within `tau` of each other collide.
+//! * Colliding transmitters detect the overlap within `tau`, jam, abort,
+//!   and reschedule with truncated binary exponential backoff.
+//! * Stations that sense a busy channel defer, and all retry when the
+//!   channel goes idle (1-persistence) — which is what makes the
+//!   post-transmission contention interval the throughput bottleneck at
+//!   high load, exactly the behaviour the analytic model in
+//!   [`crate::analytic`] captures.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use crate::config::EthernetConfig;
+use crate::events::EventQueue;
+use crate::metrics::{jain_fairness, quantile, Report};
+use crate::time::{bits_to_ns, SimTime};
+use crate::workload::Workload;
+
+/// Framing overhead added to every payload: preamble (8 bytes), MAC
+/// header (14 bytes) and FCS (4 bytes).
+const OVERHEAD_BYTES: u32 = 26;
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedFrame {
+    payload_bytes: u32,
+    arrival: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StationState {
+    /// Nothing to send, or waiting for a `TryTx` already scheduled.
+    Idle,
+    /// Has a frame, waiting for the channel to go idle.
+    Deferring,
+    /// Currently transmitting (the indexed record in `active`).
+    Transmitting,
+}
+
+struct Station {
+    queue: VecDeque<QueuedFrame>,
+    state: StationState,
+    attempts: u32,
+    delivered: u64,
+    /// Set when a TryTx event is already pending, to avoid duplicates.
+    try_pending: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TxRecord {
+    id: u64,
+    station: usize,
+    start: SimTime,
+    /// Scheduled end (success) or abort time (collision).
+    end: SimTime,
+    aborted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A new frame arrives at the station's queue.
+    Arrival { station: usize },
+    /// The station attempts to transmit (sense + start or defer).
+    TryTx { station: usize },
+    /// A transmission record reaches its end time.
+    TxDone { tx_id: u64 },
+}
+
+/// The simulator. Construct, then [`EthernetSim::run`].
+pub struct EthernetSim {
+    config: EthernetConfig,
+    workload: Workload,
+    rng: SmallRng,
+    queue: EventQueue<Event>,
+    stations: Vec<Station>,
+    active: Vec<TxRecord>,
+    next_tx_id: u64,
+    now: SimTime,
+    horizon: SimTime,
+    // Statistics.
+    arrivals: u64,
+    delivered: u64,
+    delivered_payload_bits: u64,
+    collisions: u64,
+    dropped_excess_collisions: u64,
+    dropped_queue_full: u64,
+    delays_ns: Vec<u64>,
+}
+
+impl EthernetSim {
+    /// Builds a simulator for `workload` on a channel described by
+    /// `config`, with all randomness derived from `seed`.
+    pub fn new(config: EthernetConfig, workload: Workload, seed: u64) -> Self {
+        assert!(workload.stations >= 1, "need at least one station");
+        let stations = (0..workload.stations)
+            .map(|_| Station {
+                queue: VecDeque::new(),
+                state: StationState::Idle,
+                attempts: 0,
+                delivered: 0,
+                try_pending: false,
+            })
+            .collect();
+        EthernetSim {
+            config,
+            workload,
+            rng: SmallRng::seed_from_u64(seed),
+            queue: EventQueue::new(),
+            stations,
+            active: Vec::new(),
+            next_tx_id: 0,
+            now: SimTime::ZERO,
+            horizon: SimTime::ZERO,
+            arrivals: 0,
+            delivered: 0,
+            delivered_payload_bits: 0,
+            collisions: 0,
+            dropped_excess_collisions: 0,
+            dropped_queue_full: 0,
+            delays_ns: Vec::new(),
+        }
+    }
+
+    /// Runs the simulation for `seconds` of simulated time and reports.
+    pub fn run(mut self, seconds: f64) -> Report {
+        self.horizon = SimTime((seconds * 1e9) as u64);
+        // Prime each station's arrival process.
+        for s in 0..self.workload.stations {
+            let gap = self
+                .workload
+                .sample_interarrival_ns(self.config.bit_rate_bps, &mut self.rng);
+            self.queue.schedule(SimTime(gap), Event::Arrival { station: s });
+        }
+        while let Some((at, ev)) = self.queue.pop() {
+            if at > self.horizon {
+                break;
+            }
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
+            match ev {
+                Event::Arrival { station } => self.on_arrival(station),
+                Event::TryTx { station } => self.on_try_tx(station),
+                Event::TxDone { tx_id } => self.on_tx_done(tx_id),
+            }
+        }
+        self.report(seconds)
+    }
+
+    fn on_arrival(&mut self, s: usize) {
+        // Schedule the next arrival first (open-loop source).
+        let gap = self
+            .workload
+            .sample_interarrival_ns(self.config.bit_rate_bps, &mut self.rng);
+        self.queue
+            .schedule(self.now.after_ns(gap), Event::Arrival { station: s });
+
+        let payload = self.workload.frame_sizes.sample(&mut self.rng);
+        self.arrivals += 1;
+        let st = &mut self.stations[s];
+        if st.queue.len() >= self.config.queue_capacity {
+            self.dropped_queue_full += 1;
+            return;
+        }
+        st.queue.push_back(QueuedFrame {
+            payload_bytes: payload,
+            arrival: self.now,
+        });
+        self.schedule_try(s, self.now);
+    }
+
+    /// Schedules a TryTx for station `s` at `at`, unless one is pending or
+    /// the station is mid-transmission.
+    fn schedule_try(&mut self, s: usize, at: SimTime) {
+        let st = &mut self.stations[s];
+        if st.try_pending || st.state == StationState::Transmitting || st.queue.is_empty() {
+            return;
+        }
+        st.try_pending = true;
+        self.queue.schedule(at, Event::TryTx { station: s });
+    }
+
+    /// The channel as sensed at `self.now`: transmissions become audible
+    /// `tau` after they start and fade `tau` after they end.
+    fn sensed_busy_until(&self) -> Option<SimTime> {
+        let tau = self.config.prop_delay_ns;
+        let mut busy_until: Option<SimTime> = None;
+        for tx in &self.active {
+            let audible_from = tx.start.after_ns(tau);
+            let audible_to = tx.end.after_ns(tau);
+            if audible_from <= self.now && audible_to > self.now {
+                busy_until = Some(busy_until.map_or(audible_to, |b| b.max(audible_to)));
+            }
+        }
+        busy_until
+    }
+
+    fn on_try_tx(&mut self, s: usize) {
+        self.stations[s].try_pending = false;
+        if self.stations[s].state == StationState::Transmitting {
+            return;
+        }
+        if self.stations[s].queue.is_empty() {
+            self.stations[s].state = StationState::Idle;
+            return;
+        }
+        if let Some(busy_until) = self.sensed_busy_until() {
+            // 1-persistent deferral: retry as soon as the channel sounds
+            // idle plus the interframe gap.
+            self.stations[s].state = StationState::Deferring;
+            let retry = busy_until.after_ns(self.config.ifg_ns);
+            self.stations[s].try_pending = true;
+            self.queue.schedule(retry, Event::TryTx { station: s });
+            return;
+        }
+
+        // Channel sensed idle: start transmitting.
+        let frame = *self.stations[s].queue.front().expect("nonempty");
+        let frame_bits = (frame.payload_bytes + OVERHEAD_BYTES) as u64 * 8;
+        let duration = bits_to_ns(frame_bits, self.config.bit_rate_bps);
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let record = TxRecord {
+            id: tx_id,
+            station: s,
+            start: self.now,
+            end: self.now.after_ns(duration),
+            aborted: false,
+        };
+        self.stations[s].state = StationState::Transmitting;
+
+        // Anyone else already on the wire started within the last `tau`
+        // (otherwise we would have sensed them): that is a collision.
+        let tau = self.config.prop_delay_ns;
+        let mut collided = false;
+        let abort_at = self.now.after_ns(tau + self.config.jam_ns);
+        for tx in self.active.iter_mut() {
+            if !tx.aborted {
+                collided = true;
+                tx.aborted = true;
+                tx.end = tx.end.min(abort_at);
+                self.queue.schedule(tx.end, Event::TxDone { tx_id: tx.id });
+            }
+        }
+        let mut record = record;
+        if collided {
+            self.collisions += 1;
+            record.aborted = true;
+            record.end = abort_at;
+        }
+        self.queue
+            .schedule(record.end, Event::TxDone { tx_id: record.id });
+        self.active.push(record);
+    }
+
+    fn on_tx_done(&mut self, tx_id: u64) {
+        // A record may have two TxDone events scheduled (original end and
+        // abort); the first one that finds the record consumes it.
+        let Some(pos) = self.active.iter().position(|t| t.id == tx_id && t.end <= self.now)
+        else {
+            return;
+        };
+        let tx = self.active.swap_remove(pos);
+        let s = tx.station;
+        self.stations[s].state = StationState::Idle;
+
+        if tx.aborted {
+            self.stations[s].attempts += 1;
+            if self.stations[s].attempts > self.config.max_attempts {
+                // Undeliverable: drop the frame and move on.
+                self.stations[s].queue.pop_front();
+                self.stations[s].attempts = 0;
+                self.dropped_excess_collisions += 1;
+                self.schedule_try(s, self.now.after_ns(self.config.ifg_ns));
+            } else {
+                let exp = self.stations[s].attempts.min(self.config.max_backoff_exp);
+                let slots = self.rng.random_range(0..(1u64 << exp));
+                let backoff = slots * self.config.slot_ns + self.config.ifg_ns;
+                self.schedule_try(s, self.now.after_ns(backoff));
+            }
+        } else {
+            let frame = self.stations[s].queue.pop_front().expect("frame present");
+            self.stations[s].attempts = 0;
+            self.stations[s].delivered += 1;
+            self.delivered += 1;
+            self.delivered_payload_bits += frame.payload_bytes as u64 * 8;
+            self.delays_ns.push(self.now.since(frame.arrival));
+            self.schedule_try(s, self.now.after_ns(self.config.ifg_ns));
+        }
+    }
+
+    fn report(mut self, seconds: f64) -> Report {
+        let capacity_bits = self.config.capacity_bps() * seconds;
+        let per_station: Vec<u64> = self.stations.iter().map(|s| s.delivered).collect();
+        let mean_delay_us = if self.delays_ns.is_empty() {
+            0.0
+        } else {
+            self.delays_ns.iter().sum::<u64>() as f64 / self.delays_ns.len() as f64 / 1_000.0
+        };
+        let p95_delay_us = quantile(&mut self.delays_ns, 0.95) as f64 / 1_000.0;
+        let backlog_at_end: u64 = self.stations.iter().map(|s| s.queue.len() as u64).sum();
+        Report {
+            offered_load: self.workload.offered_load,
+            throughput: self.delivered_payload_bits as f64 / capacity_bits,
+            arrivals: self.arrivals,
+            delivered: self.delivered,
+            backlog_at_end,
+            dropped_excess_collisions: self.dropped_excess_collisions,
+            dropped_queue_full: self.dropped_queue_full,
+            collisions: self.collisions,
+            mean_delay_us,
+            p95_delay_us,
+            fairness: jain_fairness(&per_station),
+            sim_seconds: seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FrameSizes;
+
+    fn run(stations: usize, load: f64, seed: u64) -> Report {
+        let sim = EthernetSim::new(
+            EthernetConfig::dix(),
+            Workload {
+                stations,
+                offered_load: load,
+                frame_sizes: FrameSizes::Fixed(1000),
+            },
+            seed,
+        );
+        sim.run(2.0)
+    }
+
+    #[test]
+    fn single_station_at_low_load_delivers_everything() {
+        let r = run(1, 0.2, 1);
+        assert_eq!(r.collisions, 0, "one station can never collide");
+        assert_eq!(r.dropped_excess_collisions, 0);
+        // Throughput ≈ offered load (payload bits slightly below thanks to
+        // stochastic arrivals, overhead excluded from both sides).
+        assert!(
+            (r.throughput - 0.2).abs() < 0.03,
+            "throughput {} for offered 0.2",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let r1 = run(8, 0.1, 7);
+        let r3 = run(8, 0.3, 7);
+        let r5 = run(8, 0.5, 7);
+        assert!(r1.throughput < r3.throughput && r3.throughput < r5.throughput);
+        for r in [&r1, &r3, &r5] {
+            assert!(
+                (r.throughput - r.offered_load).abs() < 0.05,
+                "below saturation throughput {} should track load {}",
+                r.throughput,
+                r.offered_load
+            );
+        }
+    }
+
+    #[test]
+    fn overload_saturates_below_capacity() {
+        let r = run(16, 1.6, 11);
+        assert!(
+            r.throughput < 1.0,
+            "cannot exceed capacity: {}",
+            r.throughput
+        );
+        assert!(
+            r.throughput > 0.5,
+            "1000-byte frames should keep efficiency high: {}",
+            r.throughput
+        );
+        assert!(r.collisions > 0, "overload must produce collisions");
+    }
+
+    #[test]
+    fn collisions_increase_with_load() {
+        let low = run(16, 0.2, 3);
+        let high = run(16, 1.2, 3);
+        assert!(
+            high.collisions > low.collisions * 2,
+            "low {} high {}",
+            low.collisions,
+            high.collisions
+        );
+    }
+
+    #[test]
+    fn delay_increases_with_load() {
+        let low = run(8, 0.2, 9);
+        let high = run(8, 1.4, 9);
+        assert!(
+            high.mean_delay_us > 2.0 * low.mean_delay_us,
+            "low {} high {}",
+            low.mean_delay_us,
+            high.mean_delay_us
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let a = run(12, 0.9, 1234);
+        let b = run(12, 0.9, 1234);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_event_histories() {
+        let a = run(12, 0.9, 1);
+        let b = run(12, 0.9, 2);
+        assert_ne!(
+            (a.delivered, a.collisions),
+            (b.delivered, b.collisions),
+            "distinct seeds should explore distinct histories"
+        );
+    }
+
+    #[test]
+    fn saturated_access_is_roughly_fair() {
+        let r = run(8, 1.5, 21);
+        assert!(
+            r.fairness > 0.9,
+            "binary exponential backoff should stay roughly fair over long runs: {}",
+            r.fairness
+        );
+    }
+
+    #[test]
+    fn small_frames_are_less_efficient_than_large_at_saturation() {
+        let small = EthernetSim::new(
+            EthernetConfig::dix(),
+            Workload {
+                stations: 16,
+                offered_load: 1.5,
+                frame_sizes: FrameSizes::Fixed(64),
+            },
+            5,
+        )
+        .run(2.0);
+        let large = EthernetSim::new(
+            EthernetConfig::dix(),
+            Workload {
+                stations: 16,
+                offered_load: 1.5,
+                frame_sizes: FrameSizes::Fixed(1500),
+            },
+            5,
+        )
+        .run(2.0);
+        assert!(
+            large.throughput > small.throughput,
+            "large {} vs small {}",
+            large.throughput,
+            small.throughput
+        );
+    }
+
+    #[test]
+    fn saturation_efficiency_is_in_the_analytic_ballpark() {
+        // 16 saturated stations, 1000-byte frames. The Metcalfe-Boggs model
+        // ignores jam/IFG/backoff dynamics, so require agreement within a
+        // generous band — the *shape* test above is the strong check.
+        let sim = run(16, 2.0, 99);
+        let model = crate::analytic::saturation_efficiency(16, 1000 * 8, 512);
+        assert!(
+            (sim.throughput - model).abs() < 0.25,
+            "sim {} vs model {}",
+            sim.throughput,
+            model
+        );
+    }
+
+    #[test]
+    fn queue_overflow_is_counted_not_lost() {
+        let mut config = EthernetConfig::dix();
+        config.queue_capacity = 2;
+        let r = EthernetSim::new(
+            config,
+            Workload {
+                stations: 4,
+                offered_load: 3.0,
+                frame_sizes: FrameSizes::Fixed(1500),
+            },
+            8,
+        )
+        .run(1.0);
+        assert!(r.dropped_queue_full > 0);
+    }
+}
+
+#[cfg(test)]
+mod conservation_tests {
+    use super::*;
+    use crate::aloha::{AlohaConfig, AlohaSim};
+    use crate::workload::FrameSizes;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Every generated frame must be delivered, dropped, or counted
+        /// as backlog — in both simulators, across random configurations.
+        #[test]
+        fn frames_are_conserved(
+            stations in 1usize..24,
+            load in 0.05f64..2.5,
+            frame in prop_oneof![Just(64u32), Just(512), Just(1500)],
+            seed in 0u64..,
+        ) {
+            let workload = Workload {
+                stations,
+                offered_load: load,
+                frame_sizes: FrameSizes::Fixed(frame),
+            };
+            let csma = EthernetSim::new(EthernetConfig::dix(), workload, seed).run(0.25);
+            prop_assert!(
+                csma.conserves_frames(),
+                "csma: {} arrivals vs {} delivered + {} + {} dropped + {} backlog",
+                csma.arrivals, csma.delivered, csma.dropped_excess_collisions,
+                csma.dropped_queue_full, csma.backlog_at_end
+            );
+            let aloha = AlohaSim::new(AlohaConfig::classic(frame), workload, seed).run(0.25);
+            prop_assert!(aloha.conserves_frames());
+        }
+
+        /// Throughput can never exceed offered load or channel capacity.
+        #[test]
+        fn throughput_is_bounded(
+            stations in 1usize..24,
+            load in 0.05f64..2.5,
+            seed in 0u64..,
+        ) {
+            let workload = Workload {
+                stations,
+                offered_load: load,
+                frame_sizes: FrameSizes::Fixed(1000),
+            };
+            let r = EthernetSim::new(EthernetConfig::dix(), workload, seed).run(0.25);
+            prop_assert!(r.throughput <= 1.0 + 1e-9);
+            // Delivered payload cannot exceed generated payload.
+            prop_assert!(r.delivered <= r.arrivals);
+        }
+    }
+}

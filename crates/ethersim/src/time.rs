@@ -1,0 +1,102 @@
+//! Simulated time.
+//!
+//! The simulator counts nanoseconds in a `u64`, which covers ~584 years of
+//! simulated time — far beyond any experiment. Times are opaque ordered
+//! values; durations are plain nanosecond counts.
+
+use core::fmt;
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Advances by `ns` nanoseconds.
+    #[must_use]
+    pub fn after_ns(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+
+    /// The elapsed nanoseconds since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` — a simulator logic error.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("time arithmetic went backwards")
+    }
+
+    /// This time as fractional seconds (for rate computations).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0 / 1_000;
+        let ns = self.0 % 1_000;
+        write!(f, "{us}.{ns:03}us")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Converts a bit count to nanoseconds at `bit_rate_bps`.
+pub fn bits_to_ns(bits: u64, bit_rate_bps: u64) -> u64 {
+    // Round up: a partial nanosecond still occupies the channel.
+    (bits * 1_000_000_000).div_ceil(bit_rate_bps)
+}
+
+/// Converts a microsecond count to nanoseconds.
+pub const fn us(n: u64) -> u64 {
+    n * 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn after_and_since_are_inverse() {
+        let t = SimTime::ZERO.after_ns(1500);
+        assert_eq!(t.since(SimTime::ZERO), 1500);
+        assert_eq!(t.after_ns(300).since(t), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn since_earlier_panics() {
+        SimTime(5).since(SimTime(10));
+    }
+
+    #[test]
+    fn bits_convert_at_ten_megabit() {
+        // 10 Mb/s: one bit = 100 ns.
+        assert_eq!(bits_to_ns(1, 10_000_000), 100);
+        // A 512-bit slot = 51.2 us.
+        assert_eq!(bits_to_ns(512, 10_000_000), 51_200);
+        // A 1500-byte frame = 1.2 ms.
+        assert_eq!(bits_to_ns(1500 * 8, 10_000_000), 1_200_000);
+    }
+
+    #[test]
+    fn bits_round_up() {
+        // 3 bits at 7 bps is 428571428.57.. ns; must round up.
+        assert_eq!(bits_to_ns(3, 7), 428_571_429);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(SimTime(2_500_000_000).as_secs_f64(), 2.5);
+    }
+}

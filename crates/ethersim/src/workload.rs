@@ -1,0 +1,173 @@
+//! Traffic generation: Poisson arrivals and frame-size distributions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Frame payload size distributions used in the Ethernet experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameSizes {
+    /// Every frame carries exactly this many bytes.
+    Fixed(u32),
+    /// Uniform between the bounds, inclusive.
+    Uniform(u32, u32),
+    /// The classic bimodal LAN mix: small frames (acks, invocations) with
+    /// probability `p_small`, large frames otherwise.
+    Bimodal {
+        /// Size of small frames, bytes.
+        small: u32,
+        /// Size of large frames, bytes.
+        large: u32,
+        /// Probability of a small frame.
+        p_small: f64,
+    },
+}
+
+impl FrameSizes {
+    /// Draws one frame size in bytes.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match *self {
+            FrameSizes::Fixed(n) => n,
+            FrameSizes::Uniform(lo, hi) => rng.random_range(lo..=hi),
+            FrameSizes::Bimodal {
+                small,
+                large,
+                p_small,
+            } => {
+                if rng.random::<f64>() < p_small {
+                    small
+                } else {
+                    large
+                }
+            }
+        }
+    }
+
+    /// The expected frame size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match *self {
+            FrameSizes::Fixed(n) => n as f64,
+            FrameSizes::Uniform(lo, hi) => (lo as f64 + hi as f64) / 2.0,
+            FrameSizes::Bimodal {
+                small,
+                large,
+                p_small,
+            } => small as f64 * p_small + large as f64 * (1.0 - p_small),
+        }
+    }
+}
+
+/// An open-loop workload: each station receives frames by a Poisson
+/// process sized so the aggregate offered load is a chosen fraction of
+/// channel capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Number of stations on the bus.
+    pub stations: usize,
+    /// Aggregate offered load as a fraction of channel capacity
+    /// (1.0 = arrivals exactly fill the channel; > 1.0 oversubscribes).
+    pub offered_load: f64,
+    /// Frame size distribution.
+    pub frame_sizes: FrameSizes,
+}
+
+impl Workload {
+    /// Per-station mean interarrival time in nanoseconds at `bit_rate_bps`.
+    pub fn mean_interarrival_ns(&self, bit_rate_bps: u64) -> f64 {
+        let aggregate_bps = self.offered_load * bit_rate_bps as f64;
+        let per_station_bps = aggregate_bps / self.stations as f64;
+        let mean_frame_bits = self.frame_sizes.mean_bytes() * 8.0;
+        mean_frame_bits / per_station_bps * 1e9
+    }
+
+    /// Draws one exponential interarrival gap in nanoseconds.
+    pub fn sample_interarrival_ns(&self, bit_rate_bps: u64, rng: &mut SmallRng) -> u64 {
+        let mean = self.mean_interarrival_ns(bit_rate_bps);
+        // Inverse-CDF exponential draw; clamp the uniform away from zero so
+        // ln is finite.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        (-mean * u.ln()).round().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_sizes_are_fixed() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(FrameSizes::Fixed(512).sample(&mut r), 512);
+        }
+    }
+
+    #[test]
+    fn uniform_sizes_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = FrameSizes::Uniform(64, 1500).sample(&mut r);
+            assert!((64..=1500).contains(&s));
+        }
+    }
+
+    #[test]
+    fn bimodal_mean_matches_mixture() {
+        let d = FrameSizes::Bimodal {
+            small: 64,
+            large: 1500,
+            p_small: 0.75,
+        };
+        assert!((d.mean_bytes() - (0.75 * 64.0 + 0.25 * 1500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bimodal_sampling_tracks_probability() {
+        let mut r = rng();
+        let d = FrameSizes::Bimodal {
+            small: 64,
+            large: 1500,
+            p_small: 0.8,
+        };
+        let smalls = (0..10_000).filter(|_| d.sample(&mut r) == 64).count();
+        let fraction = smalls as f64 / 10_000.0;
+        assert!((fraction - 0.8).abs() < 0.02, "got {fraction}");
+    }
+
+    #[test]
+    fn interarrival_mean_matches_offered_load() {
+        // 10 stations at aggregate load 0.5 of 10 Mb/s with 1000-bit frames:
+        // per-station rate = 500 kb/s = 500 frames/s → mean gap 2 ms.
+        let w = Workload {
+            stations: 10,
+            offered_load: 0.5,
+            frame_sizes: FrameSizes::Fixed(125),
+        };
+        let mean = w.mean_interarrival_ns(10_000_000);
+        assert!((mean - 2e6).abs() < 1.0, "got {mean}");
+    }
+
+    #[test]
+    fn sampled_interarrivals_average_near_the_mean() {
+        let mut r = rng();
+        let w = Workload {
+            stations: 4,
+            offered_load: 0.4,
+            frame_sizes: FrameSizes::Fixed(1000),
+        };
+        let mean = w.mean_interarrival_ns(10_000_000);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| w.sample_interarrival_ns(10_000_000, &mut r))
+            .sum();
+        let empirical = total as f64 / n as f64;
+        assert!(
+            (empirical - mean).abs() / mean < 0.05,
+            "empirical {empirical} vs mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,573 @@
+//! An append-only, CRC-checked, versioned checkpoint log on disk.
+//!
+//! This is the reproduction's "reliable storage medium" (§4.4). The design
+//! is a classic write-ahead log:
+//!
+//! ```text
+//! record := MAGIC(u32) | name(u128) | version(u64) | tomb(u8) | len(u32) | crc(u32) | payload
+//! ```
+//!
+//! * Writes append a record and (optionally) fsync; the record becomes
+//!   visible in the index only after a fully successful append, so `put`
+//!   is atomic with respect to crashes.
+//! * Opening a store scans the log, rebuilding the in-memory index.
+//!   A record with a bad magic, a bad CRC, or a truncated payload ends the
+//!   scan and the tail is truncated — the torn-write recovery rule.
+//! * Deletions append a tombstone record (`tomb = 1`), so the log remains
+//!   append-only; `compact` rewrites live records to a fresh log.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use eden_capability::ObjName;
+use parking_lot::Mutex;
+
+use crate::crc::crc32;
+use crate::{CheckpointStore, StoreError};
+
+const MAGIC: u32 = 0xEDE1_1981;
+const HEADER_LEN: usize = 4 + 16 + 8 + 1 + 4 + 4;
+
+/// Durability policy for [`DiskStore`] writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every checkpoint (highest reliability level).
+    Always,
+    /// Let the OS schedule writeback (faster; survives process crash but
+    /// not power failure).
+    Never,
+}
+
+struct Indexed {
+    offset: u64,
+    len: u32,
+}
+
+struct Inner {
+    file: File,
+    /// Byte offset one past the last valid record.
+    end: u64,
+    index: HashMap<ObjName, BTreeMap<u64, Indexed>>,
+}
+
+/// A durable [`CheckpointStore`] backed by a single append-only log file.
+///
+/// # Examples
+///
+/// ```no_run
+/// use eden_store::{CheckpointStore, DiskStore};
+/// use eden_store::disk::SyncPolicy;
+/// use eden_capability::{NameGenerator, NodeId};
+///
+/// let store = DiskStore::open("/tmp/eden-ckpt.log", SyncPolicy::Always).unwrap();
+/// let name = NameGenerator::new(NodeId(0)).next_name();
+/// store.put(name, b"representation bytes").unwrap();
+/// ```
+pub struct DiskStore {
+    path: PathBuf,
+    sync: SyncPolicy,
+    /// Keep at most this many versions per object in the index
+    /// (0 = unlimited). Superseded records remain in the log until
+    /// [`DiskStore::compact`] rewrites it.
+    retain: usize,
+    inner: Mutex<Inner>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the log at `path`, scanning and
+    /// recovering existing records.
+    pub fn open(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self, StoreError> {
+        Self::open_with_retention(path, sync, 0)
+    }
+
+    /// Opens the log retaining only the `retain` most recent versions of
+    /// each object in the index (0 = unlimited). Space is reclaimed at
+    /// the next [`DiskStore::compact`].
+    pub fn open_with_retention(
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+        retain: usize,
+    ) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let (index, end) = Self::scan(&mut file)?;
+        // Truncate any torn tail so future appends start at a clean edge.
+        let file_len = file.metadata()?.len();
+        if file_len > end {
+            file.set_len(end)?;
+        }
+        let store = DiskStore {
+            path,
+            sync,
+            retain,
+            inner: Mutex::new(Inner { file, end, index }),
+        };
+        if retain > 0 {
+            let mut inner = store.inner.lock();
+            for versions in inner.index.values_mut() {
+                while versions.len() > retain {
+                    let oldest = *versions.keys().next().expect("nonempty");
+                    versions.remove(&oldest);
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Scans the log from the start, returning the rebuilt index and the
+    /// offset one past the last intact record.
+    fn scan(file: &mut File) -> Result<(HashMap<ObjName, BTreeMap<u64, Indexed>>, u64), StoreError> {
+        let mut index: HashMap<ObjName, BTreeMap<u64, Indexed>> = HashMap::new();
+        let len = file.metadata()?.len();
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        debug_assert_eq!(buf.len() as u64, len);
+
+        let mut off = 0usize;
+        while off + HEADER_LEN <= buf.len() {
+            let magic = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            if magic != MAGIC {
+                break;
+            }
+            let name = ObjName::from_u128(u128::from_le_bytes(
+                buf[off + 4..off + 20].try_into().unwrap(),
+            ));
+            let version = u64::from_le_bytes(buf[off + 20..off + 28].try_into().unwrap());
+            let tomb = buf[off + 28];
+            let plen = u32::from_le_bytes(buf[off + 29..off + 33].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[off + 33..off + 37].try_into().unwrap());
+            let payload_start = off + HEADER_LEN;
+            if payload_start + plen > buf.len() {
+                break; // Torn tail.
+            }
+            let payload = &buf[payload_start..payload_start + plen];
+            if crc32(payload) != crc {
+                break; // Corrupt tail.
+            }
+            match tomb {
+                0 => {
+                    index.entry(name).or_default().insert(
+                        version,
+                        Indexed {
+                            offset: payload_start as u64,
+                            len: plen as u32,
+                        },
+                    );
+                }
+                1 => {
+                    index.remove(&name);
+                }
+                _ => break, // Unknown record kind: treat as corruption.
+            }
+            off = payload_start + plen;
+        }
+        Ok((index, off as u64))
+    }
+
+    fn append(
+        inner: &mut Inner,
+        sync: SyncPolicy,
+        name: ObjName,
+        version: u64,
+        tomb: u8,
+        payload: &[u8],
+    ) -> Result<u64, StoreError> {
+        let mut rec = Vec::with_capacity(HEADER_LEN + payload.len());
+        rec.extend_from_slice(&MAGIC.to_le_bytes());
+        rec.extend_from_slice(&name.to_u128().to_le_bytes());
+        rec.extend_from_slice(&version.to_le_bytes());
+        rec.push(tomb);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        inner.file.write_all(&rec)?;
+        if sync == SyncPolicy::Always {
+            inner.file.sync_data()?;
+        }
+        let payload_offset = inner.end + HEADER_LEN as u64;
+        inner.end += rec.len() as u64;
+        Ok(payload_offset)
+    }
+
+    fn read_at(inner: &mut Inner, idx: &Indexed) -> Result<Bytes, StoreError> {
+        let mut payload = vec![0u8; idx.len as usize];
+        // Appends use the cursor implicitly (O_APPEND), so an explicit seek
+        // for reading is safe here.
+        inner.file.seek(SeekFrom::Start(idx.offset))?;
+        inner.file.read_exact(&mut payload)?;
+        Ok(Bytes::from(payload))
+    }
+
+    /// Rewrites the log keeping only live records, reclaiming space from
+    /// superseded versions and tombstones. Returns bytes reclaimed.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        let old_end = inner.end;
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut tmp = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            // Gather (name, version, payload) triples, then rewrite.
+            let entries: Vec<(ObjName, u64, Indexed)> = inner
+                .index
+                .iter()
+                .flat_map(|(n, vs)| {
+                    vs.iter().map(|(v, i)| {
+                        (
+                            *n,
+                            *v,
+                            Indexed {
+                                offset: i.offset,
+                                len: i.len,
+                            },
+                        )
+                    })
+                })
+                .collect();
+            let mut new_index: HashMap<ObjName, BTreeMap<u64, Indexed>> = HashMap::new();
+            let mut new_end = 0u64;
+            for (name, version, idx) in entries {
+                let payload = Self::read_at(&mut inner, &idx)?;
+                let mut rec = Vec::with_capacity(HEADER_LEN + payload.len());
+                rec.extend_from_slice(&MAGIC.to_le_bytes());
+                rec.extend_from_slice(&name.to_u128().to_le_bytes());
+                rec.extend_from_slice(&version.to_le_bytes());
+                rec.push(0);
+                rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+                rec.extend_from_slice(&payload);
+                tmp.write_all(&rec)?;
+                new_index.entry(name).or_default().insert(
+                    version,
+                    Indexed {
+                        offset: new_end + HEADER_LEN as u64,
+                        len: payload.len() as u32,
+                    },
+                );
+                new_end += rec.len() as u64;
+            }
+            tmp.sync_data()?;
+            std::fs::rename(&tmp_path, &self.path)?;
+            inner.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+            inner.index = new_index;
+            inner.end = new_end;
+        }
+        Ok(old_end - inner.end)
+    }
+
+    /// Size of the log file in bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().end
+    }
+}
+
+impl CheckpointStore for DiskStore {
+    fn put(&self, name: ObjName, image: &[u8]) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        let version = inner
+            .index
+            .get(&name)
+            .and_then(|v| v.keys().next_back().copied())
+            .map_or(1, |v| v + 1);
+        let offset = Self::append(&mut inner, self.sync, name, version, 0, image)?;
+        let versions = inner.index.entry(name).or_default();
+        versions.insert(
+            version,
+            Indexed {
+                offset,
+                len: image.len() as u32,
+            },
+        );
+        if self.retain > 0 {
+            while versions.len() > self.retain {
+                let oldest = *versions.keys().next().expect("nonempty");
+                versions.remove(&oldest);
+            }
+        }
+        Ok(version)
+    }
+
+    fn latest(&self, name: ObjName) -> Result<Option<(u64, Bytes)>, StoreError> {
+        let mut inner = self.inner.lock();
+        let Some((version, idx)) = inner.index.get(&name).and_then(|v| {
+            v.iter().next_back().map(|(ver, i)| {
+                (
+                    *ver,
+                    Indexed {
+                        offset: i.offset,
+                        len: i.len,
+                    },
+                )
+            })
+        }) else {
+            return Ok(None);
+        };
+        let payload = Self::read_at(&mut inner, &idx)?;
+        Ok(Some((version, payload)))
+    }
+
+    fn get(&self, name: ObjName, version: u64) -> Result<Option<Bytes>, StoreError> {
+        let mut inner = self.inner.lock();
+        let Some(idx) = inner.index.get(&name).and_then(|v| {
+            v.get(&version).map(|i| Indexed {
+                offset: i.offset,
+                len: i.len,
+            })
+        }) else {
+            return Ok(None);
+        };
+        Ok(Some(Self::read_at(&mut inner, &idx)?))
+    }
+
+    fn versions(&self, name: ObjName) -> Result<Vec<u64>, StoreError> {
+        Ok(self
+            .inner
+            .lock()
+            .index
+            .get(&name)
+            .map(|v| v.keys().copied().collect())
+            .unwrap_or_default())
+    }
+
+    fn delete(&self, name: ObjName) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        if inner.index.remove(&name).is_some() {
+            Self::append(&mut inner, self.sync, name, 0, 1, &[])?;
+        }
+        Ok(())
+    }
+
+    fn names(&self) -> Result<Vec<ObjName>, StoreError> {
+        Ok(self.inner.lock().index.keys().copied().collect())
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.lock().file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::{NameGenerator, NodeId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_log() -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "eden-store-test-{}-{}.log",
+            std::process::id(),
+            n
+        ))
+    }
+
+    fn gen() -> NameGenerator {
+        NameGenerator::with_epoch(NodeId(1), 0xfeed)
+    }
+
+    #[test]
+    fn disk_store_satisfies_contract() {
+        let path = temp_log();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        crate::contract::exercise_store_contract(&store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let path = temp_log();
+        let g = gen();
+        let a = g.next_name();
+        let b = g.next_name();
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Always).unwrap();
+            store.put(a, b"alpha-1").unwrap();
+            store.put(a, b"alpha-2").unwrap();
+            store.put(b, b"beta").unwrap();
+            store.delete(b).unwrap();
+        }
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(&store.latest(a).unwrap().unwrap().1[..], b"alpha-2");
+        assert_eq!(store.versions(a).unwrap(), vec![1, 2]);
+        assert_eq!(store.latest(b).unwrap(), None, "tombstone must survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_recovery() {
+        let path = temp_log();
+        let g = gen();
+        let a = g.next_name();
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Always).unwrap();
+            store.put(a, b"good record").unwrap();
+            store.put(a, b"will be torn").unwrap();
+        }
+        // Tear the last record by chopping bytes off the end.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        let (v, data) = store.latest(a).unwrap().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(&data[..], b"good record");
+        // The store stays writable after recovery.
+        let v2 = store.put(a, b"after recovery").unwrap();
+        assert_eq!(v2, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_ends_the_scan() {
+        let path = temp_log();
+        let g = gen();
+        let a = g.next_name();
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Always).unwrap();
+            store.put(a, b"first").unwrap();
+            store.put(a, b"second").unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        let mut contents = std::fs::read(&path).unwrap();
+        let n = contents.len();
+        contents[n - 2] ^= 0xff;
+        std::fs::write(&path, &contents).unwrap();
+
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(&store.latest(a).unwrap().unwrap().1[..], b"first");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_preserves_live_data() {
+        let path = temp_log();
+        let g = gen();
+        let a = g.next_name();
+        let b = g.next_name();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        for i in 0..10u8 {
+            store.put(a, &[i; 64]).unwrap();
+        }
+        store.put(b, b"doomed").unwrap();
+        store.delete(b).unwrap();
+        let before = store.log_bytes();
+        // Drop old versions of `a` by rebuilding through retention: compact
+        // keeps all indexed versions, so first delete and re-put to shrink.
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed > 0, "tombstoned data must be reclaimed");
+        assert!(store.log_bytes() < before);
+        assert_eq!(store.versions(a).unwrap().len(), 10);
+        assert_eq!(&store.latest(a).unwrap().unwrap().1[..], &[9u8; 64][..]);
+        assert_eq!(store.latest(b).unwrap(), None);
+
+        // And the compacted log must survive reopen.
+        drop(store);
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.versions(a).unwrap().len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_payloads_are_legal() {
+        let path = temp_log();
+        let g = gen();
+        let a = g.next_name();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        store.put(a, b"").unwrap();
+        assert_eq!(&store.latest(a).unwrap().unwrap().1[..], b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_recovers_to_empty_store() {
+        let path = temp_log();
+        std::fs::write(&path, b"this is not a checkpoint log at all").unwrap();
+        let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+        assert!(store.names().unwrap().is_empty());
+        // Must be writable after recovering from garbage.
+        let g = gen();
+        store.put(g.next_name(), b"fresh").unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use crate::CheckpointStore;
+    use eden_capability::{NameGenerator, NodeId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_log() -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(1000);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "eden-store-retain-{}-{}.log",
+            std::process::id(),
+            n
+        ))
+    }
+
+    #[test]
+    fn retention_caps_indexed_versions_and_compaction_reclaims() {
+        let path = temp_log();
+        let store = DiskStore::open_with_retention(&path, SyncPolicy::Never, 2).unwrap();
+        let g = NameGenerator::with_epoch(NodeId(4), 4);
+        let name = g.next_name();
+        for i in 0..6u8 {
+            store.put(name, &[i; 128]).unwrap();
+        }
+        assert_eq!(store.versions(name).unwrap(), vec![5, 6]);
+        assert_eq!(store.get(name, 1).unwrap(), None);
+        assert_eq!(&store.latest(name).unwrap().unwrap().1[..], &[5u8; 128][..]);
+
+        let before = store.log_bytes();
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed > 0, "dropped versions must be reclaimed");
+        assert!(store.log_bytes() < before);
+        assert_eq!(store.versions(name).unwrap(), vec![5, 6]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retention_applies_on_reopen() {
+        let path = temp_log();
+        let g = NameGenerator::with_epoch(NodeId(4), 5);
+        let name = g.next_name();
+        {
+            let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
+            for i in 0..5u8 {
+                store.put(name, &[i; 16]).unwrap();
+            }
+        }
+        let store = DiskStore::open_with_retention(&path, SyncPolicy::Never, 1).unwrap();
+        assert_eq!(store.versions(name).unwrap(), vec![5]);
+        // New puts keep the cap and the monotone numbering.
+        assert_eq!(store.put(name, b"next").unwrap(), 6);
+        assert_eq!(store.versions(name).unwrap(), vec![6]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! Fault injection for checkpoint storage.
+//!
+//! The Eden kernel "is being designed to be tolerant of failures in its
+//! components" (§2). [`FaultyStore`] wraps any [`CheckpointStore`] and
+//! makes its failure modes scriptable so tests can drive the kernel and
+//! the replicated store through storage faults deterministically: failed
+//! writes, failed reads, silent payload corruption, and one-shot faults
+//! that heal afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use eden_capability::ObjName;
+
+use crate::{CheckpointStore, StoreError};
+
+/// Which operations fail, and for how long.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Fail the next N writes (u64::MAX = forever).
+    fail_writes: AtomicU64,
+    /// Fail the next N reads (u64::MAX = forever).
+    fail_reads: AtomicU64,
+    /// Corrupt the payload of the next N reads (bit-flip the first byte).
+    corrupt_reads: AtomicU64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Every write fails until the plan is changed.
+    pub fn fail_all_writes() -> Self {
+        let p = FaultPlan::default();
+        p.fail_writes.store(u64::MAX, Ordering::Relaxed);
+        p
+    }
+
+    /// Every read fails until the plan is changed.
+    pub fn fail_all_reads() -> Self {
+        let p = FaultPlan::default();
+        p.fail_reads.store(u64::MAX, Ordering::Relaxed);
+        p
+    }
+
+    /// Fail exactly the next `n` writes, then heal.
+    pub fn fail_next_writes(n: u64) -> Self {
+        let p = FaultPlan::default();
+        p.fail_writes.store(n, Ordering::Relaxed);
+        p
+    }
+
+    /// Corrupt exactly the next `n` reads, then heal.
+    pub fn corrupt_next_reads(n: u64) -> Self {
+        let p = FaultPlan::default();
+        p.corrupt_reads.store(n, Ordering::Relaxed);
+        p
+    }
+
+    fn consume(counter: &AtomicU64) -> bool {
+        loop {
+            let cur = counter.load(Ordering::Relaxed);
+            if cur == 0 {
+                return false;
+            }
+            if cur == u64::MAX {
+                return true;
+            }
+            if counter
+                .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
+/// A [`CheckpointStore`] wrapper that injects faults per a [`FaultPlan`].
+pub struct FaultyStore<S> {
+    inner: S,
+    plan: FaultPlan,
+}
+
+impl<S: CheckpointStore> FaultyStore<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStore { inner, plan }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Re-arms the plan (e.g. heal, then later fail again).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.plan
+            .fail_writes
+            .store(plan.fail_writes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.plan
+            .fail_reads
+            .store(plan.fail_reads.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.plan.corrupt_reads.store(
+            plan.corrupt_reads.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
+    fn put(&self, name: ObjName, image: &[u8]) -> Result<u64, StoreError> {
+        if FaultPlan::consume(&self.plan.fail_writes) {
+            return Err(StoreError::Injected("write failure"));
+        }
+        self.inner.put(name, image)
+    }
+
+    fn latest(&self, name: ObjName) -> Result<Option<(u64, Bytes)>, StoreError> {
+        if FaultPlan::consume(&self.plan.fail_reads) {
+            return Err(StoreError::Injected("read failure"));
+        }
+        let result = self.inner.latest(name)?;
+        if FaultPlan::consume(&self.plan.corrupt_reads) {
+            if let Some((v, data)) = result {
+                let mut corrupted = data.to_vec();
+                if let Some(b) = corrupted.first_mut() {
+                    *b ^= 0xff;
+                }
+                return Ok(Some((v, Bytes::from(corrupted))));
+            }
+        }
+        Ok(result)
+    }
+
+    fn get(&self, name: ObjName, version: u64) -> Result<Option<Bytes>, StoreError> {
+        if FaultPlan::consume(&self.plan.fail_reads) {
+            return Err(StoreError::Injected("read failure"));
+        }
+        self.inner.get(name, version)
+    }
+
+    fn versions(&self, name: ObjName) -> Result<Vec<u64>, StoreError> {
+        self.inner.versions(name)
+    }
+
+    fn delete(&self, name: ObjName) -> Result<(), StoreError> {
+        if FaultPlan::consume(&self.plan.fail_writes) {
+            return Err(StoreError::Injected("write failure"));
+        }
+        self.inner.delete(name)
+    }
+
+    fn names(&self) -> Result<Vec<ObjName>, StoreError> {
+        self.inner.names()
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+    use eden_capability::{NameGenerator, NodeId};
+
+    fn name() -> ObjName {
+        NameGenerator::with_epoch(NodeId(9), 1).next_name()
+    }
+
+    #[test]
+    fn no_faults_passes_through() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::none());
+        let n = name();
+        store.put(n, b"x").unwrap();
+        assert_eq!(&store.latest(n).unwrap().unwrap().1[..], b"x");
+    }
+
+    #[test]
+    fn one_shot_write_fault_heals() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::fail_next_writes(1));
+        let n = name();
+        assert!(store.put(n, b"fails").is_err());
+        store.put(n, b"succeeds").unwrap();
+        assert_eq!(&store.latest(n).unwrap().unwrap().1[..], b"succeeds");
+    }
+
+    #[test]
+    fn corrupting_read_flips_payload() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::corrupt_next_reads(1));
+        let n = name();
+        store.put(n, b"pristine").unwrap();
+        let (_, corrupted) = store.latest(n).unwrap().unwrap();
+        assert_ne!(&corrupted[..], b"pristine");
+        let (_, healed) = store.latest(n).unwrap().unwrap();
+        assert_eq!(&healed[..], b"pristine");
+    }
+
+    #[test]
+    fn set_plan_rearms() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::none());
+        let n = name();
+        store.put(n, b"ok").unwrap();
+        store.set_plan(FaultPlan::fail_all_reads());
+        assert!(store.latest(n).is_err());
+        store.set_plan(FaultPlan::none());
+        assert!(store.latest(n).is_ok());
+    }
+}

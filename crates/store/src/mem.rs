@@ -1,0 +1,178 @@
+//! A volatile, in-memory checkpoint store.
+//!
+//! Used wherever durability is not under test: kernel unit tests, latency
+//! benchmarks, and as the building block behind [`FaultyStore`] and
+//! [`ReplicatedStore`](crate::ReplicatedStore) composition tests.
+//! Semantically identical to [`DiskStore`](crate::DiskStore) minus
+//! persistence.
+//!
+//! [`FaultyStore`]: crate::FaultyStore
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use eden_capability::ObjName;
+use parking_lot::RwLock;
+
+use crate::{CheckpointStore, StoreError};
+
+/// An in-memory [`CheckpointStore`].
+///
+/// # Examples
+///
+/// ```
+/// use eden_store::{CheckpointStore, MemStore};
+/// use eden_capability::{NameGenerator, NodeId};
+///
+/// let store = MemStore::new();
+/// let name = NameGenerator::new(NodeId(0)).next_name();
+/// let v = store.put(name, b"hello").unwrap();
+/// assert_eq!(&store.latest(name).unwrap().unwrap().1[..], b"hello");
+/// assert_eq!(store.versions(name).unwrap(), vec![v]);
+/// ```
+pub struct MemStore {
+    objects: RwLock<HashMap<ObjName, BTreeMap<u64, Bytes>>>,
+    /// Retain at most this many versions per object (0 = unlimited).
+    retain: usize,
+}
+
+impl MemStore {
+    /// Creates a store retaining every version.
+    pub fn new() -> Self {
+        MemStore {
+            objects: RwLock::new(HashMap::new()),
+            retain: 0,
+        }
+    }
+
+    /// Creates a store retaining only the `retain` most recent versions of
+    /// each object.
+    pub fn with_retention(retain: usize) -> Self {
+        MemStore {
+            objects: RwLock::new(HashMap::new()),
+            retain,
+        }
+    }
+
+    /// Total bytes held across all versions (capacity accounting in
+    /// benchmarks).
+    pub fn total_bytes(&self) -> usize {
+        self.objects
+            .read()
+            .values()
+            .flat_map(|v| v.values())
+            .map(Bytes::len)
+            .sum()
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore::new()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn put(&self, name: ObjName, image: &[u8]) -> Result<u64, StoreError> {
+        let mut objects = self.objects.write();
+        let versions = objects.entry(name).or_default();
+        let next = versions.keys().next_back().map_or(1, |v| v + 1);
+        versions.insert(next, Bytes::copy_from_slice(image));
+        if self.retain > 0 {
+            while versions.len() > self.retain {
+                let oldest = *versions.keys().next().expect("nonempty");
+                versions.remove(&oldest);
+            }
+        }
+        Ok(next)
+    }
+
+    fn latest(&self, name: ObjName) -> Result<Option<(u64, Bytes)>, StoreError> {
+        Ok(self
+            .objects
+            .read()
+            .get(&name)
+            .and_then(|v| v.iter().next_back().map(|(k, b)| (*k, b.clone()))))
+    }
+
+    fn get(&self, name: ObjName, version: u64) -> Result<Option<Bytes>, StoreError> {
+        Ok(self
+            .objects
+            .read()
+            .get(&name)
+            .and_then(|v| v.get(&version).cloned()))
+    }
+
+    fn versions(&self, name: ObjName) -> Result<Vec<u64>, StoreError> {
+        Ok(self
+            .objects
+            .read()
+            .get(&name)
+            .map(|v| v.keys().copied().collect())
+            .unwrap_or_default())
+    }
+
+    fn delete(&self, name: ObjName) -> Result<(), StoreError> {
+        self.objects.write().remove(&name);
+        Ok(())
+    }
+
+    fn names(&self) -> Result<Vec<ObjName>, StoreError> {
+        Ok(self.objects.read().keys().copied().collect())
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::{NameGenerator, NodeId};
+
+    fn name() -> ObjName {
+        NameGenerator::with_epoch(NodeId(1), 7).next_name()
+    }
+
+    #[test]
+    fn retention_drops_oldest_versions() {
+        let store = MemStore::with_retention(2);
+        let n = name();
+        store.put(n, b"one").unwrap();
+        store.put(n, b"two").unwrap();
+        store.put(n, b"three").unwrap();
+        assert_eq!(store.versions(n).unwrap(), vec![2, 3]);
+        assert_eq!(store.get(n, 1).unwrap(), None);
+        assert_eq!(&store.latest(n).unwrap().unwrap().1[..], b"three");
+    }
+
+    #[test]
+    fn versions_remain_monotone_after_retention() {
+        let store = MemStore::with_retention(1);
+        let n = name();
+        for i in 0..5u64 {
+            let v = store.put(n, &[i as u8]).unwrap();
+            assert_eq!(v, i + 1, "version must not reset when old ones drop");
+        }
+    }
+
+    #[test]
+    fn total_bytes_accounts_all_versions() {
+        let store = MemStore::new();
+        let n = name();
+        store.put(n, &[0u8; 10]).unwrap();
+        store.put(n, &[0u8; 20]).unwrap();
+        assert_eq!(store.total_bytes(), 30);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let store = MemStore::new();
+        let n = name();
+        store.put(n, b"x").unwrap();
+        store.delete(n).unwrap();
+        store.delete(n).unwrap();
+        assert!(store.names().unwrap().is_empty());
+    }
+}

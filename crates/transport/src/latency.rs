@@ -1,0 +1,108 @@
+//! Per-frame delivery latency models for the in-process mesh.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// How long a frame spends "on the wire" before delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Immediate delivery (pure channel semantics; fastest harness mode).
+    Zero,
+    /// A constant delay.
+    Constant(Duration),
+    /// Uniformly distributed between the bounds.
+    Uniform(Duration, Duration),
+    /// An uncontended-Ethernet approximation: a constant access delay plus
+    /// serialization time at the configured bit rate. Calibrate the
+    /// constants from `eden-ethersim` runs to make the in-process mesh
+    /// feel like the simulated wire.
+    Ethernet {
+        /// Fixed per-frame cost (propagation + interframe gap + MAC).
+        access: Duration,
+        /// Channel bit rate for serialization delay.
+        bit_rate_bps: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples the delivery delay for a frame of `payload_bytes`.
+    pub fn sample(&self, payload_bytes: usize, rng: &mut SmallRng) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi - lo).as_nanos() as u64;
+                lo + Duration::from_nanos(rng.random_range(0..=span))
+            }
+            LatencyModel::Ethernet {
+                access,
+                bit_rate_bps,
+            } => {
+                let bits = (payload_bytes as u64 + 26) * 8;
+                let ser_ns = bits.saturating_mul(1_000_000_000) / bit_rate_bps.max(1);
+                access + Duration::from_nanos(ser_ns)
+            }
+        }
+    }
+
+    /// The 10 Mb/s Ethernet defaults used by the cluster harness when a
+    /// "realistic LAN" is requested.
+    pub fn lan_10mbps() -> LatencyModel {
+        LatencyModel::Ethernet {
+            access: Duration::from_micros(60),
+            bit_rate_bps: 10_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(LatencyModel::Zero.sample(1500, &mut rng()), Duration::ZERO);
+    }
+
+    #[test]
+    fn constant_ignores_size() {
+        let m = LatencyModel::Constant(Duration::from_micros(100));
+        assert_eq!(m.sample(0, &mut rng()), Duration::from_micros(100));
+        assert_eq!(m.sample(10_000, &mut rng()), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform(Duration::from_micros(10), Duration::from_micros(50));
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = m.sample(100, &mut r);
+            assert!(d >= Duration::from_micros(10) && d <= Duration::from_micros(50));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lower_bound() {
+        let m = LatencyModel::Uniform(Duration::from_micros(10), Duration::from_micros(10));
+        assert_eq!(m.sample(1, &mut rng()), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn ethernet_grows_with_frame_size() {
+        let m = LatencyModel::lan_10mbps();
+        let small = m.sample(64, &mut rng());
+        let large = m.sample(1500, &mut rng());
+        assert!(large > small);
+        // 1500 bytes + 26 overhead = 12208 bits ≈ 1.22 ms on 10 Mb/s.
+        assert!(large > Duration::from_micros(1200) && large < Duration::from_micros(1400));
+    }
+}

@@ -1,0 +1,134 @@
+//! Transport counters.
+//!
+//! The frozen-object experiment (E4) measures its win as *remote messages
+//! avoided*, so every transport counts frames and payload bytes in each
+//! direction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time snapshot of one endpoint's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Frames passed to `send`.
+    pub frames_sent: u64,
+    /// Frames delivered to `recv`.
+    pub frames_received: u64,
+    /// Encoded payload bytes sent.
+    pub bytes_sent: u64,
+    /// Encoded payload bytes received.
+    pub bytes_received: u64,
+    /// Frames dropped by the loss model or a partition.
+    pub frames_dropped: u64,
+}
+
+/// Shared mutable counters behind a snapshot API.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    frames_dropped: AtomicU64,
+}
+
+impl StatsCell {
+    /// A fresh, shareable counter cell.
+    pub fn new_shared() -> Arc<StatsCell> {
+        Arc::new(StatsCell::default())
+    }
+
+    /// Records an outbound frame of `bytes` payload bytes.
+    pub fn record_send(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records an inbound frame of `bytes` payload bytes.
+    pub fn record_recv(&self, bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a dropped frame.
+    pub fn record_drop(&self) {
+        self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl TransportStats {
+    /// The difference `self - earlier`, for measuring an interval.
+    #[must_use]
+    pub fn delta(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            frames_received: self.frames_received - earlier.frames_received,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            frames_dropped: self.frames_dropped - earlier.frames_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = StatsCell::new_shared();
+        c.record_send(100);
+        c.record_send(50);
+        c.record_recv(10);
+        c.record_drop();
+        let s = c.snapshot();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.frames_received, 1);
+        assert_eq!(s.bytes_received, 10);
+        assert_eq!(s.frames_dropped, 1);
+    }
+
+    #[test]
+    fn delta_measures_an_interval() {
+        let c = StatsCell::new_shared();
+        c.record_send(10);
+        let before = c.snapshot();
+        c.record_send(20);
+        c.record_send(30);
+        let after = c.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.frames_sent, 2);
+        assert_eq!(d.bytes_sent, 50);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let c = StatsCell::new_shared();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.record_send(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().frames_sent, 4000);
+    }
+}

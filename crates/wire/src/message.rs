@@ -1,0 +1,686 @@
+//! The kernel-to-kernel protocol.
+//!
+//! Eden kernels exchange [`Frame`]s over the local network. A frame names
+//! its source and destination node (or broadcast) and carries one
+//! [`Message`]. The message set covers every inter-kernel interaction the
+//! paper's kernel requires:
+//!
+//! * invocation forwarding and replies (§4.2);
+//! * the location protocol — `WhereIs`/`HereIs` broadcasts the kernel uses
+//!   "to determine the node on which the target object resides" (§2);
+//! * object transfer for the `move` primitive (§4.3);
+//! * replica distribution for frozen objects (§4.3);
+//! * remote checkpoint traffic to a checksite node (§4.4: "the checksite
+//!   node that is responsible for maintaining an object's long-term state
+//!   need not be the node responsible for supporting its active
+//!   execution").
+
+use eden_capability::{Capability, NodeId, ObjName};
+
+use crate::codec::{CodecError, Reader, WireDecode, WireEncode, Writer};
+use crate::image::ObjectImage;
+use crate::status::Status;
+use crate::value::Value;
+
+/// Where a frame is going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// A single node.
+    Node(NodeId),
+    /// Every other node on the network (location search, announcements).
+    Broadcast,
+}
+
+/// How a node holds an object, reported in [`Message::HereIs`] replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeldState {
+    /// The object is active on the replying node.
+    Active,
+    /// The replying node holds a checkpoint (the object is passive there).
+    Passive,
+    /// The replying node holds a frozen replica.
+    FrozenReplica,
+}
+
+/// One kernel-to-kernel protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Forward an invocation to the node holding the target object.
+    InvokeRequest {
+        /// Correlates the eventual [`Message::InvokeReply`].
+        inv_id: u64,
+        /// The capability presented by the invoker (rights travel with it).
+        target: Capability,
+        /// The operation name.
+        operation: String,
+        /// Data and capability parameters.
+        args: Vec<Value>,
+        /// Node to send the reply to.
+        reply_to: NodeId,
+        /// Remaining forwarding budget; decremented per hop so forwarding
+        /// chains (after moves) terminate.
+        hops: u8,
+    },
+    /// The status and return parameters of a completed invocation.
+    InvokeReply {
+        /// Matches the request's `inv_id`.
+        inv_id: u64,
+        /// Outcome.
+        status: Status,
+        /// Return parameters (valid when `status` is `Ok`).
+        results: Vec<Value>,
+    },
+    /// Broadcast: who holds this object?
+    WhereIs {
+        /// Correlates [`Message::HereIs`] replies.
+        query_id: u64,
+        /// The object being located.
+        name: ObjName,
+        /// Node to reply to.
+        reply_to: NodeId,
+    },
+    /// Reply to [`Message::WhereIs`]: the sender holds the object.
+    HereIs {
+        /// Matches the query.
+        query_id: u64,
+        /// The object.
+        name: ObjName,
+        /// How the sender holds it.
+        state: HeldState,
+    },
+    /// Transfer an object's representation to the destination node (§4.3).
+    MoveTransfer {
+        /// Correlates the [`Message::MoveAck`].
+        xfer_id: u64,
+        /// The object being moved.
+        name: ObjName,
+        /// Its representation image.
+        image: ObjectImage,
+        /// Node to acknowledge to (the source).
+        reply_to: NodeId,
+    },
+    /// Accept/reject a [`Message::MoveTransfer`].
+    MoveAck {
+        /// Matches the transfer.
+        xfer_id: u64,
+        /// Whether the destination installed the object.
+        accepted: bool,
+        /// Reason when rejected (unknown type, shutting down, …).
+        reason: String,
+    },
+    /// Ask a node for a frozen object's replica (§4.3).
+    ReplicaRequest {
+        /// Correlates the [`Message::ReplicaPush`].
+        req_id: u64,
+        /// The frozen object.
+        name: ObjName,
+        /// Node to reply to.
+        reply_to: NodeId,
+    },
+    /// Deliver (or refuse) a frozen replica.
+    ReplicaPush {
+        /// Matches the request.
+        req_id: u64,
+        /// The frozen object.
+        name: ObjName,
+        /// The frozen image; `None` if the sender cannot supply it.
+        image: Option<ObjectImage>,
+    },
+    /// Write a checkpoint at a remote checksite (§4.4).
+    CheckpointPut {
+        /// Correlates the [`Message::CheckpointAck`].
+        req_id: u64,
+        /// The object being checkpointed.
+        name: ObjName,
+        /// The representation image to persist.
+        image: ObjectImage,
+        /// Node to acknowledge to.
+        reply_to: NodeId,
+    },
+    /// Acknowledge a checkpoint write.
+    CheckpointAck {
+        /// Matches the put.
+        req_id: u64,
+        /// Whether the checkpoint is durable.
+        ok: bool,
+        /// The stored version number.
+        version: u64,
+    },
+    /// Fetch the latest checkpoint of an object (reincarnation after the
+    /// active node failed, or activation at a node other than the
+    /// checksite).
+    CheckpointFetch {
+        /// Correlates the [`Message::CheckpointData`].
+        req_id: u64,
+        /// The object whose checkpoint is wanted.
+        name: ObjName,
+        /// Node to reply to.
+        reply_to: NodeId,
+    },
+    /// Deliver (or refuse) a checkpoint.
+    CheckpointData {
+        /// Matches the fetch.
+        req_id: u64,
+        /// The object.
+        name: ObjName,
+        /// The latest checkpoint image, if the sender has one.
+        image: Option<ObjectImage>,
+    },
+    /// Remove every checkpoint of an object at a remote checksite
+    /// (object destruction).
+    CheckpointDelete {
+        /// Correlates the [`Message::CheckpointAck`].
+        req_id: u64,
+        /// The object being destroyed.
+        name: ObjName,
+        /// Node to acknowledge to.
+        reply_to: NodeId,
+    },
+    /// Liveness probe, used by failure-injection tests and the cluster
+    /// harness.
+    Ping {
+        /// Correlates the [`Message::Pong`].
+        token: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Matches the ping.
+        token: u64,
+    },
+}
+
+impl Message {
+    /// A stable short label for metrics and tracing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::InvokeRequest { .. } => "invoke-request",
+            Message::InvokeReply { .. } => "invoke-reply",
+            Message::WhereIs { .. } => "where-is",
+            Message::HereIs { .. } => "here-is",
+            Message::MoveTransfer { .. } => "move-transfer",
+            Message::MoveAck { .. } => "move-ack",
+            Message::ReplicaRequest { .. } => "replica-request",
+            Message::ReplicaPush { .. } => "replica-push",
+            Message::CheckpointPut { .. } => "checkpoint-put",
+            Message::CheckpointAck { .. } => "checkpoint-ack",
+            Message::CheckpointFetch { .. } => "checkpoint-fetch",
+            Message::CheckpointData { .. } => "checkpoint-data",
+            Message::CheckpointDelete { .. } => "checkpoint-delete",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+        }
+    }
+}
+
+/// One unit of network delivery: source, destination, message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node or broadcast.
+    pub dst: Dest,
+    /// The protocol message.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Builds a unicast frame.
+    pub fn to(src: NodeId, dst: NodeId, msg: Message) -> Self {
+        Frame {
+            src,
+            dst: Dest::Node(dst),
+            msg,
+        }
+    }
+
+    /// Builds a broadcast frame.
+    pub fn broadcast(src: NodeId, msg: Message) -> Self {
+        Frame {
+            src,
+            dst: Dest::Broadcast,
+            msg,
+        }
+    }
+}
+
+const TAG_INVOKE_REQUEST: u8 = 0;
+const TAG_INVOKE_REPLY: u8 = 1;
+const TAG_WHERE_IS: u8 = 2;
+const TAG_HERE_IS: u8 = 3;
+const TAG_MOVE_TRANSFER: u8 = 4;
+const TAG_MOVE_ACK: u8 = 5;
+const TAG_REPLICA_REQUEST: u8 = 6;
+const TAG_REPLICA_PUSH: u8 = 7;
+const TAG_CHECKPOINT_PUT: u8 = 8;
+const TAG_CHECKPOINT_ACK: u8 = 9;
+const TAG_CHECKPOINT_FETCH: u8 = 10;
+const TAG_CHECKPOINT_DATA: u8 = 11;
+const TAG_CHECKPOINT_DELETE: u8 = 14;
+const TAG_PING: u8 = 12;
+const TAG_PONG: u8 = 13;
+
+impl WireEncode for HeldState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            HeldState::Active => 0,
+            HeldState::Passive => 1,
+            HeldState::FrozenReplica => 2,
+        });
+    }
+}
+
+impl WireDecode for HeldState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(HeldState::Active),
+            1 => Ok(HeldState::Passive),
+            2 => Ok(HeldState::FrozenReplica),
+            tag => Err(CodecError::BadTag {
+                what: "HeldState",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::InvokeRequest {
+                inv_id,
+                target,
+                operation,
+                args,
+                reply_to,
+                hops,
+            } => {
+                w.put_u8(TAG_INVOKE_REQUEST);
+                w.put_u64(*inv_id);
+                target.encode(w);
+                w.put_str(operation);
+                w.put_seq(args);
+                reply_to.encode(w);
+                w.put_u8(*hops);
+            }
+            Message::InvokeReply {
+                inv_id,
+                status,
+                results,
+            } => {
+                w.put_u8(TAG_INVOKE_REPLY);
+                w.put_u64(*inv_id);
+                status.encode(w);
+                w.put_seq(results);
+            }
+            Message::WhereIs {
+                query_id,
+                name,
+                reply_to,
+            } => {
+                w.put_u8(TAG_WHERE_IS);
+                w.put_u64(*query_id);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            Message::HereIs {
+                query_id,
+                name,
+                state,
+            } => {
+                w.put_u8(TAG_HERE_IS);
+                w.put_u64(*query_id);
+                name.encode(w);
+                state.encode(w);
+            }
+            Message::MoveTransfer {
+                xfer_id,
+                name,
+                image,
+                reply_to,
+            } => {
+                w.put_u8(TAG_MOVE_TRANSFER);
+                w.put_u64(*xfer_id);
+                name.encode(w);
+                image.encode(w);
+                reply_to.encode(w);
+            }
+            Message::MoveAck {
+                xfer_id,
+                accepted,
+                reason,
+            } => {
+                w.put_u8(TAG_MOVE_ACK);
+                w.put_u64(*xfer_id);
+                w.put_bool(*accepted);
+                w.put_str(reason);
+            }
+            Message::ReplicaRequest {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                w.put_u8(TAG_REPLICA_REQUEST);
+                w.put_u64(*req_id);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            Message::ReplicaPush { req_id, name, image } => {
+                w.put_u8(TAG_REPLICA_PUSH);
+                w.put_u64(*req_id);
+                name.encode(w);
+                w.put_option(image);
+            }
+            Message::CheckpointPut {
+                req_id,
+                name,
+                image,
+                reply_to,
+            } => {
+                w.put_u8(TAG_CHECKPOINT_PUT);
+                w.put_u64(*req_id);
+                name.encode(w);
+                image.encode(w);
+                reply_to.encode(w);
+            }
+            Message::CheckpointAck {
+                req_id,
+                ok,
+                version,
+            } => {
+                w.put_u8(TAG_CHECKPOINT_ACK);
+                w.put_u64(*req_id);
+                w.put_bool(*ok);
+                w.put_u64(*version);
+            }
+            Message::CheckpointFetch {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                w.put_u8(TAG_CHECKPOINT_FETCH);
+                w.put_u64(*req_id);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            Message::CheckpointData { req_id, name, image } => {
+                w.put_u8(TAG_CHECKPOINT_DATA);
+                w.put_u64(*req_id);
+                name.encode(w);
+                w.put_option(image);
+            }
+            Message::CheckpointDelete {
+                req_id,
+                name,
+                reply_to,
+            } => {
+                w.put_u8(TAG_CHECKPOINT_DELETE);
+                w.put_u64(*req_id);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            Message::Ping { token } => {
+                w.put_u8(TAG_PING);
+                w.put_u64(*token);
+            }
+            Message::Pong { token } => {
+                w.put_u8(TAG_PONG);
+                w.put_u64(*token);
+            }
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            TAG_INVOKE_REQUEST => Ok(Message::InvokeRequest {
+                inv_id: r.get_u64()?,
+                target: Capability::decode(r)?,
+                operation: r.get_str()?,
+                args: r.get_seq()?,
+                reply_to: NodeId::decode(r)?,
+                hops: r.get_u8()?,
+            }),
+            TAG_INVOKE_REPLY => Ok(Message::InvokeReply {
+                inv_id: r.get_u64()?,
+                status: Status::decode(r)?,
+                results: r.get_seq()?,
+            }),
+            TAG_WHERE_IS => Ok(Message::WhereIs {
+                query_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_HERE_IS => Ok(Message::HereIs {
+                query_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                state: HeldState::decode(r)?,
+            }),
+            TAG_MOVE_TRANSFER => Ok(Message::MoveTransfer {
+                xfer_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                image: ObjectImage::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_MOVE_ACK => Ok(Message::MoveAck {
+                xfer_id: r.get_u64()?,
+                accepted: r.get_bool()?,
+                reason: r.get_str()?,
+            }),
+            TAG_REPLICA_REQUEST => Ok(Message::ReplicaRequest {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_REPLICA_PUSH => Ok(Message::ReplicaPush {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                image: r.get_option()?,
+            }),
+            TAG_CHECKPOINT_PUT => Ok(Message::CheckpointPut {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                image: ObjectImage::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_CHECKPOINT_ACK => Ok(Message::CheckpointAck {
+                req_id: r.get_u64()?,
+                ok: r.get_bool()?,
+                version: r.get_u64()?,
+            }),
+            TAG_CHECKPOINT_FETCH => Ok(Message::CheckpointFetch {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_CHECKPOINT_DATA => Ok(Message::CheckpointData {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                image: r.get_option()?,
+            }),
+            TAG_CHECKPOINT_DELETE => Ok(Message::CheckpointDelete {
+                req_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_PING => Ok(Message::Ping {
+                token: r.get_u64()?,
+            }),
+            TAG_PONG => Ok(Message::Pong {
+                token: r.get_u64()?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "Message",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for Frame {
+    fn encode(&self, w: &mut Writer) {
+        self.src.encode(w);
+        match self.dst {
+            Dest::Node(n) => {
+                w.put_u8(0);
+                n.encode(w);
+            }
+            Dest::Broadcast => w.put_u8(1),
+        }
+        self.msg.encode(w);
+    }
+}
+
+impl WireDecode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let src = NodeId::decode(r)?;
+        let dst = match r.get_u8()? {
+            0 => Dest::Node(NodeId::decode(r)?),
+            1 => Dest::Broadcast,
+            tag => return Err(CodecError::BadTag { what: "Dest", tag }),
+        };
+        let msg = Message::decode(r)?;
+        Ok(Frame { src, dst, msg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::{NameGenerator, Rights};
+    use proptest::prelude::*;
+
+    fn sample_name() -> ObjName {
+        NameGenerator::with_epoch(NodeId(3), 11).next_name()
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        let name = sample_name();
+        let cap = Capability::mint(name).restrict(Rights::READ | Rights::WRITE);
+        vec![
+            Message::InvokeRequest {
+                inv_id: 1,
+                target: cap,
+                operation: "put".into(),
+                args: vec![Value::Str("this is a new line".into())],
+                reply_to: NodeId(0),
+                hops: 4,
+            },
+            Message::InvokeReply {
+                inv_id: 1,
+                status: Status::Ok,
+                results: vec![Value::U64(17)],
+            },
+            Message::WhereIs {
+                query_id: 2,
+                name,
+                reply_to: NodeId(1),
+            },
+            Message::HereIs {
+                query_id: 2,
+                name,
+                state: HeldState::FrozenReplica,
+            },
+            Message::MoveTransfer {
+                xfer_id: 3,
+                name,
+                image: ObjectImage::empty("file"),
+                reply_to: NodeId(2),
+            },
+            Message::MoveAck {
+                xfer_id: 3,
+                accepted: false,
+                reason: "unknown type".into(),
+            },
+            Message::ReplicaRequest {
+                req_id: 4,
+                name,
+                reply_to: NodeId(3),
+            },
+            Message::ReplicaPush {
+                req_id: 4,
+                name,
+                image: Some(ObjectImage::empty("dict")),
+            },
+            Message::CheckpointPut {
+                req_id: 5,
+                name,
+                image: ObjectImage::empty("mailbox"),
+                reply_to: NodeId(4),
+            },
+            Message::CheckpointAck {
+                req_id: 5,
+                ok: true,
+                version: 12,
+            },
+            Message::CheckpointFetch {
+                req_id: 6,
+                name,
+                reply_to: NodeId(5),
+            },
+            Message::CheckpointData {
+                req_id: 6,
+                name,
+                image: None,
+            },
+            Message::CheckpointDelete {
+                req_id: 8,
+                name,
+                reply_to: NodeId(6),
+            },
+            Message::Ping { token: 7 },
+            Message::Pong { token: 7 },
+        ]
+    }
+
+    #[test]
+    fn every_message_variant_round_trips() {
+        for msg in sample_messages() {
+            let frame = Frame::to(NodeId(8), NodeId(9), msg.clone());
+            let buf = frame.encode_to_bytes();
+            let back = Frame::decode_from_bytes(&buf).unwrap();
+            assert_eq!(back, frame, "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn broadcast_frames_round_trip() {
+        let frame = Frame::broadcast(NodeId(1), Message::Ping { token: 99 });
+        let buf = frame.encode_to_bytes();
+        assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), frame);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            sample_messages().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), sample_messages().len());
+    }
+
+    proptest! {
+        #[test]
+        fn frame_decoding_garbage_never_panics(garbage in proptest::collection::vec(0u8.., 0..512)) {
+            let _ = Frame::decode_from_bytes(&garbage);
+        }
+
+        #[test]
+        fn invoke_request_round_trips(
+            inv_id in 0u64..,
+            op in "[a-z]{1,12}",
+            hops in 0u8..,
+            payload in proptest::collection::vec(0u8.., 0..256),
+        ) {
+            let msg = Message::InvokeRequest {
+                inv_id,
+                target: Capability::mint(sample_name()),
+                operation: op,
+                args: vec![Value::Blob(bytes::Bytes::from(payload))],
+                reply_to: NodeId(1),
+                hops,
+            };
+            let frame = Frame::broadcast(NodeId(0), msg);
+            let buf = frame.encode_to_bytes();
+            prop_assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), frame);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Invocation status words.
+//!
+//! §4.2: the target object "executes the request and responds with status
+//! and return parameters". [`Status`] is that status word. Kernel-detected
+//! failures (no such object, rights violation, timeout, …) and
+//! type-manager-reported application errors share the one status channel,
+//! exactly as the paper's `Returns (status)` sketch suggests.
+
+use eden_capability::Rights;
+
+use crate::codec::{CodecError, Reader, WireDecode, WireEncode, Writer};
+
+/// The outcome of an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// The operation completed; results are valid.
+    Ok,
+    /// No object with the target name exists anywhere the kernel could find.
+    NoSuchObject,
+    /// The target's type defines no such operation.
+    NoSuchOperation(String),
+    /// The capability lacked rights the operation requires.
+    RightsViolation {
+        /// Rights the operation requires.
+        required: Rights,
+        /// Rights the presented capability carried.
+        held: Rights,
+    },
+    /// The user-supplied timeout expired before a reply arrived (§4.2:
+    /// "the invoker wishes to be notified if the invocation is not
+    /// completed within some time limit").
+    Timeout,
+    /// The object crashed (§4.4) while the invocation was queued or
+    /// in flight and could not be transparently recovered.
+    ObjectCrashed,
+    /// A mutating operation was attempted on a frozen object (§4.3).
+    Frozen,
+    /// Parameters did not match what the operation expects.
+    TypeError(String),
+    /// The node believed to hold the object could not be reached.
+    NodeUnreachable,
+    /// The object was destroyed; its name will never be reused.
+    Destroyed,
+    /// An error reported by the type manager itself.
+    AppError {
+        /// A type-manager-defined code.
+        code: i32,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Status {
+    /// Tests whether the invocation succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Status::Ok)
+    }
+
+    /// A stable short label for metrics and table output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::NoSuchObject => "no-such-object",
+            Status::NoSuchOperation(_) => "no-such-operation",
+            Status::RightsViolation { .. } => "rights-violation",
+            Status::Timeout => "timeout",
+            Status::ObjectCrashed => "object-crashed",
+            Status::Frozen => "frozen",
+            Status::TypeError(_) => "type-error",
+            Status::NodeUnreachable => "node-unreachable",
+            Status::Destroyed => "destroyed",
+            Status::AppError { .. } => "app-error",
+        }
+    }
+}
+
+impl core::fmt::Display for Status {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Status::NoSuchOperation(op) => write!(f, "no such operation: {op}"),
+            Status::RightsViolation { required, held } => {
+                write!(f, "rights violation: required {required:?}, held {held:?}")
+            }
+            Status::TypeError(msg) => write!(f, "type error: {msg}"),
+            Status::AppError { code, message } => write!(f, "application error {code}: {message}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+const TAG_OK: u8 = 0;
+const TAG_NO_OBJECT: u8 = 1;
+const TAG_NO_OPERATION: u8 = 2;
+const TAG_RIGHTS: u8 = 3;
+const TAG_TIMEOUT: u8 = 4;
+const TAG_CRASHED: u8 = 5;
+const TAG_FROZEN: u8 = 6;
+const TAG_TYPE_ERROR: u8 = 7;
+const TAG_UNREACHABLE: u8 = 8;
+const TAG_DESTROYED: u8 = 9;
+const TAG_APP: u8 = 10;
+
+impl WireEncode for Status {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Status::Ok => w.put_u8(TAG_OK),
+            Status::NoSuchObject => w.put_u8(TAG_NO_OBJECT),
+            Status::NoSuchOperation(op) => {
+                w.put_u8(TAG_NO_OPERATION);
+                w.put_str(op);
+            }
+            Status::RightsViolation { required, held } => {
+                w.put_u8(TAG_RIGHTS);
+                required.encode(w);
+                held.encode(w);
+            }
+            Status::Timeout => w.put_u8(TAG_TIMEOUT),
+            Status::ObjectCrashed => w.put_u8(TAG_CRASHED),
+            Status::Frozen => w.put_u8(TAG_FROZEN),
+            Status::TypeError(msg) => {
+                w.put_u8(TAG_TYPE_ERROR);
+                w.put_str(msg);
+            }
+            Status::NodeUnreachable => w.put_u8(TAG_UNREACHABLE),
+            Status::Destroyed => w.put_u8(TAG_DESTROYED),
+            Status::AppError { code, message } => {
+                w.put_u8(TAG_APP);
+                w.put_u32(*code as u32);
+                w.put_str(message);
+            }
+        }
+    }
+}
+
+impl WireDecode for Status {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            TAG_OK => Ok(Status::Ok),
+            TAG_NO_OBJECT => Ok(Status::NoSuchObject),
+            TAG_NO_OPERATION => Ok(Status::NoSuchOperation(r.get_str()?)),
+            TAG_RIGHTS => Ok(Status::RightsViolation {
+                required: Rights::decode(r)?,
+                held: Rights::decode(r)?,
+            }),
+            TAG_TIMEOUT => Ok(Status::Timeout),
+            TAG_CRASHED => Ok(Status::ObjectCrashed),
+            TAG_FROZEN => Ok(Status::Frozen),
+            TAG_TYPE_ERROR => Ok(Status::TypeError(r.get_str()?)),
+            TAG_UNREACHABLE => Ok(Status::NodeUnreachable),
+            TAG_DESTROYED => Ok(Status::Destroyed),
+            TAG_APP => Ok(Status::AppError {
+                code: r.get_u32()? as i32,
+                message: r.get_str()?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "Status",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_status() -> impl Strategy<Value = Status> {
+        prop_oneof![
+            Just(Status::Ok),
+            Just(Status::NoSuchObject),
+            "[a-z]{0,12}".prop_map(Status::NoSuchOperation),
+            (0u32.., 0u32..).prop_map(|(r, h)| Status::RightsViolation {
+                required: Rights::from_bits(r),
+                held: Rights::from_bits(h),
+            }),
+            Just(Status::Timeout),
+            Just(Status::ObjectCrashed),
+            Just(Status::Frozen),
+            ".{0,32}".prop_map(Status::TypeError),
+            Just(Status::NodeUnreachable),
+            Just(Status::Destroyed),
+            (any::<i32>(), ".{0,32}").prop_map(|(code, message)| Status::AppError {
+                code,
+                message,
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn status_round_trips(s in any_status()) {
+            prop_assert_eq!(Status::decode_from_bytes(&s.encode_to_bytes()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn only_ok_is_ok() {
+        assert!(Status::Ok.is_ok());
+        assert!(!Status::Timeout.is_ok());
+        assert!(!Status::AppError {
+            code: 0,
+            message: String::new()
+        }
+        .is_ok());
+    }
+
+    #[test]
+    fn display_mentions_operation_name() {
+        let s = format!("{}", Status::NoSuchOperation("put".into()));
+        assert!(s.contains("put"));
+    }
+
+    #[test]
+    fn labels_are_distinct_for_distinct_variants() {
+        let variants = [
+            Status::Ok,
+            Status::NoSuchObject,
+            Status::NoSuchOperation(String::new()),
+            Status::Timeout,
+            Status::ObjectCrashed,
+            Status::Frozen,
+            Status::NodeUnreachable,
+            Status::Destroyed,
+        ];
+        let labels: std::collections::HashSet<_> = variants.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), variants.len());
+    }
+}

@@ -1,0 +1,219 @@
+//! An interactive shell over a live Eden cluster.
+//!
+//! Drives the whole public API from a command line: create objects,
+//! invoke them, move and freeze them, inspect kernels. Run it and type
+//! `help`:
+//!
+//! ```sh
+//! cargo run --example eden_shell            # interactive
+//! echo -e "create counter\nls 0" | cargo run --example eden_shell
+//! ```
+//!
+//! Capabilities are addressed by the `$N` handles the shell prints.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use eden::apps::with_apps;
+use eden::capability::Capability;
+use eden::kernel::Cluster;
+use eden::wire::Value;
+
+const NODES: usize = 4;
+
+struct Shell {
+    cluster: Cluster,
+    caps: Vec<Capability>,
+    labels: HashMap<String, usize>,
+}
+
+impl Shell {
+    fn cap(&self, token: &str) -> Result<Capability, String> {
+        let idx: usize = token
+            .strip_prefix('$')
+            .ok_or_else(|| format!("'{token}' is not a $N handle"))?
+            .parse()
+            .map_err(|_| format!("bad handle '{token}'"))?;
+        self.caps
+            .get(idx)
+            .copied()
+            .ok_or_else(|| format!("no such handle ${idx}"))
+    }
+
+    fn parse_value(token: &str) -> Value {
+        if let Ok(n) = token.parse::<i64>() {
+            return Value::I64(n);
+        }
+        Value::Str(token.to_string())
+    }
+
+    fn exec(&mut self, line: &str) -> Result<String, String> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Ok(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "help" => Ok("\
+commands:
+  types                              list registered types
+  create <type> [node] [args…]       create an object; prints its $N handle
+  invoke <$N> <op> [args…]           invoke (integers and strings inferred)
+  from <node> <$N> <op> [args…]      invoke via a specific node
+  move <$N> <node>                   kernel-level move
+  freeze <$N>                        freeze the object
+  cache <node> <$N>                  cache a frozen replica on a node
+  info <$N>                          object introspection
+  ls <node>                          active objects on a node
+  metrics <node>                     kernel counters
+  label <name> <$N>                  name a handle
+  quit"
+                .to_string()),
+            "types" => Ok(self.cluster.node(0).registry().type_names().join("\n")),
+            "create" => {
+                let type_name = args.first().ok_or("create <type> [node] [args…]")?;
+                let (node, rest) = match args.get(1).and_then(|t| t.parse::<usize>().ok()) {
+                    Some(n) if n < NODES => (n, &args[2..]),
+                    _ => (0, &args[1..]),
+                };
+                let values: Vec<Value> = rest.iter().map(|t| Self::parse_value(t)).collect();
+                let cap = self
+                    .cluster
+                    .node(node)
+                    .create_object(type_name, &values)
+                    .map_err(|e| e.to_string())?;
+                self.caps.push(cap);
+                Ok(format!("${} = {} on node {node}", self.caps.len() - 1, cap.name()))
+            }
+            "invoke" | "from" => {
+                let (node, rest) = if cmd == "from" {
+                    let n: usize = args
+                        .first()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or("from <node> <$N> <op> [args…]")?;
+                    (n, &args[1..])
+                } else {
+                    (0, &args[..])
+                };
+                let cap = self.cap(rest.first().ok_or("missing $N")?)?;
+                let op = rest.get(1).ok_or("missing op")?;
+                let values: Vec<Value> = rest[2..]
+                    .iter()
+                    .map(|t| {
+                        if t.starts_with('$') {
+                            self.cap(t).map(Value::Cap)
+                        } else {
+                            Ok(Self::parse_value(t))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                match self.cluster.node(node).invoke(cap, op, &values) {
+                    Ok(out) => Ok(format!("-> {out:?}")),
+                    Err(e) => Ok(format!("!! {e}")),
+                }
+            }
+            "move" => {
+                let cap = self.cap(args.first().ok_or("move <$N> <node>")?)?;
+                let dst: usize = args
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("move <$N> <node>")?;
+                // Find the node currently hosting it.
+                let host = (0..NODES)
+                    .find(|&i| self.cluster.node(i).is_local(cap.name()))
+                    .ok_or("object is not active anywhere here")?;
+                self.cluster
+                    .node(host)
+                    .move_object(cap, eden::capability::NodeId(dst as u16))
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("move requested: node {host} -> node {dst}"))
+            }
+            "freeze" => {
+                let cap = self.cap(args.first().ok_or("freeze <$N>")?)?;
+                match self.cluster.node(0).invoke(cap, "freeze", &[]) {
+                    Ok(_) => Ok("frozen".into()),
+                    Err(e) => Ok(format!("(type has no freeze op: {e})")),
+                }
+            }
+            "cache" => {
+                let node: usize = args
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("cache <node> <$N>")?;
+                let cap = self.cap(args.get(1).ok_or("cache <node> <$N>")?)?;
+                self.cluster
+                    .node(node)
+                    .cache_replica(cap)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("replica cached on node {node}"))
+            }
+            "info" => {
+                let cap = self.cap(args.first().ok_or("info <$N>")?)?;
+                for i in 0..NODES {
+                    if let Some(info) = self.cluster.node(i).object_info(cap.name()) {
+                        return Ok(format!("on node {i}: {info:#?}"));
+                    }
+                }
+                Ok("not active on any node (passive or destroyed)".into())
+            }
+            "ls" => {
+                let node: usize = args.first().and_then(|t| t.parse().ok()).ok_or("ls <node>")?;
+                let mut out = String::new();
+                for name in self.cluster.node(node).active_objects() {
+                    let info = self.cluster.node(node).object_info(name);
+                    let type_name = info.map(|i| i.type_name).unwrap_or_default();
+                    out.push_str(&format!("{name}  {type_name}\n"));
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "metrics" => {
+                let node: usize = args
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("metrics <node>")?;
+                Ok(format!("{:#?}", self.cluster.node(node).metrics()))
+            }
+            "label" => {
+                let name = args.first().ok_or("label <name> <$N>")?;
+                let idx: usize = args
+                    .get(1)
+                    .and_then(|t| t.strip_prefix('$'))
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("label <name> <$N>")?;
+                self.labels.insert(name.to_string(), idx);
+                Ok(format!("{name} -> ${idx}"))
+            }
+            other => Err(format!("unknown command '{other}' (try 'help')")),
+        }
+    }
+}
+
+fn main() {
+    let cluster = with_apps(Cluster::builder().nodes(NODES)).build();
+    println!("eden shell — {NODES} nodes up; 'help' for commands, 'quit' to exit");
+    let mut shell = Shell {
+        cluster,
+        caps: Vec::new(),
+        labels: HashMap::new(),
+    };
+    let stdin = std::io::stdin();
+    loop {
+        print!("eden> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell.exec(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    shell.cluster.shutdown();
+    println!("bye");
+}

