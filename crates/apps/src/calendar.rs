@@ -81,8 +81,7 @@ impl TypeManager for CalendarType {
             "cancel" => {
                 let day = OpCtx::u64_arg(args, 0)?;
                 let hour = OpCtx::u64_arg(args, 1)?;
-                let removed =
-                    ctx.mutate_repr(|r| r.remove(&slot_segment(day, hour)).is_some())?;
+                let removed = ctx.mutate_repr(|r| r.remove(&slot_segment(day, hour)).is_some())?;
                 if !removed {
                     return Err(OpError::app(404, "slot is not booked"));
                 }
@@ -179,9 +178,9 @@ impl MeetingScheduler {
                 } else {
                     // Someone raced us: roll back and try the next hour.
                     for b in &booked {
-                        let _ = self
-                            .node
-                            .invoke(*b, "cancel", &[Value::U64(day), Value::U64(hour)]);
+                        let _ =
+                            self.node
+                                .invoke(*b, "cancel", &[Value::U64(day), Value::U64(hour)]);
                     }
                     continue 'candidate;
                 }

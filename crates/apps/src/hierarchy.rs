@@ -150,9 +150,8 @@ impl TypeManager for NamedQueueType {
             }))]),
             "describe" => {
                 let label = ctx.read_repr(|r| r.get_str("label")).unwrap_or_default();
-                let depth = ctx.read_repr(|r| {
-                    r.get_u64("tail").unwrap_or(0) - r.get_u64("head").unwrap_or(0)
-                });
+                let depth = ctx
+                    .read_repr(|r| r.get_u64("tail").unwrap_or(0) - r.get_u64("head").unwrap_or(0));
                 Ok(vec![Value::Str(format!(
                     "queue '{label}' ({depth} queued) on {}",
                     ctx.node_id()

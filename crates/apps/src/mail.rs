@@ -102,13 +102,14 @@ impl TypeManager for MailboxType {
                 msg.map(|m| vec![m])
                     .ok_or_else(|| OpError::app(404, format!("no message {id}")))
             }
-            "count" => Ok(vec![Value::U64(ctx.read_repr(|r| {
-                r.segments_with_prefix("msg:").count() as u64
-            }))]),
+            "count" => {
+                Ok(vec![Value::U64(ctx.read_repr(|r| {
+                    r.segments_with_prefix("msg:").count() as u64
+                }))])
+            }
             "delete" => {
                 let id = OpCtx::u64_arg(args, 0)?;
-                let removed =
-                    ctx.mutate_repr(|r| r.remove(&format!("msg:{id:08}")).is_some())?;
+                let removed = ctx.mutate_repr(|r| r.remove(&format!("msg:{id:08}")).is_some())?;
                 if !removed {
                     return Err(OpError::app(404, format!("no message {id}")));
                 }
@@ -157,7 +158,13 @@ impl MailClient {
     }
 
     /// Sends a message to `to`.
-    pub fn send(&self, from: &str, to: &str, subject: &str, body: &str) -> eden_kernel::Result<u64> {
+    pub fn send(
+        &self,
+        from: &str,
+        to: &str,
+        subject: &str,
+        body: &str,
+    ) -> eden_kernel::Result<u64> {
         let out = self
             .node
             .invoke(self.registry, "lookup", &[Value::Str(to.to_string())])?;
@@ -169,9 +176,7 @@ impl MailClient {
         msg.insert("from".to_string(), Value::Str(from.to_string()));
         msg.insert("subject".to_string(), Value::Str(subject.to_string()));
         msg.insert("body".to_string(), Value::Str(body.to_string()));
-        let out = self
-            .node
-            .invoke(mailbox, "deliver", &[Value::Map(msg)])?;
+        let out = self.node.invoke(mailbox, "deliver", &[Value::Map(msg)])?;
         Ok(out.first().and_then(Value::as_u64).unwrap_or(0))
     }
 

@@ -23,10 +23,7 @@ fn cluster(n: usize) -> Cluster {
 fn mail_flows_between_users_on_different_nodes() {
     let c = cluster(3);
     // The registry directory lives on node 2 (the "file server").
-    let registry = c
-        .node(2)
-        .create_object(DirectoryType::NAME, &[])
-        .unwrap();
+    let registry = c.node(2).create_object(DirectoryType::NAME, &[]).unwrap();
 
     let alice_client = MailClient::new(c.node(0).clone(), registry);
     let bob_client = MailClient::new(c.node(1).clone(), registry);
@@ -51,10 +48,7 @@ fn mail_flows_between_users_on_different_nodes() {
 #[test]
 fn registry_capability_cannot_read_mail() {
     let c = cluster(2);
-    let registry = c
-        .node(0)
-        .create_object(DirectoryType::NAME, &[])
-        .unwrap();
+    let registry = c.node(0).create_object(DirectoryType::NAME, &[]).unwrap();
     let client = MailClient::new(c.node(0).clone(), registry);
     client.register_user("carol").unwrap();
 
@@ -76,10 +70,7 @@ fn registry_capability_cannot_read_mail() {
 #[test]
 fn mailbox_survives_crash_and_follows_moves() {
     let c = cluster(3);
-    let registry = c
-        .node(0)
-        .create_object(DirectoryType::NAME, &[])
-        .unwrap();
+    let registry = c.node(0).create_object(DirectoryType::NAME, &[]).unwrap();
     let client = MailClient::new(c.node(0).clone(), registry);
     let mailbox = client.register_user("dave").unwrap();
     client.send("eve", "dave", "one", "first message").unwrap();
@@ -108,10 +99,15 @@ fn mail_over_efs_registry_exercises_every_layer() {
     let mail_dir = efs.mkdir_p("/system/mail").unwrap();
     let client = MailClient::new(c.node(0).clone(), mail_dir);
     let mbox = client.register_user("frank").unwrap();
-    client.send("grace", "frank", "hi", "hello across layers").unwrap();
+    client
+        .send("grace", "frank", "hi", "hello across layers")
+        .unwrap();
     assert_eq!(client.headers(mbox).unwrap().len(), 1);
     // The registry binding is visible through the EFS path API too.
-    assert!(efs.list("/system/mail").unwrap().contains(&"frank".to_string()));
+    assert!(efs
+        .list("/system/mail")
+        .unwrap()
+        .contains(&"frank".to_string()));
 }
 
 // ----- Calendar -----
@@ -144,7 +140,10 @@ fn scheduler_finds_a_common_slot_across_nodes() {
 
     // Booked everywhere.
     for cal in &cals {
-        let out = c.node(1).invoke(*cal, "agenda", &[Value::U64(100)]).unwrap();
+        let out = c
+            .node(1)
+            .invoke(*cal, "agenda", &[Value::U64(100)])
+            .unwrap();
         let agenda = out[0].as_list().unwrap();
         assert!(agenda.iter().any(|item| {
             item.as_list()
@@ -163,7 +162,11 @@ fn scheduler_reports_when_no_slot_exists() {
             .invoke(
                 cal,
                 "book",
-                &[Value::U64(7), Value::U64(hour), Value::Str("slammed".into())],
+                &[
+                    Value::U64(7),
+                    Value::U64(hour),
+                    Value::Str("slammed".into()),
+                ],
             )
             .unwrap();
     }
@@ -291,7 +294,10 @@ fn policy_object_relocates_objects_it_holds_move_rights_on() {
         .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !c.node(2).is_local(q.name()) {
-        assert!(std::time::Instant::now() < deadline, "policy move never landed");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "policy move never landed"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     // Still invocable from anywhere.
@@ -389,7 +395,10 @@ fn subtype_overrides_replace_inherited_display_code() {
         .unwrap()
         .to_string();
     assert!(plain_desc.starts_with("resource 'disk'"), "{plain_desc}");
-    assert!(queue_desc.starts_with("queue 'print' (1 queued)"), "{queue_desc}");
+    assert!(
+        queue_desc.starts_with("queue 'print' (1 queued)"),
+        "{queue_desc}"
+    );
 }
 
 #[test]
@@ -406,21 +415,25 @@ fn inherited_location_operations_move_the_subtype_instance() {
     c.node(0).invoke(q, "relocate", &[Value::U64(1)]).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !c.node(1).is_local(q.name()) {
-        assert!(std::time::Instant::now() < deadline, "inherited move never landed");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "inherited move never landed"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     let out = c.node(0).invoke(q, "pop", &[]).unwrap();
-    assert_eq!(out, vec![Value::I64(7)], "state travelled with the instance");
+    assert_eq!(
+        out,
+        vec![Value::I64(7)],
+        "state travelled with the instance"
+    );
 }
 
 #[test]
 fn supertype_instances_do_not_gain_subtype_operations() {
     use eden_apps::ResourceType;
     let c = cluster(1);
-    let plain = c
-        .node(0)
-        .create_object(ResourceType::NAME, &[])
-        .unwrap();
+    let plain = c.node(0).create_object(ResourceType::NAME, &[]).unwrap();
     let err = c.node(0).invoke(plain, "push", &[Value::Unit]).unwrap_err();
     assert_eq!(
         err,

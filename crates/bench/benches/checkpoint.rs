@@ -22,7 +22,12 @@ fn bench_kernel_checkpoint(c: &mut Criterion) {
             .expect("fill");
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &(), |b, ()| {
-            b.iter(|| cluster.node(0).invoke(cap, "checkpoint", &[]).expect("ckpt"))
+            b.iter(|| {
+                cluster
+                    .node(0)
+                    .invoke(cap, "checkpoint", &[])
+                    .expect("ckpt")
+            })
         });
         cluster.shutdown();
     }

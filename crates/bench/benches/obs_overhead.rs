@@ -1,0 +1,63 @@
+//! Observability overhead: recording must be cheap enough to leave on.
+//!
+//! The acceptance bar is < 1 µs per event for every hot-path primitive —
+//! histogram samples, counter/gauge bumps, span open+close, and flight
+//! recorder entries. At those costs the kernel can trace and measure
+//! every invocation unconditionally.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_obs::{now_ns, Histogram, KernelEvent, ObsRegistry};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    let hist = Histogram::new();
+    let mut v = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(v >> 40);
+        })
+    });
+
+    let obs = ObsRegistry::new(0);
+    let counter = obs.counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let gauge = obs.gauge("bench.gauge");
+    group.bench_function("gauge_inc_dec", |b| {
+        b.iter(|| {
+            gauge.inc();
+            gauge.dec();
+        })
+    });
+
+    group.bench_function("span_open_close", |b| {
+        b.iter(|| obs.root_span("bench").finish())
+    });
+
+    group.bench_function("flight_recorder_record", |b| {
+        b.iter(|| {
+            obs.recorder()
+                .record(KernelEvent::Retransmit { inv_id: 7, dst: 1 })
+        })
+    });
+
+    group.bench_function("now_ns", |b| b.iter(now_ns));
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(50)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_obs
+}
+criterion_main!(benches);

@@ -66,8 +66,12 @@ fn cache_ablation(enable_cache: bool) -> (f64, u64, u64) {
     }
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let broadcasts = invoker.metrics().location_broadcasts - b0;
-    let forwards: u64 =
-        cluster.nodes().iter().map(|n| n.metrics().forwards).sum::<u64>() - f0;
+    let forwards: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.metrics().forwards)
+        .sum::<u64>()
+        - f0;
     cluster.shutdown();
     (ms, broadcasts, forwards)
 }

@@ -14,17 +14,26 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use eden_capability::Capability;
 use eden_kernel::{Node, NodeConfig, TypeRegistry};
+use eden_obs::{Histogram, HistogramSnapshot};
 use eden_store::MemStore;
 use eden_transport::{LatencyModel, MeshOptions, TcpMesh};
 use eden_wire::Value;
 
+use crate::fmt_us;
 use crate::table::Table;
 use crate::types::{bench_cluster, with_bench_types, EchoType};
-use crate::fmt_us;
 
 const PAYLOADS: [usize; 4] = [0, 64, 1024, 65536];
 
-fn mean_echo_us(invoker: &Node, cap: Capability, payload: usize, iters: usize) -> f64 {
+/// Times `iters` echo invocations individually into a log-linear
+/// histogram, so the table can report the latency *distribution* rather
+/// than a mean that hides tail behavior.
+fn echo_latency(
+    invoker: &Node,
+    cap: Capability,
+    payload: usize,
+    iters: usize,
+) -> HistogramSnapshot {
     let blob = Value::Blob(Bytes::from(vec![0u8; payload]));
     let args = [blob];
     // Warm the location cache and code paths.
@@ -33,13 +42,25 @@ fn mean_echo_us(invoker: &Node, cap: Capability, payload: usize, iters: usize) -
             .invoke_with_timeout(cap, "echo", &args, Duration::from_secs(10))
             .expect("echo");
     }
-    let start = Instant::now();
+    let hist = Histogram::new();
     for _ in 0..iters {
+        let start = Instant::now();
         invoker
             .invoke_with_timeout(cap, "echo", &args, Duration::from_secs(10))
             .expect("echo");
+        hist.record_duration(start.elapsed());
     }
-    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+    hist.snapshot()
+}
+
+/// Formats a latency distribution as `p50 / p95 / p99`.
+fn fmt_pcts(s: &HistogramSnapshot) -> String {
+    format!(
+        "{} / {} / {}",
+        fmt_us(s.percentile(50.0) as f64 / 1e3),
+        fmt_us(s.percentile(95.0) as f64 / 1e3),
+        fmt_us(s.percentile(99.0) as f64 / 1e3),
+    )
 }
 
 fn iters_for(payload: usize, lan: bool) -> usize {
@@ -54,8 +75,14 @@ fn iters_for(payload: usize, lan: bool) -> usize {
 /// Runs E1 and returns the table.
 pub fn run() -> Table {
     let mut t = Table::new(
-        "E1 — invocation latency: local vs remote (mean µs/invocation)",
-        &["payload", "local", "mesh (0-lat)", "mesh (10Mb/s LAN)", "tcp loopback"],
+        "E1 — invocation latency: local vs remote (p50 / p95 / p99 µs)",
+        &[
+            "payload",
+            "local",
+            "mesh (0-lat)",
+            "mesh (10Mb/s LAN)",
+            "tcp loopback",
+        ],
     );
 
     // Local + zero-latency mesh share one cluster.
@@ -99,19 +126,19 @@ pub fn run() -> Table {
         .expect("create echo");
 
     for payload in PAYLOADS {
-        let local = mean_echo_us(cluster.node(0), cap, payload, iters_for(payload, false));
-        let mesh = mean_echo_us(cluster.node(1), cap, payload, iters_for(payload, false));
-        let lan_us = mean_echo_us(lan.node(1), lan_cap, payload, iters_for(payload, true));
-        let tcp = mean_echo_us(&tcp_nodes[1], tcp_cap, payload, iters_for(payload, false));
+        let local = echo_latency(cluster.node(0), cap, payload, iters_for(payload, false));
+        let mesh = echo_latency(cluster.node(1), cap, payload, iters_for(payload, false));
+        let lan_hist = echo_latency(lan.node(1), lan_cap, payload, iters_for(payload, true));
+        let tcp = echo_latency(&tcp_nodes[1], tcp_cap, payload, iters_for(payload, false));
         t.row(vec![
             format!("{payload} B"),
-            fmt_us(local),
-            fmt_us(mesh),
-            fmt_us(lan_us),
-            fmt_us(tcp),
+            fmt_pcts(&local),
+            fmt_pcts(&mesh),
+            fmt_pcts(&lan_hist),
+            fmt_pcts(&tcp),
         ]);
     }
-    t.note("expected shape: local ≪ remote; LAN cost dominated by serialization time for large payloads");
+    t.note("cells are p50 / p95 / p99 per invocation; expected shape: local ≪ remote; LAN cost dominated by serialization time for large payloads");
     for node in &tcp_nodes {
         node.shutdown();
     }

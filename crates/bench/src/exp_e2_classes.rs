@@ -55,7 +55,12 @@ pub fn throughput_for_limit(limit: usize) -> f64 {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E2 — invocation-class concurrency limits (5 ms op, 16 clients)",
-        &["class limit", "throughput (ops/s)", "ideal (limit/5ms)", "efficiency"],
+        &[
+            "class limit",
+            "throughput (ops/s)",
+            "ideal (limit/5ms)",
+            "efficiency",
+        ],
     );
     for limit in [1usize, 2, 4, 8, 16] {
         let tput = throughput_for_limit(limit);

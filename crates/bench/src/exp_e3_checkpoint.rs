@@ -30,7 +30,10 @@ pub fn checkpoint_us(bytes: usize, iters: usize) -> f64 {
         .expect("fill");
     let start = Instant::now();
     for _ in 0..iters {
-        cluster.node(0).invoke(cap, "checkpoint", &[]).expect("checkpoint");
+        cluster
+            .node(0)
+            .invoke(cap, "checkpoint", &[])
+            .expect("checkpoint");
     }
     let us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
     cluster.shutdown();
@@ -45,7 +48,8 @@ pub fn reincarnation_us(bytes: usize, iters: usize) -> f64 {
     let cap = node
         .create_object(PayloadType::NAME, &[])
         .expect("create payload");
-    node.invoke(cap, "fill", &[Value::U64(bytes as u64)]).expect("fill");
+    node.invoke(cap, "fill", &[Value::U64(bytes as u64)])
+        .expect("fill");
     node.invoke(cap, "checkpoint", &[]).expect("checkpoint");
 
     let mut total = 0.0;
@@ -103,6 +107,8 @@ pub fn run() -> Table {
         ]);
     }
     std::fs::remove_dir_all(&dir).ok();
-    t.note("expected shape: linear growth with size; reincarnation ≈ checkpoint + dispatch overhead");
+    t.note(
+        "expected shape: linear growth with size; reincarnation ≈ checkpoint + dispatch overhead",
+    );
     t
 }

@@ -21,7 +21,12 @@ const READS: usize = 100;
 pub fn run() -> Table {
     let mut t = Table::new(
         "E4 — frozen-object replica caching (100 reads from node 3)",
-        &["configuration", "mean read", "remote invocations", "frames sent"],
+        &[
+            "configuration",
+            "mean read",
+            "remote invocations",
+            "frames sent",
+        ],
     );
 
     // A LAN-shaped mesh makes the saving visible in time as well as in

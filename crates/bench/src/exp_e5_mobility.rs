@@ -33,10 +33,12 @@ pub fn move_us(bytes: usize) -> f64 {
     let cap = node
         .create_object(PayloadType::NAME, &[])
         .expect("create payload");
-    node.invoke(cap, "fill", &[Value::U64(bytes as u64)]).expect("fill");
+    node.invoke(cap, "fill", &[Value::U64(bytes as u64)])
+        .expect("fill");
 
     let start = Instant::now();
-    node.invoke(cap, "migrate", &[Value::U64(1)]).expect("migrate");
+    node.invoke(cap, "migrate", &[Value::U64(1)])
+        .expect("migrate");
     let deadline = Instant::now() + Duration::from_secs(10);
     while !cluster.node(1).is_local(cap.name()) {
         assert!(Instant::now() < deadline, "move never completed");
@@ -89,7 +91,10 @@ pub fn run() -> Table {
         ]);
     };
     chat("cross-node (LAN)", &mut t);
-    cluster.node(1).move_object(echo, cluster.node(0).node_id()).expect("move");
+    cluster
+        .node(1)
+        .move_object(echo, cluster.node(0).node_id())
+        .expect("move");
     let deadline = Instant::now() + Duration::from_secs(10);
     while !cluster.node(0).is_local(echo.name()) {
         assert!(Instant::now() < deadline);
@@ -97,7 +102,9 @@ pub fn run() -> Table {
     }
     chat("co-located after move", &mut t);
 
-    t.note("expected shape: move cost grows with size; co-location removes the per-message LAN cost");
+    t.note(
+        "expected shape: move cost grows with size; co-location removes the per-message LAN cost",
+    );
     cluster.shutdown();
     t
 }

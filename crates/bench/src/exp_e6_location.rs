@@ -31,9 +31,8 @@ pub fn run() -> Table {
     ))
     .build();
 
-    let sum_forwards = |c: &eden_kernel::Cluster| -> u64 {
-        c.nodes().iter().map(|n| n.metrics().forwards).sum()
-    };
+    let sum_forwards =
+        |c: &eden_kernel::Cluster| -> u64 { c.nodes().iter().map(|n| n.metrics().forwards).sum() };
 
     // (a) Birth-node hint: object on its birth node, fresh invoker.
     {

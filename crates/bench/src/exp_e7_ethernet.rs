@@ -33,7 +33,14 @@ pub fn sim_point(stations: usize, offered_load: f64, frame_bytes: u32, seed: u64
 pub fn load_sweep(stations: usize, frame_bytes: u32) -> Table {
     let mut t = Table::new(
         format!("E7 — Ethernet load sweep ({stations} stations, {frame_bytes}-byte frames)"),
-        &["offered", "throughput", "mean delay", "p95 delay", "coll/frame", "fairness"],
+        &[
+            "offered",
+            "throughput",
+            "mean delay",
+            "p95 delay",
+            "coll/frame",
+            "fairness",
+        ],
     );
     for load in [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5, 2.0] {
         let r = sim_point(stations, load, frame_bytes, 1979);
@@ -58,7 +65,12 @@ pub fn load_sweep(stations: usize, frame_bytes: u32) -> Table {
 pub fn station_sweep(frame_bytes: u32) -> Table {
     let mut t = Table::new(
         format!("E7 — saturation throughput vs stations ({frame_bytes}-byte frames, offered 1.5)"),
-        &["stations", "throughput", "coll/frame", "analytic efficiency"],
+        &[
+            "stations",
+            "throughput",
+            "coll/frame",
+            "analytic efficiency",
+        ],
     );
     for stations in [2usize, 5, 16, 64] {
         let r = sim_point(stations, 1.5, frame_bytes, 12);
@@ -66,7 +78,10 @@ pub fn station_sweep(frame_bytes: u32) -> Table {
             stations.to_string(),
             format!("{:.3}", r.throughput),
             format!("{:.3}", r.collisions_per_frame()),
-            format!("{:.3}", saturation_efficiency(stations, frame_bytes as u64 * 8, 512)),
+            format!(
+                "{:.3}",
+                saturation_efficiency(stations, frame_bytes as u64 * 8, 512)
+            ),
         ]);
     }
     t.note("expected shape: efficiency falls slowly with station count; large frames stay >0.8");
@@ -78,7 +93,13 @@ pub fn station_sweep(frame_bytes: u32) -> Table {
 pub fn protocol_comparison() -> Table {
     let mut t = Table::new(
         "E7 — CSMA/CD vs slotted ALOHA (16 stations, 1000-byte frames)",
-        &["offered", "csma/cd tput", "aloha tput", "aloha model S=Ge^-G", "csma advantage"],
+        &[
+            "offered",
+            "csma/cd tput",
+            "aloha tput",
+            "aloha model S=Ge^-G",
+            "csma advantage",
+        ],
     );
     for load in [0.1, 0.3, 0.5, 0.9, 1.5] {
         let workload = Workload {

@@ -50,14 +50,26 @@ pub fn run() -> Table {
 
     let mut t = Table::new(
         "F1 — the five-node prototype under ring + EFS load (per-node kernel counters)",
-        &["node", "role", "local inv", "remote served", "remote sent", "frames sent", "bytes sent"],
+        &[
+            "node",
+            "role",
+            "local inv",
+            "remote served",
+            "remote sent",
+            "frames sent",
+            "bytes sent",
+        ],
     );
     for (i, node) in cluster.nodes().iter().enumerate() {
         let m = node.metrics();
         let n = node.transport_stats();
         t.row(vec![
             format!("N{i}"),
-            if i == 4 { "file server".into() } else { "workstation".into() },
+            if i == 4 {
+                "file server".into()
+            } else {
+                "workstation".into()
+            },
             m.local_invocations.to_string(),
             m.remote_invocations_served.to_string(),
             m.remote_invocations_sent.to_string(),

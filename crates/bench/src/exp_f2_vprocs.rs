@@ -48,7 +48,11 @@ fn batch_seconds(vprocs: usize, cpu_bound: bool) -> f64 {
         .expect("create workload object");
     let start = Instant::now();
     let handles: Vec<_> = (0..TASKS)
-        .map(|_| cluster.node(0).invoke_async(cap, op, std::slice::from_ref(&arg)))
+        .map(|_| {
+            cluster
+                .node(0)
+                .invoke_async(cap, op, std::slice::from_ref(&arg))
+        })
         .collect();
     for h in handles {
         h.wait(Duration::from_secs(120)).expect("task");
@@ -73,7 +77,13 @@ pub fn run() -> Table {
         format!(
             "F2 — batch completion vs virtual processors (16 invocations; host has {cores} core(s))"
         ),
-        &["virtual processors", "40ms-service batch (s)", "speedup", "cpu-bound batch (s)", "speedup"],
+        &[
+            "virtual processors",
+            "40ms-service batch (s)",
+            "speedup",
+            "cpu-bound batch (s)",
+            "speedup",
+        ],
     );
     let held_base = batch_seconds(1, false);
     let spin_base = batch_seconds(1, true);

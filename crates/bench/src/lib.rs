@@ -11,6 +11,8 @@
 pub mod table;
 pub mod types;
 
+pub mod exp_e10_failover;
+pub mod exp_e11_ablation;
 pub mod exp_e1_latency;
 pub mod exp_e2_classes;
 pub mod exp_e3_checkpoint;
@@ -20,8 +22,6 @@ pub mod exp_e6_location;
 pub mod exp_e7_ethernet;
 pub mod exp_e8_efs_cc;
 pub mod exp_e9_replication;
-pub mod exp_e10_failover;
-pub mod exp_e11_ablation;
 pub mod exp_f1_topology;
 pub mod exp_f2_vprocs;
 

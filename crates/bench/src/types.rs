@@ -1,7 +1,9 @@
 //! Benchmark-specific type managers and cluster builders.
 
 use eden_capability::Rights;
-use eden_kernel::{Cluster, ClusterBuilder, NodeConfig, OpCtx, OpError, OpResult, TypeManager, TypeSpec};
+use eden_kernel::{
+    Cluster, ClusterBuilder, NodeConfig, OpCtx, OpError, OpResult, TypeManager, TypeSpec,
+};
 use eden_wire::Value;
 
 /// Echoes its blob argument back — the null-RPC workload for E1.
@@ -154,11 +156,9 @@ pub fn with_bench_types(builder: ClusterBuilder) -> ClusterBuilder {
         .register(|| Box::new(EchoType))
         .register(|| Box::new(SpinType))
         .register(|| Box::new(PayloadType));
-    [1usize, 2, 4, 8, 16]
-        .into_iter()
-        .fold(builder, |b, limit| {
-            b.register(move || Box::new(HoldType::with_limit(limit)))
-        })
+    [1usize, 2, 4, 8, 16].into_iter().fold(builder, |b, limit| {
+        b.register(move || Box::new(HoldType::with_limit(limit)))
+    })
 }
 
 /// A standard benchmark cluster: `n` nodes, all app/EFS/bench types.

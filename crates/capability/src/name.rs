@@ -95,11 +95,7 @@ impl ObjName {
 
 impl fmt::Debug for ObjName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}.{:08x}.{}",
-            self.birth_node, self.epoch, self.seq
-        )
+        write!(f, "{}.{:08x}.{}", self.birth_node, self.epoch, self.seq)
     }
 }
 

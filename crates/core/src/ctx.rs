@@ -203,11 +203,7 @@ impl<'a> OpCtx<'a> {
     /// Spawns a detached behavior process for this object. Typically
     /// called from [`TypeManager::reincarnate`](crate::TypeManager::reincarnate)
     /// or `initialize`.
-    pub fn spawn_behavior(
-        &self,
-        label: &str,
-        body: impl FnOnce(BehaviorCtx) + Send + 'static,
-    ) {
+    pub fn spawn_behavior(&self, label: &str, body: impl FnOnce(BehaviorCtx) + Send + 'static) {
         spawn_behavior(self.node.clone(), self.slot.clone(), label, body);
     }
 
@@ -240,10 +236,7 @@ impl<'a> OpCtx<'a> {
     }
 
     /// A string argument accessor with a type error if absent.
-    pub fn str_arg<'v>(
-        args: &'v [Value],
-        index: usize,
-    ) -> std::result::Result<&'v str, OpError> {
+    pub fn str_arg(args: &[Value], index: usize) -> std::result::Result<&str, OpError> {
         args.get(index)
             .and_then(Value::as_str)
             .ok_or_else(|| OpError::type_error(format!("argument {index} must be a string")))

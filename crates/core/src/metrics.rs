@@ -4,148 +4,110 @@
 //! counter here, so experiments can assert *mechanism* effects (e.g.
 //! "after caching the frozen replica, remote invocations stop") rather
 //! than inferring them from timing alone.
+//!
+//! [`MetricsCell`] is a facade over the node's
+//! [`ObsRegistry`](eden_obs::ObsRegistry): each counter is registered
+//! there under `kernel.<name>`, so the same numbers surface through the
+//! registry's snapshot (and the shell's `metrics` command) while this
+//! module keeps its original typed [`KernelMetrics`] snapshot API.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A point-in-time snapshot of one node's kernel counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct KernelMetrics {
-    /// Invocations executed against local objects (including replicas).
-    pub local_invocations: u64,
-    /// Invocations sent to another node.
-    pub remote_invocations_sent: u64,
-    /// Invocation requests received from other nodes.
-    pub remote_invocations_served: u64,
-    /// Requests forwarded along a post-move forwarding address.
-    pub forwards: u64,
-    /// Broadcast `WhereIs` queries issued.
-    pub location_broadcasts: u64,
-    /// Location answers served from the hint cache.
-    pub location_cache_hits: u64,
-    /// Reincarnations performed (§4.2/§4.4).
-    pub reincarnations: u64,
-    /// Checkpoints written (locally or to a remote checksite).
-    pub checkpoints: u64,
-    /// Objects crashed via the crash primitive.
-    pub crashes: u64,
-    /// Objects moved away from this node.
-    pub moves_out: u64,
-    /// Objects installed by an inbound move.
-    pub moves_in: u64,
-    /// Frozen replicas cached on this node.
-    pub replicas_cached: u64,
-    /// Invocations that returned `Status::Timeout`.
-    pub timeouts: u64,
-    /// Invocations rejected for insufficient rights.
-    pub rights_violations: u64,
-    /// Invocation processes spawned (the paper's per-invocation
-    /// processes).
-    pub invocation_processes: u64,
-    /// Invocations that waited in a class queue before dispatch.
-    pub class_queued: u64,
-}
+use eden_obs::{Counter, ObsRegistry};
 
-/// Shared counter cell.
-#[derive(Debug, Default)]
-pub struct MetricsCell {
-    pub(crate) local_invocations: AtomicU64,
-    pub(crate) remote_invocations_sent: AtomicU64,
-    pub(crate) remote_invocations_served: AtomicU64,
-    pub(crate) forwards: AtomicU64,
-    pub(crate) location_broadcasts: AtomicU64,
-    pub(crate) location_cache_hits: AtomicU64,
-    pub(crate) reincarnations: AtomicU64,
-    pub(crate) checkpoints: AtomicU64,
-    pub(crate) crashes: AtomicU64,
-    pub(crate) moves_out: AtomicU64,
-    pub(crate) moves_in: AtomicU64,
-    pub(crate) replicas_cached: AtomicU64,
-    pub(crate) timeouts: AtomicU64,
-    pub(crate) rights_violations: AtomicU64,
-    pub(crate) invocation_processes: AtomicU64,
-    pub(crate) class_queued: AtomicU64,
-}
+macro_rules! metrics {
+    ($($(#[$doc:meta])* $field:ident => $method:ident),* $(,)?) => {
+        /// A point-in-time snapshot of one node's kernel counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct KernelMetrics {
+            $($(#[$doc])* pub $field: u64,)*
+        }
 
-macro_rules! bump {
-    ($($field:ident => $method:ident),* $(,)?) => {
+        /// Shared counter cell; the counters live in the node's
+        /// observability registry.
+        pub struct MetricsCell {
+            $(pub(crate) $field: Arc<Counter>,)*
+        }
+
         impl MetricsCell {
+            /// Builds the cell over `obs`, registering each counter as
+            /// `kernel.<field>`.
+            pub(crate) fn new(obs: &ObsRegistry) -> Self {
+                MetricsCell {
+                    $($field: obs.counter(concat!("kernel.", stringify!($field))),)*
+                }
+            }
+
             $(
                 /// Increments the corresponding counter.
                 pub(crate) fn $method(&self) {
-                    self.$field.fetch_add(1, Ordering::Relaxed);
+                    self.$field.inc();
                 }
             )*
+
+            /// Takes a snapshot of every counter.
+            pub fn snapshot(&self) -> KernelMetrics {
+                KernelMetrics {
+                    $($field: self.$field.get(),)*
+                }
+            }
+        }
+
+        impl Default for MetricsCell {
+            /// Standalone counters, unattached to any registry (tests).
+            fn default() -> Self {
+                MetricsCell {
+                    $($field: Arc::new(Counter::new()),)*
+                }
+            }
+        }
+
+        impl KernelMetrics {
+            /// The difference `self - earlier`, for measuring an interval.
+            #[must_use]
+            pub fn delta(&self, earlier: &KernelMetrics) -> KernelMetrics {
+                KernelMetrics {
+                    $($field: self.$field - earlier.$field,)*
+                }
+            }
         }
     };
 }
 
-bump! {
+metrics! {
+    /// Invocations executed against local objects (including replicas).
     local_invocations => bump_local,
+    /// Invocations sent to another node.
     remote_invocations_sent => bump_remote_sent,
+    /// Invocation requests received from other nodes.
     remote_invocations_served => bump_remote_served,
+    /// Requests forwarded along a post-move forwarding address.
     forwards => bump_forward,
+    /// Broadcast `WhereIs` queries issued.
     location_broadcasts => bump_broadcast,
+    /// Location answers served from the hint cache.
     location_cache_hits => bump_cache_hit,
+    /// Reincarnations performed (§4.2/§4.4).
     reincarnations => bump_reincarnation,
+    /// Checkpoints written (locally or to a remote checksite).
     checkpoints => bump_checkpoint,
+    /// Objects crashed via the crash primitive.
     crashes => bump_crash,
+    /// Objects moved away from this node.
     moves_out => bump_move_out,
+    /// Objects installed by an inbound move.
     moves_in => bump_move_in,
+    /// Frozen replicas cached on this node.
     replicas_cached => bump_replica,
+    /// Invocations that returned `Status::Timeout`.
     timeouts => bump_timeout,
+    /// Invocations rejected for insufficient rights.
     rights_violations => bump_rights_violation,
+    /// Invocation processes spawned (the paper's per-invocation
+    /// processes).
     invocation_processes => bump_process,
+    /// Invocations that waited in a class queue before dispatch.
     class_queued => bump_class_queued,
-}
-
-impl MetricsCell {
-    /// Takes a snapshot of every counter.
-    pub fn snapshot(&self) -> KernelMetrics {
-        KernelMetrics {
-            local_invocations: self.local_invocations.load(Ordering::Relaxed),
-            remote_invocations_sent: self.remote_invocations_sent.load(Ordering::Relaxed),
-            remote_invocations_served: self.remote_invocations_served.load(Ordering::Relaxed),
-            forwards: self.forwards.load(Ordering::Relaxed),
-            location_broadcasts: self.location_broadcasts.load(Ordering::Relaxed),
-            location_cache_hits: self.location_cache_hits.load(Ordering::Relaxed),
-            reincarnations: self.reincarnations.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            crashes: self.crashes.load(Ordering::Relaxed),
-            moves_out: self.moves_out.load(Ordering::Relaxed),
-            moves_in: self.moves_in.load(Ordering::Relaxed),
-            replicas_cached: self.replicas_cached.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            rights_violations: self.rights_violations.load(Ordering::Relaxed),
-            invocation_processes: self.invocation_processes.load(Ordering::Relaxed),
-            class_queued: self.class_queued.load(Ordering::Relaxed),
-        }
-    }
-}
-
-impl KernelMetrics {
-    /// The difference `self - earlier`, for measuring an interval.
-    #[must_use]
-    pub fn delta(&self, earlier: &KernelMetrics) -> KernelMetrics {
-        KernelMetrics {
-            local_invocations: self.local_invocations - earlier.local_invocations,
-            remote_invocations_sent: self.remote_invocations_sent - earlier.remote_invocations_sent,
-            remote_invocations_served: self.remote_invocations_served
-                - earlier.remote_invocations_served,
-            forwards: self.forwards - earlier.forwards,
-            location_broadcasts: self.location_broadcasts - earlier.location_broadcasts,
-            location_cache_hits: self.location_cache_hits - earlier.location_cache_hits,
-            reincarnations: self.reincarnations - earlier.reincarnations,
-            checkpoints: self.checkpoints - earlier.checkpoints,
-            crashes: self.crashes - earlier.crashes,
-            moves_out: self.moves_out - earlier.moves_out,
-            moves_in: self.moves_in - earlier.moves_in,
-            replicas_cached: self.replicas_cached - earlier.replicas_cached,
-            timeouts: self.timeouts - earlier.timeouts,
-            rights_violations: self.rights_violations - earlier.rights_violations,
-            invocation_processes: self.invocation_processes - earlier.invocation_processes,
-            class_queued: self.class_queued - earlier.class_queued,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -173,5 +135,19 @@ mod tests {
         m.bump_checkpoint();
         let d = m.snapshot().delta(&before);
         assert_eq!(d.checkpoints, 2);
+    }
+
+    #[test]
+    fn registry_backed_counters_share_state() {
+        let obs = ObsRegistry::new(7);
+        let m = MetricsCell::new(&obs);
+        m.bump_broadcast();
+        m.bump_broadcast();
+        assert_eq!(m.snapshot().location_broadcasts, 2);
+        assert_eq!(
+            obs.counters_snapshot()["kernel.location_broadcasts"],
+            2,
+            "facade and registry must observe the same counter"
+        );
     }
 }

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eden_capability::{Capability, NameGenerator, NodeId, ObjName};
+use eden_obs::{now_ns, KernelEvent, ObsRegistry, TraceCtx};
 use eden_store::CheckpointStore;
 use eden_transport::Endpoint;
 use eden_wire::{
@@ -42,10 +43,10 @@ use parking_lot::{Mutex, RwLock};
 use crate::ctx::OpCtx;
 use crate::error::{EdenError, Result};
 use crate::metrics::{KernelMetrics, MetricsCell};
+pub use crate::object::ReliabilityLevel;
 use crate::object::{
     Checksite, CoordState, ObjStatus, ObjectSlot, PendingInvocation, ReplySink, CHECKSITE_SEGMENT,
 };
-pub use crate::object::ReliabilityLevel;
 use crate::repr::Representation;
 use crate::sync::EdenSemaphore;
 use crate::types::TypeRegistry;
@@ -168,6 +169,7 @@ pub(crate) struct NodeInner {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     metrics: MetricsCell,
+    obs: Arc<ObsRegistry>,
     last_move_rejection: Mutex<Option<String>>,
     recv_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -235,6 +237,9 @@ impl Node {
         registry: Arc<TypeRegistry>,
     ) -> Node {
         let id = endpoint.node();
+        let obs = Arc::new(ObsRegistry::new(id.0));
+        endpoint.attach_obs(obs.clone());
+        store.attach_obs(obs.clone());
         let inner = Arc::new(NodeInner {
             id,
             gate: EdenSemaphore::new(config.virtual_processors.max(1) as u64),
@@ -254,7 +259,8 @@ impl Node {
             endpoint,
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            metrics: MetricsCell::default(),
+            metrics: MetricsCell::new(&obs),
+            obs,
             last_move_rejection: Mutex::new(None),
             recv_thread: Mutex::new(None),
         });
@@ -281,6 +287,12 @@ impl Node {
     /// A snapshot of the kernel counters.
     pub fn metrics(&self) -> KernelMetrics {
         self.inner.metrics.snapshot()
+    }
+
+    /// This node's observability registry: histograms, gauges, the
+    /// flight recorder, and the span collector.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.inner.obs
     }
 
     /// A snapshot of the transport counters.
@@ -431,6 +443,11 @@ impl Node {
     ) -> (Status, Vec<Value>) {
         let deadline = Instant::now() + timeout;
         let name = cap.name();
+        // The root of this invocation's trace: every downstream span —
+        // client-send, net, dispatch, execute, reply — descends from it,
+        // across however many nodes the invocation visits.
+        let root = self.inner.obs.root_span("invoke");
+        let ctx = root.ctx();
 
         // Fast path: active (or replica) on this node. The lookup is
         // bound first so the table's read guard drops before the
@@ -439,7 +456,7 @@ impl Node {
         let local = self.inner.objects.read().get(&name).cloned();
         if let Some(slot) = local {
             self.inner.metrics.bump_local();
-            return self.invoke_on_slot(&slot, cap, op, args, deadline);
+            return self.invoke_on_slot(&slot, cap, op, args, deadline, ctx);
         }
         if self.inner.destroyed.lock().contains(&name) {
             return (Status::Destroyed, Vec::new());
@@ -453,7 +470,7 @@ impl Node {
         if !moved_away {
             if let Some(slot) = self.activate_passive_local(name) {
                 self.inner.metrics.bump_local();
-                return self.invoke_on_slot(&slot, cap, op, args, deadline);
+                return self.invoke_on_slot(&slot, cap, op, args, deadline, ctx);
             }
         }
 
@@ -487,7 +504,8 @@ impl Node {
             if from_cache {
                 self.inner.metrics.bump_cache_hit();
             }
-            let (status, results, from) = self.remote_invoke(candidate, cap, op, args, budget);
+            let (status, results, from) =
+                self.remote_invoke(candidate, cap, op, args, budget, Some(ctx));
             match status {
                 Status::NoSuchObject | Status::Timeout => {
                     if from_cache {
@@ -512,7 +530,11 @@ impl Node {
         }
         let answers = self.locate_broadcast(name);
         let mut ordered: Vec<NodeId> = Vec::new();
-        for want in [HeldState::Active, HeldState::FrozenReplica, HeldState::Passive] {
+        for want in [
+            HeldState::Active,
+            HeldState::FrozenReplica,
+            HeldState::Passive,
+        ] {
             for a in &answers {
                 if a.state == want && !ordered.contains(&a.holder) {
                     ordered.push(a.holder);
@@ -526,7 +548,8 @@ impl Node {
             let Some(budget) = self.try_budget(deadline) else {
                 return (Status::Timeout, Vec::new());
             };
-            let (status, results, from) = self.remote_invoke(holder, cap, op, args, budget);
+            let (status, results, from) =
+                self.remote_invoke(holder, cap, op, args, budget, Some(ctx));
             match status {
                 Status::NoSuchObject | Status::Timeout => continue,
                 _ => {
@@ -557,9 +580,18 @@ impl Node {
         op: &str,
         args: &[Value],
         deadline: Instant,
+        ctx: TraceCtx,
     ) -> (Status, Vec<Value>) {
+        let start_ns = now_ns();
         let waiter: Arc<Waiter<(Status, Vec<Value>)>> = Arc::new(Waiter::new());
-        let pending = match self.validate(slot, cap, op, args, ReplySink::Local(waiter.clone())) {
+        let pending = match self.validate(
+            slot,
+            cap,
+            op,
+            args,
+            ReplySink::Local(waiter.clone()),
+            Some(ctx),
+        ) {
             Ok(p) => p,
             Err(status) => return (status, Vec::new()),
         };
@@ -570,10 +602,15 @@ impl Node {
         } else {
             Duration::ZERO
         };
-        match waiter.wait(budget) {
+        let outcome = match waiter.wait(budget) {
             Some((status, results)) => (status, results),
             None => (Status::Timeout, Vec::new()),
-        }
+        };
+        self.inner
+            .obs
+            .histogram("invoke.local")
+            .record(now_ns().saturating_sub(start_ns));
+        outcome
     }
 
     /// Builds a validated [`PendingInvocation`], or the failure status.
@@ -584,6 +621,7 @@ impl Node {
         op: &str,
         args: &[Value],
         sink: ReplySink,
+        trace: Option<TraceCtx>,
     ) -> std::result::Result<PendingInvocation, Status> {
         let Some(resolved) = self.inner.registry.resolve_op(&slot.type_name, op) else {
             return Err(Status::NoSuchOperation(op.to_string()));
@@ -602,12 +640,15 @@ impl Node {
             resolved,
             sink,
             caller: self.inner.id,
+            trace,
+            enqueue_ns: now_ns(),
         })
     }
 
     /// Queues an invocation at the coordinator and pumps dispatch.
     fn enqueue(&self, slot: &Arc<ObjectSlot>, pending: PendingInvocation) {
         let mut coord = slot.coord.lock();
+        self.inner.obs.gauge("coord.queue_depth").inc();
         if coord.status == ObjStatus::Crashed {
             // Teardown is in progress; the invocation rides along and is
             // rerouted (or refused) by the teardown path.
@@ -619,6 +660,16 @@ impl Node {
             self.inner.metrics.bump_class_queued();
         }
         self.pump(slot, &mut coord);
+    }
+
+    /// Drains the coordinator queue, keeping the queue-depth gauge true.
+    fn drain_queue(&self, coord: &mut CoordState) -> Vec<PendingInvocation> {
+        let queued: Vec<PendingInvocation> = coord.queue.drain(..).collect();
+        self.inner
+            .obs
+            .gauge("coord.queue_depth")
+            .add(-(queued.len() as i64));
+        queued
     }
 
     /// The coordinator's dispatch rule: scan the queue for invocations
@@ -655,6 +706,11 @@ impl Node {
             if in_service < limit {
                 let pending = coord.queue.remove(i).expect("index in bounds");
                 coord.running += 1;
+                self.inner.obs.gauge("coord.queue_depth").dec();
+                self.inner
+                    .obs
+                    .gauge(&format!("class.in_service.{class}"))
+                    .inc();
                 *coord.class_in_service.entry(class).or_insert(0) += 1;
                 let node = self.clone();
                 let slot = slot.clone();
@@ -671,9 +727,20 @@ impl Node {
 
     /// The body of one invocation process.
     fn run_invocation(&self, slot: Arc<ObjectSlot>, pending: PendingInvocation) {
+        // Close the trace's queue-wait gap retroactively (`dispatch`
+        // runs from coordinator acceptance to here), then time the
+        // execution itself under a child span.
+        let exec_span = pending.trace.map(|t| {
+            let dispatch_ctx =
+                self.inner
+                    .obs
+                    .record_span("dispatch", t, pending.enqueue_ns, now_ns());
+            self.inner.obs.child_span("execute", dispatch_ctx)
+        });
         // Take a virtual processor for the duration of execution.
         self.inner.gate.p();
         HOLDS_VPROC.with(|c| c.set(true));
+        let exec_start = now_ns();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let ctx = OpCtx::new(
                 self,
@@ -682,10 +749,22 @@ impl Node {
                 pending.caller,
                 pending.operation.clone(),
             );
-            pending.resolved.manager.dispatch(&ctx, &pending.operation, &pending.args)
+            pending
+                .resolved
+                .manager
+                .dispatch(&ctx, &pending.operation, &pending.args)
         }));
+        self.inner
+            .obs
+            .histogram("invoke.execute")
+            .record(now_ns().saturating_sub(exec_start));
         HOLDS_VPROC.with(|c| c.set(false));
         self.inner.gate.v();
+        let exec_ctx = exec_span.map(|s| {
+            let c = s.ctx();
+            s.finish();
+            c
+        });
 
         let (status, results) = match outcome {
             Ok(Ok(values)) => (Status::Ok, values),
@@ -698,13 +777,17 @@ impl Node {
                 Vec::new(),
             ),
         };
-        self.send_reply(pending.sink, status, results);
+        self.send_reply(pending.sink, status, results, exec_ctx);
 
         // Completion bookkeeping: release the class slot, then either
         // finish a requested crash/destroy or pump the next dispatch.
         let class = pending.resolved.op.class;
         let mut coord = slot.coord.lock();
         coord.running -= 1;
+        self.inner
+            .obs
+            .gauge(&format!("class.in_service.{class}"))
+            .dec();
         if let Some(n) = coord.class_in_service.get_mut(&class) {
             *n -= 1;
             if *n == 0 {
@@ -729,7 +812,13 @@ impl Node {
         self.pump(&slot, &mut coord);
     }
 
-    fn send_reply(&self, sink: ReplySink, status: Status, results: Vec<Value>) {
+    fn send_reply(
+        &self,
+        sink: ReplySink,
+        status: Status,
+        results: Vec<Value>,
+        trace: Option<TraceCtx>,
+    ) {
         match sink {
             ReplySink::Local(waiter) => waiter.complete((status, results)),
             ReplySink::Remote { inv_id, reply_to } => {
@@ -738,7 +827,7 @@ impl Node {
                     status.clone(),
                     results.clone(),
                 );
-                let _ = self.inner.endpoint.send(Frame::to(
+                let mut frame = Frame::to(
                     self.inner.id,
                     reply_to,
                     Message::InvokeReply {
@@ -746,7 +835,11 @@ impl Node {
                         status,
                         results,
                     },
-                ));
+                );
+                if let Some(t) = trace {
+                    frame = frame.with_trace(t);
+                }
+                let _ = self.inner.endpoint.send(frame);
             }
             ReplySink::Discard => {}
         }
@@ -763,52 +856,23 @@ impl Node {
         op: &str,
         args: &[Value],
         budget: Duration,
+        parent: Option<TraceCtx>,
     ) -> (Status, Vec<Value>, NodeId) {
         self.inner.metrics.bump_remote_sent();
+        let start_ns = now_ns();
+        // The `client-send` span covers the whole request/reply exchange;
+        // its context rides the request frame so the serving kernel's
+        // spans join the same trace.
+        let span = match parent {
+            Some(p) => self.inner.obs.child_span("client-send", p),
+            None => self.inner.obs.root_span("client-send"),
+        };
+        let send_ctx = span.ctx();
         let inv_id = self.fresh_id();
         let waiter = Arc::new(Waiter::new());
         self.inner.pending.lock().insert(inv_id, waiter.clone());
-        let sent = self.inner.endpoint.send(Frame::to(
-            self.inner.id,
-            dst,
-            Message::InvokeRequest {
-                inv_id,
-                target: cap,
-                operation: op.to_string(),
-                args: args.to_vec(),
-                reply_to: self.inner.id,
-                hops: self.inner.config.hop_limit,
-            },
-        ));
-        if sent.is_err() {
-            self.inner.pending.lock().remove(&inv_id);
-            return (Status::NodeUnreachable, Vec::new(), dst);
-        }
-        // Wait in retransmission-sized slices: an unanswered request is
-        // re-sent with the same id, and the server dedupes (at-most-once
-        // execution; a lost reply is replayed from its reply cache).
-        if !self.inner.config.enable_retransmission {
-            let result = waiter.wait(budget);
-            self.inner.pending.lock().remove(&inv_id);
-            return match result {
-                Some(ReplyMsg::Invoke(status, results, from)) => (status, results, from),
-                _ => (Status::Timeout, Vec::new(), dst),
-            };
-        }
-        let deadline = Instant::now() + budget;
-        let result = loop {
-            let now = Instant::now();
-            if now >= deadline {
-                break None;
-            }
-            let slice = self.inner.config.retransmit_interval.min(deadline - now);
-            if let Some(reply) = waiter.wait(slice) {
-                break Some(reply);
-            }
-            if Instant::now() >= deadline {
-                break None;
-            }
-            let _ = self.inner.endpoint.send(Frame::to(
+        let request = || {
+            Frame::to(
                 self.inner.id,
                 dst,
                 Message::InvokeRequest {
@@ -819,12 +883,55 @@ impl Node {
                     reply_to: self.inner.id,
                     hops: self.inner.config.hop_limit,
                 },
-            ));
+            )
+            .with_trace(send_ctx)
+        };
+        let sent = self.inner.endpoint.send(request());
+        if sent.is_err() {
+            self.inner.pending.lock().remove(&inv_id);
+            return (Status::NodeUnreachable, Vec::new(), dst);
+        }
+        // Wait in retransmission-sized slices: an unanswered request is
+        // re-sent with the same id, and the server dedupes (at-most-once
+        // execution; a lost reply is replayed from its reply cache).
+        let result = if !self.inner.config.enable_retransmission {
+            waiter.wait(budget)
+        } else {
+            let deadline = Instant::now() + budget;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break None;
+                }
+                let slice = self.inner.config.retransmit_interval.min(deadline - now);
+                if let Some(reply) = waiter.wait(slice) {
+                    break Some(reply);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+                self.inner
+                    .obs
+                    .recorder()
+                    .record(KernelEvent::Retransmit { inv_id, dst: dst.0 });
+                let _ = self.inner.endpoint.send(request());
+            }
         };
         self.inner.pending.lock().remove(&inv_id);
+        span.finish();
+        self.inner
+            .obs
+            .histogram("invoke.remote")
+            .record(now_ns().saturating_sub(start_ns));
         match result {
             Some(ReplyMsg::Invoke(status, results, from)) => (status, results, from),
-            _ => (Status::Timeout, Vec::new(), dst),
+            _ => {
+                self.inner
+                    .obs
+                    .recorder()
+                    .record(KernelEvent::RemoteTimeout { dst: dst.0 });
+                (Status::Timeout, Vec::new(), dst)
+            }
         }
     }
 
@@ -834,6 +941,12 @@ impl Node {
     /// (cut short as soon as an active holder replies).
     fn locate_broadcast(&self, name: ObjName) -> Vec<LocationAnswer> {
         self.inner.metrics.bump_broadcast();
+        self.inner
+            .obs
+            .recorder()
+            .record(KernelEvent::WhereIsBroadcast {
+                obj: name.to_u128(),
+            });
         let query_id = self.fresh_id();
         let collector = Arc::new(QueryCollector::new());
         self.inner
@@ -894,6 +1007,13 @@ impl Node {
         }
         slot.version.store(version, Ordering::Release);
         self.inner.metrics.bump_checkpoint();
+        self.inner
+            .obs
+            .recorder()
+            .record(KernelEvent::CheckpointWrite {
+                obj: slot.name.to_u128(),
+                version,
+            });
         Ok(version)
     }
 
@@ -921,11 +1041,9 @@ impl Node {
         self.inner.pending.lock().remove(&req_id);
         match result {
             Some(ReplyMsg::CkptAck(true, version)) => Ok(version),
-            Some(ReplyMsg::CkptAck(false, _)) => {
-                Err(EdenError::Store(eden_store::StoreError::Io(format!(
-                    "checksite {site} refused the checkpoint"
-                ))))
-            }
+            Some(ReplyMsg::CkptAck(false, _)) => Err(EdenError::Store(eden_store::StoreError::Io(
+                format!("checksite {site} refused the checkpoint"),
+            ))),
             _ => Err(EdenError::Invoke(Status::NodeUnreachable)),
         }
     }
@@ -1015,9 +1133,12 @@ impl Node {
     /// Destroys active state: the crash primitive's teardown half.
     fn finish_crash(&self, slot: &Arc<ObjectSlot>) {
         self.inner.metrics.bump_crash();
+        self.inner.obs.recorder().record(KernelEvent::Crash {
+            obj: slot.name.to_u128(),
+        });
         slot.short.teardown();
         self.inner.objects.write().remove(&slot.name);
-        let queued: Vec<PendingInvocation> = slot.coord.lock().queue.drain(..).collect();
+        let queued = self.drain_queue(&mut slot.coord.lock());
         if queued.is_empty() {
             return;
         }
@@ -1029,7 +1150,8 @@ impl Node {
             }
         } else {
             for pending in queued {
-                self.send_reply(pending.sink, Status::ObjectCrashed, Vec::new());
+                let trace = pending.trace;
+                self.send_reply(pending.sink, Status::ObjectCrashed, Vec::new(), trace);
             }
         }
     }
@@ -1053,8 +1175,9 @@ impl Node {
                 },
             ));
         }
-        for pending in slot.coord.lock().queue.drain(..) {
-            self.send_reply(pending.sink, Status::Destroyed, Vec::new());
+        for pending in self.drain_queue(&mut slot.coord.lock()) {
+            let trace = pending.trace;
+            self.send_reply(pending.sink, Status::Destroyed, Vec::new(), trace);
         }
     }
 
@@ -1115,6 +1238,13 @@ impl Node {
         match manager.reincarnate(&ctx) {
             Ok(()) => {
                 self.inner.metrics.bump_reincarnation();
+                self.inner
+                    .obs
+                    .recorder()
+                    .record(KernelEvent::Reincarnation {
+                        obj: slot.name.to_u128(),
+                        version: slot.checkpoint_version(),
+                    });
                 let mut coord = slot.coord.lock();
                 coord.status = ObjStatus::Active;
                 self.pump(&slot, &mut coord);
@@ -1128,7 +1258,8 @@ impl Node {
 
     fn fail_reincarnation(&self, slot: &Arc<ObjectSlot>, reason: &str) {
         self.inner.objects.write().remove(&slot.name);
-        for pending in slot.coord.lock().queue.drain(..) {
+        for pending in self.drain_queue(&mut slot.coord.lock()) {
+            let trace = pending.trace;
             self.send_reply(
                 pending.sink,
                 Status::AppError {
@@ -1136,6 +1267,7 @@ impl Node {
                     message: format!("reincarnation failed: {reason}"),
                 },
                 Vec::new(),
+                trace,
             );
         }
     }
@@ -1171,15 +1303,15 @@ impl Node {
                 held: cap.rights(),
             }));
         }
-        let slot = self
-            .inner
-            .objects
-            .read()
-            .get(&cap.name())
-            .cloned()
-            .ok_or(EdenError::BadRequest(
-                "move_object requires the object to be active on this node".into(),
-            ))?;
+        let slot =
+            self.inner
+                .objects
+                .read()
+                .get(&cap.name())
+                .cloned()
+                .ok_or(EdenError::BadRequest(
+                    "move_object requires the object to be active on this node".into(),
+                ))?;
         self.request_move(&slot, dst)
     }
 
@@ -1208,17 +1340,24 @@ impl Node {
         match ack {
             Some(ReplyMsg::MoveAck(true, _reason)) => {
                 self.inner.metrics.bump_move_out();
+                self.inner.obs.recorder().record(KernelEvent::MoveOut {
+                    obj: slot.name.to_u128(),
+                    dst: dst.0,
+                });
                 slot.short.teardown();
                 self.inner.objects.write().remove(&slot.name);
                 self.inner.location.forwards.write().insert(slot.name, dst);
                 self.inner.location.cache.write().insert(slot.name, dst);
-                let queued: Vec<PendingInvocation> =
-                    slot.coord.lock().queue.drain(..).collect();
+                let queued = self.drain_queue(&mut slot.coord.lock());
                 for pending in queued {
                     match pending.sink {
                         ReplySink::Remote { inv_id, reply_to } => {
                             self.inner.metrics.bump_forward();
-                            let _ = self.inner.endpoint.send(Frame::to(
+                            self.inner.obs.recorder().record(KernelEvent::Forward {
+                                obj: slot.name.to_u128(),
+                                dst: dst.0,
+                            });
+                            let mut frame = Frame::to(
                                 self.inner.id,
                                 dst,
                                 Message::InvokeRequest {
@@ -1229,7 +1368,11 @@ impl Node {
                                     reply_to,
                                     hops: self.inner.config.hop_limit,
                                 },
-                            ));
+                            );
+                            if let Some(t) = pending.trace {
+                                frame = frame.with_trace(t);
+                            }
+                            let _ = self.inner.endpoint.send(frame);
                         }
                         ReplySink::Local(waiter) => {
                             let node = self.clone();
@@ -1242,6 +1385,7 @@ impl Node {
                                         &pending.operation,
                                         &pending.args,
                                         node.inner.config.remote_try_timeout,
+                                        pending.trace,
                                     );
                                     waiter.complete((status, results));
                                 })
@@ -1321,6 +1465,10 @@ impl Node {
         match manager.reincarnate(&ctx) {
             Ok(()) => {
                 self.inner.metrics.bump_move_in();
+                self.inner.obs.recorder().record(KernelEvent::MoveIn {
+                    obj: name.to_u128(),
+                    src: src.0,
+                });
                 // If we had previously moved this object away, the old
                 // forwarding entry is now wrong.
                 self.inner.location.forwards.write().remove(&name);
@@ -1363,7 +1511,9 @@ impl Node {
             return if slot.is_frozen() {
                 Ok(()) // Already local (home or replica).
             } else {
-                Err(EdenError::BadRequest("object is local and not frozen".into()))
+                Err(EdenError::BadRequest(
+                    "object is local and not frozen".into(),
+                ))
             };
         }
         // Find the holder.
@@ -1406,13 +1556,8 @@ impl Node {
                     return Err(EdenError::UnknownType(image.type_name));
                 }
                 let repr = Representation::from_image(&image);
-                let slot = ObjectSlot::new_replica(
-                    name,
-                    image.type_name.clone(),
-                    repr,
-                    image.version,
-                    h,
-                );
+                let slot =
+                    ObjectSlot::new_replica(name, image.type_name.clone(), repr, image.version, h);
                 self.inner.objects.write().insert(name, slot);
                 self.inner.metrics.bump_replica();
                 return Ok(());
@@ -1461,7 +1606,11 @@ impl Node {
             let result = waiter.wait(self.inner.config.remote_try_timeout);
             self.inner.pending.lock().remove(&req_id);
             if let Some(ReplyMsg::CkptData(Some(image))) = result {
-                if best.as_ref().map(|b| image.version > b.version).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|b| image.version > b.version)
+                    .unwrap_or(true)
+                {
                     best = Some(image);
                 }
             }
@@ -1525,6 +1674,7 @@ impl Node {
         if self.inner.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.inner.obs.recorder().record(KernelEvent::NodeShutdown);
         self.inner.endpoint.shutdown();
         if let Some(h) = self.inner.recv_thread.lock().take() {
             let _ = h.join();
@@ -1558,6 +1708,7 @@ impl Node {
 
     fn handle_frame(&self, frame: Frame) {
         let src = frame.src;
+        let trace = frame.trace;
         match frame.msg {
             Message::InvokeRequest {
                 inv_id,
@@ -1566,12 +1717,20 @@ impl Node {
                 args,
                 reply_to,
                 hops,
-            } => self.handle_invoke_request(inv_id, target, operation, args, reply_to, hops),
+            } => self.handle_invoke_request(inv_id, target, operation, args, reply_to, hops, trace),
             Message::InvokeReply {
                 inv_id,
                 status,
                 results,
-            } => self.complete_pending(inv_id, ReplyMsg::Invoke(status, results, src)),
+            } => {
+                // Close the trace on the requester's side: a point span
+                // marking when the reply reached this kernel.
+                if let Some(ctx) = trace {
+                    let t = now_ns();
+                    self.inner.obs.record_span("reply", ctx, t, t);
+                }
+                self.complete_pending(inv_id, ReplyMsg::Invoke(status, results, src))
+            }
             Message::WhereIs {
                 query_id,
                 name,
@@ -1730,16 +1889,18 @@ impl Node {
                 ));
             }
             Message::Ping { token } => {
-                let _ = self
-                    .inner
-                    .endpoint
-                    .send(Frame::to(self.inner.id, src, Message::Pong { token }));
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    src,
+                    Message::Pong { token },
+                ));
             }
             Message::Pong { token } => self.complete_pending(token, ReplyMsg::Pong),
         }
     }
 
     /// Services an invocation request from another kernel.
+    #[allow(clippy::too_many_arguments)]
     fn handle_invoke_request(
         &self,
         inv_id: u64,
@@ -1748,6 +1909,7 @@ impl Node {
         args: Vec<Value>,
         reply_to: NodeId,
         hops: u8,
+        trace: Option<TraceCtx>,
     ) {
         self.inner.metrics.bump_remote_served();
         let name = target.name();
@@ -1781,7 +1943,7 @@ impl Node {
             Some(s) => Some(s),
             None => {
                 if self.inner.destroyed.lock().contains(&name) {
-                    self.send_reply(sink, Status::Destroyed, Vec::new());
+                    self.send_reply(sink, Status::Destroyed, Vec::new(), trace);
                     return;
                 }
                 // A forwarding address wins over a local checkpoint: the
@@ -1795,7 +1957,7 @@ impl Node {
             }
         };
         if let Some(slot) = slot {
-            match self.validate(&slot, target, &operation, &args, sink) {
+            match self.validate(&slot, target, &operation, &args, sink, trace) {
                 Ok(pending) => {
                     self.inner
                         .served
@@ -1808,6 +1970,7 @@ impl Node {
                     ReplySink::Remote { inv_id, reply_to },
                     status,
                     Vec::new(),
+                    trace,
                 ),
             }
             return;
@@ -1816,7 +1979,11 @@ impl Node {
         if let Some(&fwd) = self.inner.location.forwards.read().get(&name) {
             if hops > 0 {
                 self.inner.metrics.bump_forward();
-                let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.obs.recorder().record(KernelEvent::Forward {
+                    obj: name.to_u128(),
+                    dst: fwd.0,
+                });
+                let mut forwarded = Frame::to(
                     self.inner.id,
                     fwd,
                     Message::InvokeRequest {
@@ -1827,11 +1994,15 @@ impl Node {
                         reply_to,
                         hops: hops - 1,
                     },
-                ));
+                );
+                if let Some(t) = trace {
+                    forwarded = forwarded.with_trace(t);
+                }
+                let _ = self.inner.endpoint.send(forwarded);
                 return;
             }
         }
-        self.send_reply(sink, Status::NoSuchObject, Vec::new());
+        self.send_reply(sink, Status::NoSuchObject, Vec::new(), trace);
     }
 }
 

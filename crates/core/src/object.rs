@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eden_capability::{Capability, NodeId, ObjName};
+use eden_obs::TraceCtx;
 use eden_wire::{Status, Value};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -101,6 +102,12 @@ pub(crate) struct PendingInvocation {
     pub sink: ReplySink,
     /// The node the invocation came from.
     pub caller: NodeId,
+    /// Tracing context the invocation arrived with (parent of the
+    /// dispatch/execute spans), if any.
+    pub trace: Option<TraceCtx>,
+    /// When the coordinator accepted the invocation — start of the
+    /// retroactive queue-wait (`dispatch`) span.
+    pub enqueue_ns: u64,
 }
 
 /// The coordinator's mutable state.
@@ -316,7 +323,10 @@ mod tests {
         let s = slot();
         let a = s.semaphore("mutex", 1);
         let b = s.semaphore("mutex", 99);
-        assert!(Arc::ptr_eq(&a, &b), "same name must give the same semaphore");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same name must give the same semaphore"
+        );
         assert_eq!(b.permits(), 1, "initial count comes from first creation");
         let c = s.semaphore("other", 2);
         assert!(!Arc::ptr_eq(&a, &c));

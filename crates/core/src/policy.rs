@@ -116,7 +116,14 @@ mod tests {
         let picks: Vec<NodeId> = (0..6).map(|_| p.place(&c)).collect();
         assert_eq!(
             picks,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(0),
+                NodeId(1),
+                NodeId(2)
+            ]
         );
     }
 

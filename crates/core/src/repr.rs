@@ -203,8 +203,10 @@ mod tests {
         let mut r = Representation::new();
         r.put_str("s", "text");
         r.put("raw", Bytes::from_static(&[9, 9]));
-        r.caps_mut()
-            .put("peer", eden_capability::Capability::mint(g.next_name()).restrict(Rights::READ));
+        r.caps_mut().put(
+            "peer",
+            eden_capability::Capability::mint(g.next_name()).restrict(Rights::READ),
+        );
         let img = r.to_image("mailbox", true, 7);
         assert_eq!(img.type_name, "mailbox");
         assert!(img.frozen);

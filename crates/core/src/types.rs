@@ -95,7 +95,12 @@ impl TypeSpec {
 
     /// Declares an operation in `class` requiring `required` rights.
     #[must_use]
-    pub fn op(mut self, name: impl Into<String>, class: impl Into<String>, required: Rights) -> Self {
+    pub fn op(
+        mut self,
+        name: impl Into<String>,
+        class: impl Into<String>,
+        required: Rights,
+    ) -> Self {
         self.ops.push(OpSpec {
             name: name.into(),
             class: class.into(),
@@ -355,7 +360,9 @@ impl TypeRegistry {
         let mut out = Vec::new();
         let mut current = type_name.to_string();
         for _ in 0..32 {
-            let Some(reg) = types.get(&current) else { break };
+            let Some(reg) = types.get(&current) else {
+                break;
+            };
             for op in &reg.spec.ops {
                 if seen.insert(op.name.clone()) {
                     out.push(op.clone());
@@ -508,14 +515,10 @@ mod tests {
     fn grandparent_chain_resolves() {
         let reg = TypeRegistry::new();
         reg.register(Arc::new(Stub(base_spec()))).unwrap();
-        reg.register(Arc::new(Stub(
-            TypeSpec::new("mid").with_parent("base"),
-        )))
-        .unwrap();
-        reg.register(Arc::new(Stub(
-            TypeSpec::new("leaf").with_parent("mid"),
-        )))
-        .unwrap();
+        reg.register(Arc::new(Stub(TypeSpec::new("mid").with_parent("base"))))
+            .unwrap();
+        reg.register(Arc::new(Stub(TypeSpec::new("leaf").with_parent("mid"))))
+            .unwrap();
         assert!(reg.resolve_op("leaf", "get").is_some());
         assert!(reg.resolve_op("leaf", "set").is_some());
     }

@@ -183,7 +183,10 @@ mod tests {
         });
         let start = Instant::now();
         let answers = c.wait(Duration::from_secs(5));
-        assert!(start.elapsed() < Duration::from_secs(1), "must not wait out the deadline");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "must not wait out the deadline"
+        );
         assert_eq!(answers.len(), 2);
         t.join().unwrap();
     }

@@ -66,7 +66,10 @@ impl TypeManager for Omni {
 }
 
 fn cluster(n: usize) -> Cluster {
-    Cluster::builder().nodes(n).register(|| Box::new(Omni)).build()
+    Cluster::builder()
+        .nodes(n)
+        .register(|| Box::new(Omni))
+        .build()
 }
 
 #[test]
@@ -89,7 +92,10 @@ fn destroy_deletes_checkpoints_at_a_remote_checksite() {
         if matches!(c.node(1).store().latest(cap.name()), Ok(None)) {
             break;
         }
-        assert!(Instant::now() < deadline, "remote checkpoints never deleted");
+        assert!(
+            Instant::now() < deadline,
+            "remote checkpoints never deleted"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     // Neither node resurrects it.
@@ -127,7 +133,9 @@ fn forwarding_budget_bounds_the_chase() {
         .build();
     let cap = c.node(0).create_object("omni", &[]).unwrap();
     for dst in [1u64, 2] {
-        c.node(0).invoke(cap, "migrate", &[Value::U64(dst)]).unwrap();
+        c.node(0)
+            .invoke(cap, "migrate", &[Value::U64(dst)])
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while !c.node(dst as usize).is_local(cap.name()) {
             assert!(Instant::now() < deadline);
@@ -149,9 +157,7 @@ fn timeout_while_queued_leaves_the_object_consistent() {
     let c = cluster(1);
     let cap = c.node(0).create_object("omni", &[]).unwrap();
     // Saturate the slow class (limit 1), then time out a queued call.
-    let blocker = c
-        .node(0)
-        .invoke_async(cap, "sleep_ms", &[Value::U64(300)]);
+    let blocker = c.node(0).invoke_async(cap, "sleep_ms", &[Value::U64(300)]);
     std::thread::sleep(Duration::from_millis(30));
     let err = c
         .node(0)
@@ -179,7 +185,10 @@ fn frozen_objects_reject_checksite_changes_and_moves_keep_frozenness() {
         .node(0)
         .invoke(cap, "checksite", &[Value::U64(1)])
         .unwrap_err();
-    assert!(matches!(err, EdenError::Invoke(Status::AppError { .. })), "{err:?}");
+    assert!(
+        matches!(err, EdenError::Invoke(Status::AppError { .. })),
+        "{err:?}"
+    );
 
     // Moving a frozen object keeps it frozen at the destination.
     c.node(0).move_object(cap, NodeId(1)).unwrap();
@@ -231,7 +240,10 @@ fn self_move_is_a_no_op_and_unknown_destination_errors() {
         .node(0)
         .invoke(cap, "migrate", &[Value::U64(77)])
         .unwrap_err();
-    assert!(matches!(err, EdenError::Invoke(Status::AppError { .. })), "{err:?}");
+    assert!(
+        matches!(err, EdenError::Invoke(Status::AppError { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]

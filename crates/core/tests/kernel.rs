@@ -45,9 +45,9 @@ impl TypeManager for Counter {
                 })?;
                 Ok(vec![Value::I64(new)])
             }
-            "get" => Ok(vec![Value::I64(ctx.read_repr(|r| {
-                r.get_i64("count").unwrap_or(0)
-            }))]),
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("count").unwrap_or(0)),
+            )]),
             "add_and_checkpoint" => {
                 let delta = OpCtx::i64_arg(args, 0)?;
                 let new = ctx.mutate_repr(|r| {
@@ -268,9 +268,9 @@ impl TypeManager for Caretaker {
                 ctx.port("in").send(Value::I64(n));
                 Ok(vec![])
             }
-            "total" => Ok(vec![Value::I64(ctx.read_repr(|r| {
-                r.get_i64("total").unwrap_or(0)
-            }))]),
+            "total" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("total").unwrap_or(0)),
+            )]),
             other => Err(OpError::no_such_op(other)),
         }
     }
@@ -292,7 +292,10 @@ fn standard_cluster(n: usize) -> Cluster {
 fn create_and_invoke_locally() {
     let cluster = standard_cluster(1);
     let cap = cluster.node(0).create_object("counter", &[]).unwrap();
-    let out = cluster.node(0).invoke(cap, "add", &[Value::I64(5)]).unwrap();
+    let out = cluster
+        .node(0)
+        .invoke(cap, "add", &[Value::I64(5)])
+        .unwrap();
     assert_eq!(out, vec![Value::I64(5)]);
     let out = cluster.node(0).invoke(cap, "get", &[]).unwrap();
     assert_eq!(out, vec![Value::I64(5)]);
@@ -314,7 +317,10 @@ fn invocation_is_location_independent() {
     let cluster = standard_cluster(3);
     let cap = cluster.node(0).create_object("counter", &[]).unwrap();
     // Invoke from a node that is neither the birth node nor the creator.
-    let out = cluster.node(2).invoke(cap, "add", &[Value::I64(7)]).unwrap();
+    let out = cluster
+        .node(2)
+        .invoke(cap, "add", &[Value::I64(7)])
+        .unwrap();
     assert_eq!(out, vec![Value::I64(7)]);
     // And from another.
     let out = cluster.node(1).invoke(cap, "get", &[]).unwrap();
@@ -326,9 +332,8 @@ fn invocation_is_location_independent() {
 #[test]
 fn unknown_object_reports_no_such_object() {
     let cluster = standard_cluster(2);
-    let bogus = Capability::mint(
-        eden_capability::NameGenerator::with_epoch(NodeId(0), 0xdead).next_name(),
-    );
+    let bogus =
+        Capability::mint(eden_capability::NameGenerator::with_epoch(NodeId(0), 0xdead).next_name());
     let err = cluster.node(1).invoke(bogus, "get", &[]).unwrap_err();
     assert_eq!(err, EdenError::Invoke(Status::NoSuchObject));
 }
@@ -384,7 +389,12 @@ fn user_supplied_timeout_is_honored() {
     let cap = cluster.node(0).create_object("rogue", &[]).unwrap();
     let err = cluster
         .node(0)
-        .invoke_with_timeout(cap, "sleep_ms", &[Value::U64(500)], Duration::from_millis(50))
+        .invoke_with_timeout(
+            cap,
+            "sleep_ms",
+            &[Value::U64(500)],
+            Duration::from_millis(50),
+        )
         .unwrap_err();
     assert!(err.is_timeout());
     assert_eq!(cluster.node(0).metrics().timeouts, 1);
@@ -400,7 +410,10 @@ fn panicking_operation_becomes_app_error_and_node_survives() {
         EdenError::Invoke(Status::AppError { code: -3, .. })
     ));
     // The object and node still work.
-    let out = cluster.node(0).invoke(cap, "sleep_ms", &[Value::U64(0)]).unwrap();
+    let out = cluster
+        .node(0)
+        .invoke(cap, "sleep_ms", &[Value::U64(0)])
+        .unwrap();
     assert_eq!(out, vec![Value::Str("done".into())]);
 }
 
@@ -517,7 +530,8 @@ fn checkpoint_crash_reincarnate_preserves_long_term_state() {
     let cluster = standard_cluster(1);
     let node = cluster.node(0);
     let cap = node.create_object("counter", &[]).unwrap();
-    node.invoke(cap, "add_and_checkpoint", &[Value::I64(10)]).unwrap();
+    node.invoke(cap, "add_and_checkpoint", &[Value::I64(10)])
+        .unwrap();
     // Mutate past the checkpoint, then crash: the un-checkpointed add is
     // lost, exactly per §4.4.
     node.invoke(cap, "add", &[Value::I64(5)]).unwrap();
@@ -525,7 +539,11 @@ fn checkpoint_crash_reincarnate_preserves_long_term_state() {
 
     // The next invocation reincarnates from the checkpoint.
     let out = node.invoke(cap, "get", &[]).unwrap();
-    assert_eq!(out, vec![Value::I64(10)], "state rolls back to the checkpoint");
+    assert_eq!(
+        out,
+        vec![Value::I64(10)],
+        "state rolls back to the checkpoint"
+    );
     assert_eq!(node.metrics().crashes, 1);
     assert_eq!(node.metrics().reincarnations, 1);
 }
@@ -552,7 +570,10 @@ fn crash_without_checkpoint_loses_the_object() {
         match node.invoke(cap, "get", &[]) {
             Err(EdenError::Invoke(Status::NoSuchObject)) => break,
             Err(EdenError::Invoke(Status::ObjectCrashed)) => {
-                assert!(std::time::Instant::now() < deadline, "teardown never settled");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "teardown never settled"
+                );
                 std::thread::sleep(Duration::from_millis(5));
             }
             other => panic!("unexpected: {other:?}"),
@@ -565,7 +586,8 @@ fn destroyed_objects_stay_destroyed() {
     let cluster = standard_cluster(1);
     let node = cluster.node(0);
     let cap = node.create_object("counter", &[]).unwrap();
-    node.invoke(cap, "add_and_checkpoint", &[Value::I64(1)]).unwrap();
+    node.invoke(cap, "add_and_checkpoint", &[Value::I64(1)])
+        .unwrap();
     node.invoke(cap, "destroy", &[]).unwrap();
     let err = node.invoke(cap, "get", &[]).unwrap_err();
     assert_eq!(err, EdenError::Invoke(Status::Destroyed));
@@ -600,7 +622,11 @@ fn failover_to_checksite_after_node_death() {
     let dict = cluster.node(0).create_object("dict", &[]).unwrap();
     cluster
         .node(0)
-        .invoke(dict, "put", &[Value::Str("k".into()), Value::Str("v".into())])
+        .invoke(
+            dict,
+            "put",
+            &[Value::Str("k".into()), Value::Str("v".into())],
+        )
         .unwrap();
     // Manually checkpoint at a remote checksite using a counter's
     // add_and_checkpoint is local-site; instead exercise via kill.
@@ -611,7 +637,12 @@ fn failover_to_checksite_after_node_death() {
     cluster.kill(0);
     let err = cluster
         .node(2)
-        .invoke_with_timeout(dict, "get", &[Value::Str("k".into())], Duration::from_secs(2))
+        .invoke_with_timeout(
+            dict,
+            "get",
+            &[Value::Str("k".into())],
+            Duration::from_secs(2),
+        )
         .unwrap_err();
     assert!(
         matches!(
@@ -681,11 +712,19 @@ fn frozen_objects_reject_mutation_but_serve_reads() {
     let cluster = standard_cluster(1);
     let node = cluster.node(0);
     let cap = node.create_object("dict", &[]).unwrap();
-    node.invoke(cap, "put", &[Value::Str("a".into()), Value::Str("1".into())])
-        .unwrap();
+    node.invoke(
+        cap,
+        "put",
+        &[Value::Str("a".into()), Value::Str("1".into())],
+    )
+    .unwrap();
     node.invoke(cap, "freeze", &[]).unwrap();
     let err = node
-        .invoke(cap, "put", &[Value::Str("b".into()), Value::Str("2".into())])
+        .invoke(
+            cap,
+            "put",
+            &[Value::Str("b".into()), Value::Str("2".into())],
+        )
         .unwrap_err();
     assert_eq!(err, EdenError::Invoke(Status::Frozen));
     let out = node.invoke(cap, "get", &[Value::Str("a".into())]).unwrap();
@@ -698,7 +737,11 @@ fn frozen_replicas_serve_invocations_locally() {
     let cap = cluster.node(0).create_object("dict", &[]).unwrap();
     cluster
         .node(0)
-        .invoke(cap, "put", &[Value::Str("k".into()), Value::Str("v".into())])
+        .invoke(
+            cap,
+            "put",
+            &[Value::Str("k".into()), Value::Str("v".into())],
+        )
         .unwrap();
     cluster.node(0).invoke(cap, "freeze", &[]).unwrap();
 
@@ -727,7 +770,11 @@ fn frozen_replicas_serve_invocations_locally() {
     // Mutations against the replica are refused.
     let err = cluster
         .node(2)
-        .invoke(cap, "put", &[Value::Str("x".into()), Value::Str("y".into())])
+        .invoke(
+            cap,
+            "put",
+            &[Value::Str("x".into()), Value::Str("y".into())],
+        )
         .unwrap_err();
     assert_eq!(err, EdenError::Invoke(Status::Frozen));
 }
@@ -737,7 +784,10 @@ fn caching_an_unfrozen_object_is_refused() {
     let cluster = standard_cluster(2);
     let cap = cluster.node(0).create_object("dict", &[]).unwrap();
     let err = cluster.node(1).cache_replica(cap).unwrap_err();
-    assert!(matches!(err, EdenError::BadRequest(_) | EdenError::Invoke(_)));
+    assert!(matches!(
+        err,
+        EdenError::BadRequest(_) | EdenError::Invoke(_)
+    ));
 }
 
 #[test]
@@ -789,7 +839,10 @@ fn location_cache_warms_after_first_search() {
 fn broadcast_finds_objects_that_moved_when_hints_fail() {
     let cluster = standard_cluster(3);
     let cap = cluster.node(0).create_object("nomad", &[]).unwrap();
-    cluster.node(0).invoke(cap, "migrate", &[Value::U64(1)]).unwrap();
+    cluster
+        .node(0)
+        .invoke(cap, "migrate", &[Value::U64(1)])
+        .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !cluster.node(1).is_local(cap.name()) {
         assert!(std::time::Instant::now() < deadline);
@@ -835,16 +888,26 @@ fn remote_checksite_survives_node_death() {
         cluster.node(1).store().latest(cap.name()),
         Ok(Some(_))
     ));
-    assert!(matches!(cluster.node(0).store().latest(cap.name()), Ok(None)));
+    assert!(matches!(
+        cluster.node(0).store().latest(cap.name()),
+        Ok(None)
+    ));
 
     cluster.kill(0);
     let out = cluster
         .node(2)
         .invoke_with_timeout(cap, "get", &[], Duration::from_secs(5))
         .unwrap();
-    assert_eq!(out, vec![Value::I64(33)], "state must survive at the checksite");
+    assert_eq!(
+        out,
+        vec![Value::I64(33)],
+        "state must survive at the checksite"
+    );
     assert_eq!(cluster.node(1).metrics().reincarnations, 1);
-    assert!(cluster.node(1).is_local(cap.name()), "object now lives at the checksite");
+    assert!(
+        cluster.node(1).is_local(cap.name()),
+        "object now lives at the checksite"
+    );
 }
 
 #[test]
@@ -890,9 +953,16 @@ fn moved_object_is_not_resurrected_from_its_old_checkpoint() {
     }
     // Mutate on the new home, then invoke *via the old home's hint*
     // (node 2 has no cache, so it tries the birth node first).
-    cluster.node(1).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+    cluster
+        .node(1)
+        .invoke(cap, "add", &[Value::I64(1)])
+        .unwrap();
     let out = cluster.node(2).invoke(cap, "get", &[]).unwrap();
-    assert_eq!(out, vec![Value::I64(2)], "must see the moved object's state");
+    assert_eq!(
+        out,
+        vec![Value::I64(2)],
+        "must see the moved object's state"
+    );
     assert!(
         !cluster.node(0).is_local(cap.name()),
         "the old home must not resurrect the object"
@@ -906,9 +976,9 @@ fn shutdown_refuses_further_work() {
     let node = cluster.node(0).clone();
     let cap = node.create_object("counter", &[]).unwrap();
     node.shutdown();
-    assert_eq!(node.create_object("counter", &[]), Err(EdenError::ShuttingDown));
     assert_eq!(
-        node.invoke(cap, "get", &[]),
+        node.create_object("counter", &[]),
         Err(EdenError::ShuttingDown)
     );
+    assert_eq!(node.invoke(cap, "get", &[]), Err(EdenError::ShuttingDown));
 }

@@ -36,7 +36,9 @@ impl TypeManager for Counter {
                 })?;
                 Ok(vec![Value::I64(v)])
             }
-            "get" => Ok(vec![Value::I64(ctx.read_repr(|r| r.get_i64("n").unwrap_or(0)))]),
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("n").unwrap_or(0)),
+            )]),
             "checkpoint" => Ok(vec![Value::U64(ctx.checkpoint()?)]),
             "crash" => {
                 ctx.crash();
@@ -118,7 +120,13 @@ fn object_info_reflects_the_slot_state() {
     // The reply is delivered before the coordinator's completion
     // bookkeeping, so `running` may read 1 for an instant.
     let deadline = Instant::now() + Duration::from_secs(2);
-    while c.node(0).object_info(cap.name()).unwrap().running_invocations != 0 {
+    while c
+        .node(0)
+        .object_info(cap.name())
+        .unwrap()
+        .running_invocations
+        != 0
+    {
         assert!(Instant::now() < deadline, "invocation never retired");
         std::thread::sleep(Duration::from_millis(2));
     }
@@ -239,10 +247,12 @@ fn moves_under_continuous_load_lose_nothing() {
         let successes = successes.clone();
         workers.push(std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
-                match c
-                    .node(w)
-                    .invoke_with_timeout(cap, "add", &[Value::I64(1)], Duration::from_secs(5))
-                {
+                match c.node(w).invoke_with_timeout(
+                    cap,
+                    "add",
+                    &[Value::I64(1)],
+                    Duration::from_secs(5),
+                ) {
                     Ok(_) => {
                         successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
@@ -257,9 +267,12 @@ fn moves_under_continuous_load_lose_nothing() {
     for dst in [1u64, 2, 0, 1] {
         std::thread::sleep(Duration::from_millis(50));
         // The migrate op itself competes with the adders.
-        let _ = c
-            .node(0)
-            .invoke_with_timeout(cap, "migrate", &[Value::U64(dst)], Duration::from_secs(5));
+        let _ = c.node(0).invoke_with_timeout(
+            cap,
+            "migrate",
+            &[Value::U64(dst)],
+            Duration::from_secs(5),
+        );
         let deadline = Instant::now() + Duration::from_secs(10);
         while !c.node(dst as usize).is_local(cap.name()) {
             assert!(Instant::now() < deadline, "move to {dst} never completed");
@@ -319,7 +332,9 @@ fn behaviors_are_rebuilt_by_moves() {
         }
         fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[V]) -> OpResult {
             match op {
-                "ticks" => Ok(vec![V::I64(ctx.read_repr(|r| r.get_i64("ticks").unwrap_or(0)))]),
+                "ticks" => Ok(vec![V::I64(
+                    ctx.read_repr(|r| r.get_i64("ticks").unwrap_or(0)),
+                )]),
                 "host" => Ok(vec![V::I64(
                     ctx.read_repr(|r| r.get_i64("behavior_host").unwrap_or(-1)),
                 )]),

@@ -43,7 +43,9 @@ impl TypeManager for Counter {
                 })?;
                 Ok(vec![Value::I64(v)])
             }
-            "get" => Ok(vec![Value::I64(ctx.read_repr(|r| r.get_i64("n").unwrap_or(0)))]),
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("n").unwrap_or(0)),
+            )]),
             "checkpoint" => Ok(vec![Value::U64(ctx.checkpoint()?)]),
             "crash" => {
                 ctx.crash();

@@ -113,9 +113,9 @@ impl Efs {
                         .ok_or_else(|| EfsError::WrongKind(comp.to_string()))?;
                 }
                 Err(EdenError::Invoke(Status::AppError { code: 404, .. })) if create => {
-                    let out = self
-                        .node
-                        .invoke(current, "mkdir", &[Value::Str(comp.to_string())])?;
+                    let out =
+                        self.node
+                            .invoke(current, "mkdir", &[Value::Str(comp.to_string())])?;
                     current = out
                         .first()
                         .and_then(Value::as_cap)
@@ -198,7 +198,11 @@ impl Efs {
     fn read_file(&self, file: Capability, version: Option<u64>) -> Result<Bytes, EfsError> {
         let args: Vec<Value> = version.map(Value::U64).into_iter().collect();
         match self.node.invoke(file, "read", &args) {
-            Ok(out) => Ok(out.first().and_then(Value::as_blob).cloned().unwrap_or_default()),
+            Ok(out) => Ok(out
+                .first()
+                .and_then(Value::as_blob)
+                .cloned()
+                .unwrap_or_default()),
             Err(EdenError::Invoke(Status::AppError { code: 404, .. })) => {
                 Err(EfsError::NotFound("version".into()))
             }

@@ -111,9 +111,9 @@ impl TypeManager for FileType {
                     None => Err(OpError::app(404, "no such version")),
                 }
             }
-            "latest_version" => Ok(vec![Value::U64(ctx.read_repr(|r| {
-                r.get_u64("latest").unwrap_or(0)
-            }))]),
+            "latest_version" => Ok(vec![Value::U64(
+                ctx.read_repr(|r| r.get_u64("latest").unwrap_or(0)),
+            )]),
             "history" => {
                 let versions: Vec<Value> = ctx.read_repr(|r| {
                     r.segments_with_prefix("ver:")
@@ -252,7 +252,10 @@ fn release_locks(ctx: &OpCtx<'_>, txid: u64) {
     if ctx.scratch_get(LOCK_OWNER).and_then(|v| v.as_u64()) == Some(txid) {
         ctx.scratch_remove(LOCK_OWNER);
     }
-    let shared: Vec<u64> = shared_holders(ctx).into_iter().filter(|&t| t != txid).collect();
+    let shared: Vec<u64> = shared_holders(ctx)
+        .into_iter()
+        .filter(|&t| t != txid)
+        .collect();
     put_shared(ctx, &shared);
 }
 
@@ -293,11 +296,13 @@ impl TypeManager for BlobType {
         match op {
             "read" => {
                 let data = ctx.read_repr(|r| r.get("data").cloned());
-                Ok(vec![Value::Blob(data.unwrap_or_else(Bytes::new))])
+                Ok(vec![Value::Blob(data.unwrap_or_default())])
             }
-            "size" => Ok(vec![Value::U64(ctx.read_repr(|r| {
-                r.get("data").map(|b| b.len() as u64).unwrap_or(0)
-            }))]),
+            "size" => {
+                Ok(vec![Value::U64(ctx.read_repr(|r| {
+                    r.get("data").map(|b| b.len() as u64).unwrap_or(0)
+                }))])
+            }
             other => Err(OpError::no_such_op(other)),
         }
     }

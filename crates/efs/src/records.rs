@@ -112,8 +112,7 @@ impl TypeManager for RecordFileType {
             }
             "delete" => {
                 let key = OpCtx::str_arg(args, 0)?;
-                let existed =
-                    ctx.mutate_repr(|r| r.remove(&rec_segment(key)).is_some())?;
+                let existed = ctx.mutate_repr(|r| r.remove(&rec_segment(key)).is_some())?;
                 if existed {
                     after_mutation(ctx)?;
                 }
@@ -137,9 +136,11 @@ impl TypeManager for RecordFileType {
                 });
                 Ok(vec![Value::List(rows)])
             }
-            "count" => Ok(vec![Value::U64(ctx.read_repr(|r| {
-                r.segments_with_prefix("rec:").count() as u64
-            }))]),
+            "count" => {
+                Ok(vec![Value::U64(ctx.read_repr(|r| {
+                    r.segments_with_prefix("rec:").count() as u64
+                }))])
+            }
             "flush" => {
                 ctx.mutate_repr(|r| r.put_u64("dirty", 0))?;
                 let version = ctx.checkpoint()?;
@@ -211,7 +212,11 @@ impl Records {
     }
 
     /// Ordered prefix scan.
-    pub fn scan(&self, prefix: &str, limit: u64) -> eden_kernel::Result<Vec<(String, bytes::Bytes)>> {
+    pub fn scan(
+        &self,
+        prefix: &str,
+        limit: u64,
+    ) -> eden_kernel::Result<Vec<(String, bytes::Bytes)>> {
         let out = self.node.invoke(
             self.cap,
             "scan",

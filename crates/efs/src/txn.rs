@@ -85,11 +85,7 @@ fn acquire_lock(
     exclusive: bool,
 ) -> Result<(), OpError> {
     for attempt in 0..LOCK_RETRIES {
-        let out = ctx.invoke(
-            file,
-            "lock",
-            &[Value::U64(txid), Value::Bool(exclusive)],
-        )?;
+        let out = ctx.invoke(file, "lock", &[Value::U64(txid), Value::Bool(exclusive)])?;
         if out.first().and_then(Value::as_bool) == Some(true) {
             return Ok(());
         }
@@ -454,8 +450,7 @@ impl TypeManager for TxnManagerType {
                 let reads = load_reads(ctx, txid);
                 let mut prepared = Vec::new();
                 for (file, data, base) in &writes {
-                    let mut prep_args =
-                        vec![Value::U64(txid), Value::Blob(data.clone())];
+                    let mut prep_args = vec![Value::U64(txid), Value::Blob(data.clone())];
                     if validating {
                         let expected = reads
                             .iter()

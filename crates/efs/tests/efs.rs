@@ -58,10 +58,7 @@ fn lookup_missing_is_not_found() {
     let c = cluster(1);
     let efs = Efs::format(c.node(0).clone()).unwrap();
     assert!(matches!(efs.read("/nope"), Err(EfsError::NotFound(_))));
-    assert!(matches!(
-        efs.read("/deep/nope"),
-        Err(EfsError::NotFound(_))
-    ));
+    assert!(matches!(efs.read("/deep/nope"), Err(EfsError::NotFound(_))));
 }
 
 #[test]
@@ -81,7 +78,10 @@ fn unbind_removes_the_name_not_the_object() {
     assert!(matches!(efs.read("/doomed"), Err(EfsError::NotFound(_))));
     // The object remains reachable by capability.
     let out = c.node(0).invoke(file, "read", &[]).unwrap();
-    assert_eq!(out[0].as_blob().unwrap(), &bytes::Bytes::from_static(b"still here"));
+    assert_eq!(
+        out[0].as_blob().unwrap(),
+        &bytes::Bytes::from_static(b"still here")
+    );
 }
 
 #[test]
@@ -94,7 +94,10 @@ fn the_same_efs_mounts_on_every_node() {
     let efs2 = Efs::mount(c.node(2).clone(), efs0.root());
     assert_eq!(&efs2.read("/shared/data").unwrap()[..], b"from node 0");
     efs2.write("/shared/data", b"updated from node 2").unwrap();
-    assert_eq!(&efs0.read("/shared/data").unwrap()[..], b"updated from node 2");
+    assert_eq!(
+        &efs0.read("/shared/data").unwrap()[..],
+        b"updated from node 2"
+    );
 }
 
 #[test]
@@ -122,7 +125,10 @@ fn published_blobs_are_frozen_and_cacheable() {
     c.node(2).cache_replica(blob).unwrap();
     let sent_before = c.node(2).metrics().remote_invocations_sent;
     let out = c.node(2).invoke(blob, "read", &[]).unwrap();
-    assert_eq!(out[0].as_blob().unwrap(), &bytes::Bytes::from_static(b"read widely"));
+    assert_eq!(
+        out[0].as_blob().unwrap(),
+        &bytes::Bytes::from_static(b"read widely")
+    );
     assert_eq!(
         c.node(2).metrics().remote_invocations_sent,
         sent_before,
@@ -137,7 +143,11 @@ fn transaction_commits_atomically() {
     let a = efs.create_file("/acct/a").unwrap();
     let b = efs.create_file("/acct/b").unwrap();
     c.node(0)
-        .invoke(a, "write", &[Value::Blob(bytes::Bytes::from_static(b"100"))])
+        .invoke(
+            a,
+            "write",
+            &[Value::Blob(bytes::Bytes::from_static(b"100"))],
+        )
         .unwrap();
     c.node(0)
         .invoke(b, "write", &[Value::Blob(bytes::Bytes::from_static(b"0"))])
@@ -219,7 +229,9 @@ fn two_phase_locking_serializes_concurrent_increments() {
                     let txn = efs_w.begin(mgr).unwrap();
                     // A lock timeout anywhere aborts the transaction
                     // server-side; the client retries from the top.
-                    let Ok(raw) = txn.read_for_update(file) else { continue };
+                    let Ok(raw) = txn.read_for_update(file) else {
+                        continue;
+                    };
                     let cur: i64 = String::from_utf8(raw.to_vec()).unwrap().parse().unwrap();
                     if txn.write(file, format!("{}", cur + 1).as_bytes()).is_err() {
                         continue;
@@ -239,7 +251,11 @@ fn two_phase_locking_serializes_concurrent_increments() {
         .unwrap()
         .parse()
         .unwrap();
-    assert_eq!(total, (workers * per_worker) as i64, "no update may be lost");
+    assert_eq!(
+        total,
+        (workers * per_worker) as i64,
+        "no update may be lost"
+    );
 }
 
 /// The same workload under OCC: conflicting commits abort and retry;
@@ -324,7 +340,10 @@ fn records_insert_get_delete_round_trip() {
     let c = cluster(1);
     let table = Records::create(c.node(0).clone(), 4).unwrap();
     assert!(!table.insert("user:alice", b"researcher").unwrap());
-    assert!(table.insert("user:alice", b"professor").unwrap(), "upsert reports existence");
+    assert!(
+        table.insert("user:alice", b"professor").unwrap(),
+        "upsert reports existence"
+    );
     assert_eq!(&table.get("user:alice").unwrap().unwrap()[..], b"professor");
     assert_eq!(table.get("user:ghost").unwrap(), None);
     assert!(table.delete("user:alice").unwrap());
@@ -375,7 +394,10 @@ fn records_batched_checkpointing_bounds_the_loss_window() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     assert_eq!(table.get("k6").unwrap(), None, "the dirty insert is gone");
-    assert!(table.get("k5").unwrap().is_some(), "checkpointed data survives");
+    assert!(
+        table.get("k5").unwrap().is_some(),
+        "checkpointed data survives"
+    );
 
     // A flush closes the window: nothing is lost across the next crash.
     table.insert("k7", b"v").unwrap();
@@ -451,7 +473,10 @@ fn twopl_read_locks_exclude_writers_until_commit() {
     // shared lock is held.
     let interloper = efs.begin(mgr).unwrap();
     let blocked = interloper.read_for_update(a);
-    assert!(blocked.is_err(), "exclusive lock must be refused: {blocked:?}");
+    assert!(
+        blocked.is_err(),
+        "exclusive lock must be refused: {blocked:?}"
+    );
 
     assert!(txn.commit().unwrap());
     // After commit, the lock is free.

@@ -136,7 +136,8 @@ impl EthernetSim {
             let gap = self
                 .workload
                 .sample_interarrival_ns(self.config.bit_rate_bps, &mut self.rng);
-            self.queue.schedule(SimTime(gap), Event::Arrival { station: s });
+            self.queue
+                .schedule(SimTime(gap), Event::Arrival { station: s });
         }
         while let Some((at, ev)) = self.queue.pop() {
             if at > self.horizon {
@@ -262,7 +263,10 @@ impl EthernetSim {
     fn on_tx_done(&mut self, tx_id: u64) {
         // A record may have two TxDone events scheduled (original end and
         // abort); the first one that finds the record consumes it.
-        let Some(pos) = self.active.iter().position(|t| t.id == tx_id && t.end <= self.now)
+        let Some(pos) = self
+            .active
+            .iter()
+            .position(|t| t.id == tx_id && t.end <= self.now)
         else {
             return;
         };

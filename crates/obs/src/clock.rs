@@ -1,0 +1,29 @@
+//! A process-wide monotonic clock.
+//!
+//! All observability timestamps are nanoseconds since the first call in
+//! the process, so spans and flight-recorder events from *different*
+//! in-process nodes (the usual `Cluster` harness) are directly
+//! comparable and can be merged into one causal timeline.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide observability epoch.
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::now_ns;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

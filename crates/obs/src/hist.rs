@@ -1,0 +1,288 @@
+//! Lock-free log-linear latency histograms (HDR-style).
+//!
+//! Values (nanoseconds, but any `u64` works) land in one of ~1000
+//! buckets: exact below 16, then 16 linear sub-buckets per power of two
+//! above that, for ≤ 1/16 ≈ 6% relative quantile error across the full
+//! 64-bit range. Recording is two relaxed `fetch_add`s plus min/max
+//! maintenance — no locks, no allocation — so it is cheap enough to sit
+//! on the kernel's invocation hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (log-linear resolution).
+const SUBBUCKET_BITS: u32 = 4;
+const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS; // 16
+/// Values below this are bucketed exactly.
+const LINEAR_MAX: u64 = SUBBUCKETS;
+/// Total bucket count: 16 exact + 16 per exponent 4..=63.
+const BUCKETS: usize = LINEAR_MAX as usize + ((64 - SUBBUCKET_BITS as usize) * SUBBUCKETS as usize);
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUBBUCKET_BITS
+        let sub = (v >> (exp - SUBBUCKET_BITS)) & (SUBBUCKETS - 1);
+        LINEAR_MAX as usize + (exp - SUBBUCKET_BITS) as usize * SUBBUCKETS as usize + sub as usize
+    }
+}
+
+/// Midpoint of the value range covered by `index` (the value quantile
+/// queries report).
+fn bucket_mid(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        index as u64
+    } else {
+        let rel = index - LINEAR_MAX as usize;
+        let exp = SUBBUCKET_BITS + (rel / SUBBUCKETS as usize) as u32;
+        let sub = (rel % SUBBUCKETS as usize) as u64;
+        let lo = (1u64 << exp) | (sub << (exp - SUBBUCKET_BITS));
+        let width = 1u64 << (exp - SUBBUCKET_BITS);
+        lo + width / 2
+    }
+}
+
+/// A fixed-size, lock-free latency histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array from a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            v.into_boxed_slice().try_into().expect("bucket count");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a `std::time::Duration` in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Takes a consistent-enough copy for reporting (individual bucket
+    /// loads are relaxed; in-flight samples may straddle the snapshot).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Histogram(count={}, p50={}, p99={})",
+            s.count,
+            s.percentile(50.0),
+            s.percentile(99.0)
+        )
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Folds another snapshot in (for cluster-wide aggregates).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at percentile `p` (0–100). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// One-line summary used by the shell and experiment tables.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "count=0".to_string();
+        }
+        format!(
+            "count={} min={} p50={} p95={} p99={} max={} mean={:.0}",
+            self.count,
+            self.min,
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max,
+            self.mean(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_below_linear_max() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp_are_close() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (p, expect) in [(50.0, 50_000.0), (95.0, 95_000.0), (99.0, 99_000.0)] {
+            let got = s.percentile(p) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.07, "p{p}: got {got}, want ~{expect} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn merge_is_sum() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in 0..1000u64 {
+            a.record(v);
+            b.record(v * 17);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2000);
+        assert_eq!(m.max, 999 * 17);
+    }
+
+    #[test]
+    fn recording_is_fast_enough() {
+        // Acceptance floor: far under 1 µs per sample even unoptimized.
+        let h = Histogram::new();
+        let n = 200_000u64;
+        let start = std::time::Instant::now();
+        for v in 0..n {
+            h.record(v);
+        }
+        let per = start.elapsed().as_nanos() as u64 / n;
+        assert!(per < 1_000, "record took {per} ns/sample (budget 1 µs)");
+        assert_eq!(h.snapshot().count, n);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_mid_stays_in_bucket(v in 0u64..) {
+            let idx = bucket_index(v);
+            let mid = bucket_mid(idx);
+            // The midpoint maps back to the same bucket.
+            prop_assert_eq!(bucket_index(mid), idx);
+            // And is within the 1/16 relative-error envelope.
+            if v >= LINEAR_MAX {
+                let err = (mid as f64 - v as f64).abs() / v as f64;
+                prop_assert!(err <= 1.0 / 16.0 + 1e-9, "v={} mid={} err={}", v, mid, err);
+            }
+        }
+
+        #[test]
+        fn quantiles_bracket_the_data(mut samples in proptest::collection::vec(0u64..1_000_000, 1..512)) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let snap = h.snapshot();
+            prop_assert_eq!(snap.count, samples.len() as u64);
+            prop_assert_eq!(snap.min, samples[0]);
+            prop_assert_eq!(snap.max, *samples.last().unwrap());
+            let p50 = snap.percentile(50.0);
+            prop_assert!(p50 >= snap.min && p50 <= snap.max);
+        }
+    }
+}

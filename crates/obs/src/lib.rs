@@ -1,0 +1,43 @@
+//! Cross-layer observability for the Eden reproduction.
+//!
+//! The 1981 paper argues for mechanisms — location-transparent
+//! invocation, invocation classes, checkpointing, mobility — whose costs
+//! a reproduction must be able to *see* to be evaluable. This crate is
+//! that layer, with three pillars:
+//!
+//! * **Distributed invocation tracing** — a compact [`TraceCtx`]
+//!   (`trace_id`, `parent_span`, `span_id`) rides along `eden-wire`
+//!   frames as an optional trailing field. Each layer opens a span
+//!   ([`ObsRegistry::child_span`]) against the context it received, so a
+//!   single remote invocation yields a causally linked span tree across
+//!   nodes: client send → transport delivery → coordinator dispatch →
+//!   operation execution → reply delivery. [`render_trace`] draws the
+//!   tree.
+//! * **Lock-free latency histograms** — [`Histogram`] is a log-linear
+//!   (HDR-style) array of atomic buckets: recording a sample is a couple
+//!   of relaxed atomic adds, snapshots are mergeable, and percentiles
+//!   come out with ≤ ~6% relative error. [`Counter`] and [`Gauge`]
+//!   cover monotone event counts and instantaneous levels (coordinator
+//!   queue depth, per-class in-service counts).
+//! * **A per-node flight recorder** — [`FlightRecorder`] keeps the last
+//!   N typed [`KernelEvent`]s (crashes, reincarnations, moves, forwards,
+//!   retransmissions, `WhereIs` broadcasts…) in a fixed-capacity ring,
+//!   dumpable as text for postmortems after failover experiments.
+//!
+//! Everything hangs off a per-node [`ObsRegistry`]. All nodes in one
+//! process share a single monotonic epoch ([`now_ns`]), so timestamps
+//! from different in-process nodes are directly comparable.
+
+pub mod clock;
+pub mod hist;
+pub mod metric;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use clock::now_ns;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge};
+pub use recorder::{FlightEvent, FlightRecorder, KernelEvent};
+pub use registry::{ObsRegistry, SpanGuard};
+pub use trace::{render_trace, SpanRecord, TraceCollector, TraceCtx};

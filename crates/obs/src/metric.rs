@@ -1,0 +1,100 @@
+//! Counters and gauges: the two scalar metric kinds.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotone event counter. All operations are relaxed atomics — safe
+/// to bump from any kernel thread without coordination.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-service count). Signed so a
+/// dec racing ahead of its inc cannot wrap.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1)
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_and_gauges_track_concurrent_updates() {
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, g) = (Arc::clone(&c), Arc::clone(&g));
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.inc();
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! The per-node flight recorder: a fixed-capacity ring of typed kernel
+//! events for after-the-fact debugging of failover experiments.
+//!
+//! The kernel appends an event at each §4.3/§4.4 lifecycle edge — moves,
+//! reincarnations, crashes, forwards, retransmissions, `WhereIs`
+//! broadcasts. The ring is bounded, so a long-running node keeps only
+//! the recent past — exactly what a postmortem wants.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::now_ns;
+
+/// One kind of kernel lifecycle event. Object names are carried as their
+/// `u128` wire form (this crate sits below `eden-capability`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// An object's active form was discarded (`crash` primitive or node
+    /// teardown).
+    Crash { obj: u128 },
+    /// An object was rebuilt from its last checkpoint on this node.
+    Reincarnation { obj: u128, version: u64 },
+    /// A checkpoint was written for an object.
+    CheckpointWrite { obj: u128, version: u64 },
+    /// An active object left this node.
+    MoveOut { obj: u128, dst: u16 },
+    /// An active object arrived at this node.
+    MoveIn { obj: u128, src: u16 },
+    /// An invocation was forwarded after a move.
+    Forward { obj: u128, dst: u16 },
+    /// A pending remote invocation was retransmitted.
+    Retransmit { inv_id: u64, dst: u16 },
+    /// A remote invocation attempt timed out (candidate node presumed
+    /// crashed or partitioned).
+    RemoteTimeout { dst: u16 },
+    /// This node broadcast a `WhereIs` location search.
+    WhereIsBroadcast { obj: u128 },
+    /// This node shut down.
+    NodeShutdown,
+}
+
+impl fmt::Display for KernelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn short(obj: &u128) -> u64 {
+            // Low 64 bits are enough to identify an object in a dump.
+            *obj as u64
+        }
+        match self {
+            KernelEvent::Crash { obj } => write!(f, "crash obj={:#x}", short(obj)),
+            KernelEvent::Reincarnation { obj, version } => {
+                write!(f, "reincarnation obj={:#x} v{version}", short(obj))
+            }
+            KernelEvent::CheckpointWrite { obj, version } => {
+                write!(f, "checkpoint obj={:#x} v{version}", short(obj))
+            }
+            KernelEvent::MoveOut { obj, dst } => {
+                write!(f, "move-out obj={:#x} -> node {dst}", short(obj))
+            }
+            KernelEvent::MoveIn { obj, src } => {
+                write!(f, "move-in obj={:#x} <- node {src}", short(obj))
+            }
+            KernelEvent::Forward { obj, dst } => {
+                write!(f, "forward obj={:#x} -> node {dst}", short(obj))
+            }
+            KernelEvent::Retransmit { inv_id, dst } => {
+                write!(f, "retransmit inv={inv_id} -> node {dst}")
+            }
+            KernelEvent::RemoteTimeout { dst } => write!(f, "remote-timeout node {dst}"),
+            KernelEvent::WhereIsBroadcast { obj } => {
+                write!(f, "where-is broadcast obj={:#x}", short(obj))
+            }
+            KernelEvent::NodeShutdown => write!(f, "node shutdown"),
+        }
+    }
+}
+
+/// A recorded event: sequence number (per recorder, monotone), timestamp
+/// on the process-wide clock, and the event itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Per-recorder monotone sequence number (causal order on one node).
+    pub seq: u64,
+    /// Nanoseconds on the process-wide clock.
+    pub at_ns: u64,
+    /// What happened.
+    pub event: KernelEvent,
+}
+
+/// A fixed-capacity ring buffer of [`FlightEvent`]s.
+pub struct FlightRecorder {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Appends an event, evicting the oldest at capacity.
+    pub fn record(&self, event: KernelEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let entry = FlightEvent {
+            seq,
+            at_ns: now_ns(),
+            event,
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` most recent events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<FlightEvent> {
+        let all = self.events();
+        let skip = all.len().saturating_sub(n);
+        all.into_iter().skip(skip).collect()
+    }
+
+    /// Text dump of the last `n` events, one per line.
+    pub fn dump(&self, n: usize) -> String {
+        let mut out = String::new();
+        for e in self.last(n) {
+            out.push_str(&format!(
+                "[{:>6}] {:>12.3} ms  {}\n",
+                e.seq,
+                e.at_ns as f64 / 1e6,
+                e.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_in_order() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(KernelEvent::Retransmit { inv_id: i, dst: 0 });
+        }
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(r.last(2).len(), 2);
+        assert_eq!(r.last(99).len(), 3);
+    }
+
+    #[test]
+    fn dump_renders_every_event_kind() {
+        let r = FlightRecorder::new(16);
+        r.record(KernelEvent::Crash { obj: 1 });
+        r.record(KernelEvent::Reincarnation { obj: 1, version: 2 });
+        r.record(KernelEvent::CheckpointWrite { obj: 1, version: 3 });
+        r.record(KernelEvent::MoveOut { obj: 1, dst: 2 });
+        r.record(KernelEvent::MoveIn { obj: 1, src: 0 });
+        r.record(KernelEvent::Forward { obj: 1, dst: 2 });
+        r.record(KernelEvent::Retransmit { inv_id: 9, dst: 1 });
+        r.record(KernelEvent::RemoteTimeout { dst: 1 });
+        r.record(KernelEvent::WhereIsBroadcast { obj: 1 });
+        r.record(KernelEvent::NodeShutdown);
+        let dump = r.dump(16);
+        for needle in [
+            "crash",
+            "reincarnation",
+            "checkpoint",
+            "move-out",
+            "move-in",
+            "forward",
+            "retransmit",
+            "remote-timeout",
+            "where-is",
+            "shutdown",
+        ] {
+            assert!(dump.contains(needle), "missing {needle} in dump:\n{dump}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributed invocation tracing.
+//!
+//! A [`TraceCtx`] is three 64-bit ids: the trace, the parent span, and
+//! the current span. It crosses node boundaries as an optional trailing
+//! field on `eden-wire` frames; each layer that does work opens a child
+//! span against the context it received and the receiving side parents
+//! onto the sender's span, so one remote invocation produces a single
+//! causally-linked tree spanning both kernels.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A span's identity plus its position in the trace tree. 24 bytes on
+/// the wire; `Copy` so it threads through call stacks freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Identifies the whole invocation tree.
+    pub trace_id: u64,
+    /// The span this context descends from (0 for roots).
+    pub parent_span: u64,
+    /// The current span.
+    pub span_id: u64,
+}
+
+/// A finished span, as stored in a node's [`TraceCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the process).
+    pub span_id: u64,
+    /// Parent span id; 0 for trace roots.
+    pub parent_span: u64,
+    /// The node that recorded the span.
+    pub node: u16,
+    /// Layer-assigned name, e.g. `"invoke"`, `"dispatch"`, `"net"`.
+    pub name: &'static str,
+    /// Start, nanoseconds on the process-wide clock.
+    pub start_ns: u64,
+    /// End, nanoseconds on the process-wide clock.
+    pub end_ns: u64,
+}
+
+/// A bounded ring of finished spans (per node).
+pub struct TraceCollector {
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl TraceCollector {
+    /// Creates a collector retaining the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        TraceCollector {
+            capacity,
+            spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Appends a finished span, evicting the oldest at capacity.
+    pub fn record(&self, span: SpanRecord) {
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(span);
+    }
+
+    /// All retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained spans belonging to `trace_id`.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+}
+
+/// Renders the span tree of one trace as indented text, e.g.:
+///
+/// ```text
+/// trace 0x0001000000000001
+/// └─ invoke                 node 1     912.3 µs
+///    └─ client-send         node 1     897.1 µs
+///       ├─ net              node 0      41.0 µs
+///       └─ dispatch         node 0      12.9 µs
+///          └─ execute       node 0     803.5 µs
+/// ```
+///
+/// Spans may come from several nodes' collectors — merge them first.
+/// Orphans (parent missing from `spans`) are promoted to roots so a
+/// truncated collection still renders.
+pub fn render_trace(spans: &[SpanRecord], trace_id: u64) -> String {
+    let mut mine: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    mine.sort_by_key(|s| (s.start_ns, s.span_id));
+    let ids: std::collections::HashSet<u64> = mine.iter().map(|s| s.span_id).collect();
+    let roots: Vec<&SpanRecord> = mine
+        .iter()
+        .copied()
+        .filter(|s| s.parent_span == 0 || !ids.contains(&s.parent_span))
+        .collect();
+    let mut out = format!("trace {trace_id:#018x}\n");
+    for (i, root) in roots.iter().enumerate() {
+        render_subtree(&mut out, &mine, root, "", i + 1 == roots.len());
+    }
+    out
+}
+
+fn render_subtree(
+    out: &mut String,
+    all: &[&SpanRecord],
+    span: &SpanRecord,
+    prefix: &str,
+    last: bool,
+) {
+    let branch = if last { "└─ " } else { "├─ " };
+    let dur_us = span.end_ns.saturating_sub(span.start_ns) as f64 / 1_000.0;
+    let label = format!("{prefix}{branch}{}", span.name);
+    out.push_str(&format!(
+        "{label:<28} node {:<4} {dur_us:>10.1} µs\n",
+        span.node
+    ));
+    let children: Vec<&SpanRecord> = all
+        .iter()
+        .copied()
+        .filter(|s| s.parent_span == span.span_id && s.span_id != span.span_id)
+        .collect();
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, child) in children.iter().enumerate() {
+        render_subtree(out, all, child, &child_prefix, i + 1 == children.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span: parent,
+            node: (id >> 48) as u16,
+            name,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn collector_evicts_oldest() {
+        let c = TraceCollector::new(2);
+        c.record(span(1, 1, 0, "a", 0, 1));
+        c.record(span(1, 2, 1, "b", 1, 2));
+        c.record(span(1, 3, 1, "c", 2, 3));
+        let names: Vec<_> = c.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn render_nests_children_under_parents() {
+        let spans = vec![
+            span(7, 1, 0, "invoke", 0, 100),
+            span(7, 2, 1, "client-send", 5, 95),
+            span(7, 3, 2, "dispatch", 20, 30),
+            span(7, 4, 3, "execute", 30, 80),
+            span(9, 9, 0, "other-trace", 0, 1),
+        ];
+        let text = render_trace(&spans, 7);
+        assert!(text.contains("invoke"));
+        assert!(text.contains("execute"));
+        assert!(!text.contains("other-trace"));
+        // Child is indented relative to parent.
+        let invoke_col = text
+            .lines()
+            .find(|l| l.contains("invoke"))
+            .unwrap()
+            .find("invoke")
+            .unwrap();
+        let exec_col = text
+            .lines()
+            .find(|l| l.contains("execute"))
+            .unwrap()
+            .find("execute")
+            .unwrap();
+        assert!(exec_col > invoke_col);
+    }
+
+    #[test]
+    fn orphans_render_as_roots() {
+        let spans = vec![span(7, 5, 999, "lonely", 0, 10)];
+        let text = render_trace(&spans, 7);
+        assert!(text.contains("lonely"));
+    }
+}

@@ -20,10 +20,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use eden_capability::ObjName;
-use parking_lot::Mutex;
+use eden_obs::{now_ns, ObsRegistry};
+use parking_lot::{Mutex, RwLock};
 
 use crate::crc::crc32;
 use crate::{CheckpointStore, StoreError};
@@ -46,11 +48,14 @@ struct Indexed {
     len: u32,
 }
 
+/// Per-object version index rebuilt by the recovery scan.
+type Index = HashMap<ObjName, BTreeMap<u64, Indexed>>;
+
 struct Inner {
     file: File,
     /// Byte offset one past the last valid record.
     end: u64,
-    index: HashMap<ObjName, BTreeMap<u64, Indexed>>,
+    index: Index,
 }
 
 /// A durable [`CheckpointStore`] backed by a single append-only log file.
@@ -73,6 +78,9 @@ pub struct DiskStore {
     /// (0 = unlimited). Superseded records remain in the log until
     /// [`DiskStore::compact`] rewrites it.
     retain: usize,
+    /// Observability registry receiving `store.write` / `store.fsync`
+    /// duration histograms, once attached.
+    obs: RwLock<Option<Arc<ObsRegistry>>>,
     inner: Mutex<Inner>,
 }
 
@@ -110,6 +118,7 @@ impl DiskStore {
             path,
             sync,
             retain,
+            obs: RwLock::new(None),
             inner: Mutex::new(Inner { file, end, index }),
         };
         if retain > 0 {
@@ -131,8 +140,8 @@ impl DiskStore {
 
     /// Scans the log from the start, returning the rebuilt index and the
     /// offset one past the last intact record.
-    fn scan(file: &mut File) -> Result<(HashMap<ObjName, BTreeMap<u64, Indexed>>, u64), StoreError> {
-        let mut index: HashMap<ObjName, BTreeMap<u64, Indexed>> = HashMap::new();
+    fn scan(file: &mut File) -> Result<(Index, u64), StoreError> {
+        let mut index: Index = HashMap::new();
         let len = file.metadata()?.len();
         let mut buf = Vec::new();
         file.seek(SeekFrom::Start(0))?;
@@ -183,6 +192,7 @@ impl DiskStore {
     fn append(
         inner: &mut Inner,
         sync: SyncPolicy,
+        obs: Option<&ObsRegistry>,
         name: ObjName,
         version: u64,
         tomb: u8,
@@ -196,9 +206,19 @@ impl DiskStore {
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(payload).to_le_bytes());
         rec.extend_from_slice(payload);
+        let write_start = now_ns();
         inner.file.write_all(&rec)?;
+        let write_end = now_ns();
         if sync == SyncPolicy::Always {
             inner.file.sync_data()?;
+            if let Some(obs) = obs {
+                obs.histogram("store.fsync")
+                    .record(now_ns().saturating_sub(write_end));
+            }
+        }
+        if let Some(obs) = obs {
+            obs.histogram("store.write")
+                .record(write_end.saturating_sub(write_start));
         }
         let payload_offset = inner.end + HEADER_LEN as u64;
         inner.end += rec.len() as u64;
@@ -267,7 +287,10 @@ impl DiskStore {
             }
             tmp.sync_data()?;
             std::fs::rename(&tmp_path, &self.path)?;
-            inner.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+            inner.file = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .open(&self.path)?;
             inner.index = new_index;
             inner.end = new_end;
         }
@@ -282,13 +305,22 @@ impl DiskStore {
 
 impl CheckpointStore for DiskStore {
     fn put(&self, name: ObjName, image: &[u8]) -> Result<u64, StoreError> {
+        let obs = self.obs.read().clone();
         let mut inner = self.inner.lock();
         let version = inner
             .index
             .get(&name)
             .and_then(|v| v.keys().next_back().copied())
             .map_or(1, |v| v + 1);
-        let offset = Self::append(&mut inner, self.sync, name, version, 0, image)?;
+        let offset = Self::append(
+            &mut inner,
+            self.sync,
+            obs.as_deref(),
+            name,
+            version,
+            0,
+            image,
+        )?;
         let versions = inner.index.entry(name).or_default();
         versions.insert(
             version,
@@ -349,9 +381,10 @@ impl CheckpointStore for DiskStore {
     }
 
     fn delete(&self, name: ObjName) -> Result<(), StoreError> {
+        let obs = self.obs.read().clone();
         let mut inner = self.inner.lock();
         if inner.index.remove(&name).is_some() {
-            Self::append(&mut inner, self.sync, name, 0, 1, &[])?;
+            Self::append(&mut inner, self.sync, obs.as_deref(), name, 0, 1, &[])?;
         }
         Ok(())
     }
@@ -361,8 +394,18 @@ impl CheckpointStore for DiskStore {
     }
 
     fn flush(&self) -> Result<(), StoreError> {
+        let obs = self.obs.read().clone();
+        let start = now_ns();
         self.inner.lock().file.sync_data()?;
+        if let Some(obs) = obs {
+            obs.histogram("store.fsync")
+                .record(now_ns().saturating_sub(start));
+        }
         Ok(())
+    }
+
+    fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        *self.obs.write() = Some(obs);
     }
 }
 
@@ -375,11 +418,7 @@ mod tests {
     fn temp_log() -> PathBuf {
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let n = SEQ.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "eden-store-test-{}-{}.log",
-            std::process::id(),
-            n
-        ))
+        std::env::temp_dir().join(format!("eden-store-test-{}-{}.log", std::process::id(), n))
     }
 
     fn gen() -> NameGenerator {
@@ -487,6 +526,20 @@ mod tests {
         drop(store);
         let store = DiskStore::open(&path, SyncPolicy::Never).unwrap();
         assert_eq!(store.versions(a).unwrap().len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn attached_registry_sees_write_and_fsync_timings() {
+        let path = temp_log();
+        let store = DiskStore::open(&path, SyncPolicy::Always).unwrap();
+        let obs = Arc::new(ObsRegistry::new(0));
+        store.attach_obs(obs.clone());
+        let g = gen();
+        store.put(g.next_name(), b"timed").unwrap();
+        let hists = obs.histograms_snapshot();
+        assert_eq!(hists["store.write"].count, 1);
+        assert_eq!(hists["store.fsync"].count, 1);
         std::fs::remove_file(&path).ok();
     }
 

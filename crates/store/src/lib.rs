@@ -30,8 +30,11 @@ pub mod faulty;
 pub mod mem;
 pub mod replicated;
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use eden_capability::ObjName;
+use eden_obs::ObsRegistry;
 
 pub use disk::DiskStore;
 pub use faulty::{FaultPlan, FaultyStore};
@@ -113,6 +116,14 @@ pub trait CheckpointStore: Send + Sync {
 
     /// Forces buffered state to the medium.
     fn flush(&self) -> Result<(), StoreError>;
+
+    /// Attaches an observability registry: stores that touch real media
+    /// record `store.write` / `store.fsync` duration histograms into it.
+    /// The default does nothing (in-memory stores have nothing worth
+    /// timing).
+    fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        let _ = obs;
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +166,6 @@ pub(crate) mod contract {
 mod tests {
     use super::*;
     use eden_capability::{NameGenerator, NodeId};
-    use std::sync::Arc;
 
     #[test]
     fn mem_store_satisfies_contract() {
@@ -177,6 +187,10 @@ mod tests {
         let mut versions: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         versions.sort_unstable();
         versions.dedup();
-        assert_eq!(versions.len(), 8, "concurrent puts must get distinct versions");
+        assert_eq!(
+            versions.len(),
+            8,
+            "concurrent puts must get distinct versions"
+        );
     }
 }

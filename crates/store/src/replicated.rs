@@ -67,7 +67,10 @@ impl ReplicatedStore {
         };
         let mut repaired = 0;
         for rep in &self.replicas {
-            let has = rep.latest(name)?.map(|(v, _)| v >= version).unwrap_or(false);
+            let has = rep
+                .latest(name)?
+                .map(|(v, _)| v >= version)
+                .unwrap_or(false);
             if !has {
                 rep.put(name, &data)?;
                 repaired += 1;
@@ -214,7 +217,10 @@ mod tests {
         let n = gen().next_name();
         store.put(n, b"replicated").unwrap();
         for i in 0..3 {
-            assert_eq!(&store.replica(i).latest(n).unwrap().unwrap().1[..], b"replicated");
+            assert_eq!(
+                &store.replica(i).latest(n).unwrap().unwrap().1[..],
+                b"replicated"
+            );
         }
     }
 
@@ -224,11 +230,8 @@ mod tests {
             MemStore::new(),
             FaultPlan::fail_all_writes(),
         ));
-        let replicas: Vec<Arc<dyn CheckpointStore>> = vec![
-            Arc::new(MemStore::new()),
-            Arc::new(MemStore::new()),
-            dead,
-        ];
+        let replicas: Vec<Arc<dyn CheckpointStore>> =
+            vec![Arc::new(MemStore::new()), Arc::new(MemStore::new()), dead];
         let store = ReplicatedStore::new(replicas, 2);
         let n = gen().next_name();
         store.put(n, b"still durable").unwrap();
@@ -238,15 +241,24 @@ mod tests {
     #[test]
     fn quorum_write_fails_when_majority_fails() {
         let replicas: Vec<Arc<dyn CheckpointStore>> = vec![
-            Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::fail_all_writes())),
-            Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::fail_all_writes())),
+            Arc::new(FaultyStore::new(
+                MemStore::new(),
+                FaultPlan::fail_all_writes(),
+            )),
+            Arc::new(FaultyStore::new(
+                MemStore::new(),
+                FaultPlan::fail_all_writes(),
+            )),
             Arc::new(MemStore::new()),
         ];
         let store = ReplicatedStore::new(replicas, 2);
         let n = gen().next_name();
         assert!(matches!(
             store.put(n, b"won't make it"),
-            Err(StoreError::QuorumFailed { acked: 1, needed: 2 })
+            Err(StoreError::QuorumFailed {
+                acked: 1,
+                needed: 2
+            })
         ));
     }
 
@@ -256,7 +268,10 @@ mod tests {
         let n = gen().next_name();
         good.put(n, b"survivor").unwrap();
         let replicas: Vec<Arc<dyn CheckpointStore>> = vec![
-            Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::fail_all_reads())),
+            Arc::new(FaultyStore::new(
+                MemStore::new(),
+                FaultPlan::fail_all_reads(),
+            )),
             good,
         ];
         let store = ReplicatedStore::new(replicas, 1);
@@ -270,7 +285,10 @@ mod tests {
         let n = gen().next_name();
         a.put(n, b"v1").unwrap();
         let store = ReplicatedStore::new(
-            vec![a as Arc<dyn CheckpointStore>, b.clone() as Arc<dyn CheckpointStore>],
+            vec![
+                a as Arc<dyn CheckpointStore>,
+                b.clone() as Arc<dyn CheckpointStore>,
+            ],
             1,
         );
         assert_eq!(b.latest(n).unwrap(), None);

@@ -28,9 +28,11 @@ pub mod mesh;
 pub mod stats;
 pub mod tcp;
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use eden_capability::NodeId;
+use eden_obs::ObsRegistry;
 use eden_wire::Frame;
 
 pub use latency::LatencyModel;
@@ -86,6 +88,14 @@ pub trait Endpoint: Send + Sync {
 
     /// Counters for frames and bytes in each direction.
     fn stats(&self) -> TransportStats;
+
+    /// Attaches the receiving node's observability registry, letting the
+    /// transport record delivery-latency histograms and `net` spans for
+    /// traced frames. Transports without that capability may ignore it
+    /// (the default does).
+    fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        let _ = obs;
+    }
 
     /// Detaches this endpoint; subsequent `recv` returns
     /// [`TransportError::Closed`] once the queue drains.

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use eden_capability::NodeId;
+use eden_obs::{now_ns, ObsRegistry};
 use eden_wire::{Dest, Frame, Message};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
@@ -71,6 +72,7 @@ struct Delayed {
     seq: u64,
     dst: NodeId,
     frame: Frame,
+    enqueue_ns: u64,
 }
 
 impl PartialEq for Delayed {
@@ -103,6 +105,8 @@ struct MeshCore {
     stats: RwLock<HashMap<NodeId, Arc<StatsCell>>>,
     /// Directed (src, dst) pairs whose frames are silently dropped.
     blocked: RwLock<HashSet<(NodeId, NodeId)>>,
+    /// Per-node observability registries (attached by the kernels).
+    obs: RwLock<HashMap<NodeId, Arc<ObsRegistry>>>,
     rng: Mutex<SmallRng>,
     closed: AtomicBool,
     delay: Arc<DelayLine>,
@@ -111,6 +115,7 @@ struct MeshCore {
 impl MeshCore {
     /// Delivers (or drops) one unicast frame from `src` to `dst`.
     fn route(&self, src: NodeId, dst: NodeId, frame: Frame) {
+        let enqueue_ns = now_ns();
         if self.blocked.read().contains(&(src, dst)) {
             self.drop_frame(src);
             return;
@@ -125,7 +130,7 @@ impl MeshCore {
             self.options.latency.sample(size, &mut self.rng.lock())
         };
         if delay.is_zero() {
-            self.deliver(dst, frame);
+            self.deliver(dst, frame, enqueue_ns);
         } else {
             let mut seq_guard = self.delay.next_seq.lock();
             let seq = *seq_guard;
@@ -136,19 +141,30 @@ impl MeshCore {
                 seq,
                 dst,
                 frame,
+                enqueue_ns,
             });
             self.delay.cv.notify_one();
         }
     }
 
-    fn deliver(&self, dst: NodeId, frame: Frame) {
+    fn deliver(&self, dst: NodeId, frame: Frame, enqueue_ns: u64) {
         let size = message_size_hint(&frame.msg);
+        let trace = frame.trace;
         let Some(tx) = self.inboxes.read().get(&dst).cloned() else {
             return; // Dead node: silent best-effort drop.
         };
         if tx.send(frame).is_ok() {
             if let Some(cell) = self.stats.read().get(&dst) {
                 cell.record_recv(size);
+            }
+            if let Some(obs) = self.obs.read().get(&dst) {
+                let delivered_ns = now_ns();
+                obs.histogram("net.delivery")
+                    .record(delivered_ns.saturating_sub(enqueue_ns));
+                if let Some(ctx) = trace {
+                    // The wire time, parented onto the sender's span.
+                    obs.record_span("net", ctx, enqueue_ns, delivered_ns);
+                }
             }
         }
     }
@@ -208,6 +224,7 @@ impl LoopbackMesh {
             inboxes: RwLock::new(HashMap::new()),
             stats: RwLock::new(HashMap::new()),
             blocked: RwLock::new(HashSet::new()),
+            obs: RwLock::new(HashMap::new()),
             rng: Mutex::new(SmallRng::seed_from_u64(options.seed)),
             closed: AtomicBool::new(false),
             delay,
@@ -267,7 +284,7 @@ impl LoopbackMesh {
                         }
                     }
                     for d in due {
-                        pump_core.deliver(d.dst, d.frame);
+                        pump_core.deliver(d.dst, d.frame, d.enqueue_ns);
                     }
                 }
             })
@@ -389,9 +406,14 @@ impl Endpoint for MeshEndpoint {
         self.stats.snapshot()
     }
 
+    fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        self.core.obs.write().insert(self.node, obs);
+    }
+
     fn shutdown(&self) {
         self.detached.store(true, Ordering::Release);
         self.core.inboxes.write().remove(&self.node);
+        self.core.obs.write().remove(&self.node);
     }
 }
 
@@ -574,7 +596,10 @@ mod tests {
         let b = mesh.endpoint(1);
         let c = mesh.endpoint(2);
         b.shutdown();
-        assert_eq!(b.send(Frame::to(NodeId(1), NodeId(2), ping(0))), Err(TransportError::Closed));
+        assert_eq!(
+            b.send(Frame::to(NodeId(1), NodeId(2), ping(0))),
+            Err(TransportError::Closed)
+        );
         a.send(Frame::to(NodeId(0), NodeId(2), ping(5))).unwrap();
         assert_eq!(c.recv().unwrap().msg, ping(5));
     }

@@ -372,7 +372,10 @@ mod tests {
         meshes[0]
             .send(Frame::to(NodeId(0), NodeId(1), msg.clone()))
             .unwrap();
-        let got = meshes[1].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let got = meshes[1]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
         assert_eq!(got.msg, msg);
     }
 
@@ -426,10 +429,7 @@ mod reconnect_tests {
 
         a.send(Frame::to(NodeId(0), NodeId(1), Message::Ping { token: 1 }))
             .unwrap();
-        assert!(b1
-            .recv_timeout(Duration::from_secs(2))
-            .unwrap()
-            .is_some());
+        assert!(b1.recv_timeout(Duration::from_secs(2)).unwrap().is_some());
 
         // B restarts on the same address.
         b1.shutdown();

@@ -16,6 +16,7 @@
 //!   execution").
 
 use eden_capability::{Capability, NodeId, ObjName};
+use eden_obs::TraceCtx;
 
 use crate::codec::{CodecError, Reader, WireDecode, WireEncode, Writer};
 use crate::image::ObjectImage;
@@ -221,6 +222,9 @@ pub struct Frame {
     pub dst: Dest,
     /// The protocol message.
     pub msg: Message,
+    /// Tracing context, carried as an optional trailing wire field so
+    /// frames encoded before tracing existed still decode (to `None`).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Frame {
@@ -230,6 +234,7 @@ impl Frame {
             src,
             dst: Dest::Node(dst),
             msg,
+            trace: None,
         }
     }
 
@@ -239,7 +244,14 @@ impl Frame {
             src,
             dst: Dest::Broadcast,
             msg,
+            trace: None,
         }
+    }
+
+    /// Attaches a tracing context.
+    pub fn with_trace(mut self, ctx: TraceCtx) -> Self {
+        self.trace = Some(ctx);
+        self
     }
 }
 
@@ -364,7 +376,11 @@ impl WireEncode for Message {
                 name.encode(w);
                 reply_to.encode(w);
             }
-            Message::ReplicaPush { req_id, name, image } => {
+            Message::ReplicaPush {
+                req_id,
+                name,
+                image,
+            } => {
                 w.put_u8(TAG_REPLICA_PUSH);
                 w.put_u64(*req_id);
                 name.encode(w);
@@ -402,7 +418,11 @@ impl WireEncode for Message {
                 name.encode(w);
                 reply_to.encode(w);
             }
-            Message::CheckpointData { req_id, name, image } => {
+            Message::CheckpointData {
+                req_id,
+                name,
+                image,
+            } => {
                 w.put_u8(TAG_CHECKPOINT_DATA);
                 w.put_u64(*req_id);
                 name.encode(w);
@@ -517,6 +537,24 @@ impl WireDecode for Message {
     }
 }
 
+impl WireEncode for TraceCtx {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.trace_id);
+        w.put_u64(self.parent_span);
+        w.put_u64(self.span_id);
+    }
+}
+
+impl WireDecode for TraceCtx {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceCtx {
+            trace_id: r.get_u64()?,
+            parent_span: r.get_u64()?,
+            span_id: r.get_u64()?,
+        })
+    }
+}
+
 impl WireEncode for Frame {
     fn encode(&self, w: &mut Writer) {
         self.src.encode(w);
@@ -528,6 +566,10 @@ impl WireEncode for Frame {
             Dest::Broadcast => w.put_u8(1),
         }
         self.msg.encode(w);
+        // The trace context is a trailing field: frames from senders that
+        // predate it simply end here, so `decode` treats "no bytes left"
+        // as `None` rather than an error.
+        w.put_option(&self.trace);
     }
 }
 
@@ -540,7 +582,17 @@ impl WireDecode for Frame {
             tag => return Err(CodecError::BadTag { what: "Dest", tag }),
         };
         let msg = Message::decode(r)?;
-        Ok(Frame { src, dst, msg })
+        let trace = if r.remaining() == 0 {
+            None // pre-tracing frame layout
+        } else {
+            r.get_option()?
+        };
+        Ok(Frame {
+            src,
+            dst,
+            msg,
+            trace,
+        })
     }
 }
 
@@ -657,10 +709,88 @@ mod tests {
         assert_eq!(labels.len(), sample_messages().len());
     }
 
+    /// Encodes a frame in the pre-tracing layout: src, dst, msg, and
+    /// nothing after — no presence byte for the trace field.
+    fn encode_pre_trace_layout(frame: &Frame) -> Vec<u8> {
+        let mut w = crate::codec::Writer::new();
+        frame.src.encode(&mut w);
+        match frame.dst {
+            Dest::Node(n) => {
+                w.put_u8(0);
+                n.encode(&mut w);
+            }
+            Dest::Broadcast => w.put_u8(1),
+        }
+        frame.msg.encode(&mut w);
+        w.finish().to_vec()
+    }
+
+    #[test]
+    fn traced_frames_round_trip() {
+        use eden_obs::TraceCtx;
+        for msg in sample_messages() {
+            let frame = Frame::to(NodeId(8), NodeId(9), msg).with_trace(TraceCtx {
+                trace_id: 0x0001_0000_0000_0007,
+                parent_span: 0x0001_0000_0000_0003,
+                span_id: 0x0001_0000_0000_0009,
+            });
+            let buf = frame.encode_to_bytes();
+            assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), frame);
+        }
+    }
+
     proptest! {
         #[test]
         fn frame_decoding_garbage_never_panics(garbage in proptest::collection::vec(0u8.., 0..512)) {
             let _ = Frame::decode_from_bytes(&garbage);
+        }
+
+        #[test]
+        fn pre_trace_layout_still_decodes(
+            inv_id in 0u64..,
+            op in "[a-z]{1,12}",
+            token in 0u64..,
+        ) {
+            // Frames encoded by a sender that predates the trace field
+            // (no trailing presence byte) must decode to trace: None.
+            for msg in [
+                Message::InvokeRequest {
+                    inv_id,
+                    target: Capability::mint(sample_name()),
+                    operation: op.clone(),
+                    args: vec![Value::U64(inv_id)],
+                    reply_to: NodeId(1),
+                    hops: 3,
+                },
+                Message::Ping { token },
+            ] {
+                let frame = Frame::to(NodeId(2), NodeId(5), msg);
+                let old_buf = encode_pre_trace_layout(&frame);
+                let back = Frame::decode_from_bytes(&old_buf).unwrap();
+                prop_assert_eq!(back.trace, None);
+                prop_assert_eq!(&back, &frame);
+                // And the re-encoded form round-trips in the new layout.
+                let new_buf = back.encode_to_bytes();
+                prop_assert_eq!(Frame::decode_from_bytes(&new_buf).unwrap(), frame);
+            }
+        }
+
+        #[test]
+        fn truncated_trace_field_is_rejected_not_panicking(
+            token in 0u64..,
+            cut in 1usize..25,
+        ) {
+            use eden_obs::TraceCtx;
+            let frame = Frame::to(NodeId(0), NodeId(1), Message::Pong { token })
+                .with_trace(TraceCtx { trace_id: 1, parent_span: 2, span_id: 3 });
+            let buf = frame.encode_to_bytes();
+            // Chop bytes off the trailing trace field (1 presence byte +
+            // 24 payload bytes): every truncation must error cleanly.
+            let truncated = &buf[..buf.len() - cut];
+            prop_assert_eq!(
+                Frame::decode_from_bytes(truncated),
+                Err(CodecError::UnexpectedEof)
+            );
         }
 
         #[test]

@@ -180,10 +180,8 @@ mod tests {
             ".{0,32}".prop_map(Status::TypeError),
             Just(Status::NodeUnreachable),
             Just(Status::Destroyed),
-            (any::<i32>(), ".{0,32}").prop_map(|(code, message)| Status::AppError {
-                code,
-                message,
-            }),
+            (any::<i32>(), ".{0,32}")
+                .prop_map(|(code, message)| Status::AppError { code, message }),
         ]
     }
 

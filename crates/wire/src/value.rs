@@ -309,8 +309,7 @@ mod tests {
             // NaN breaks PartialEq round-trip comparison; use finite floats.
             (-1e30f64..1e30).prop_map(Value::F64),
             ".{0,32}".prop_map(Value::Str),
-            proptest::collection::vec(0u8.., 0..64)
-                .prop_map(|v| Value::Blob(Bytes::from(v))),
+            proptest::collection::vec(0u8.., 0..64).prop_map(|v| Value::Blob(Bytes::from(v))),
             (0u16.., 0u32.., 0u64.., 0u32..).prop_map(|(n, e, s, rights)| {
                 Value::Cap(Capability::with_rights(
                     eden_capability::ObjName::from_parts(NodeId(n), e, s),
@@ -368,7 +367,10 @@ mod tests {
     #[test]
     fn nested_value_round_trips() {
         let mut m = BTreeMap::new();
-        m.insert("k".to_string(), Value::List(vec![Value::I64(1), Value::Unit]));
+        m.insert(
+            "k".to_string(),
+            Value::List(vec![Value::I64(1), Value::Unit]),
+        );
         let v = Value::Map(m);
         let buf = v.encode_to_bytes();
         assert_eq!(Value::decode_from_bytes(&buf).unwrap(), v);

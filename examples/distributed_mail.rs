@@ -34,7 +34,10 @@ fn main() {
     for (i, user) in users.iter().enumerate() {
         let client = MailClient::new(cluster.node(i).clone(), registry);
         let mailbox = client.register_user(user).expect("register");
-        println!("  {user} registered from node {i}; mailbox {} lives there", mailbox.name());
+        println!(
+            "  {user} registered from node {i}; mailbox {} lives there",
+            mailbox.name()
+        );
         clients.push(client);
         boxes.push(mailbox);
     }
@@ -42,7 +45,12 @@ fn main() {
     // Cross-node mail: everyone writes to alice.
     for (i, user) in users.iter().enumerate().skip(1) {
         clients[i]
-            .send(user, "alice", &format!("hello from {user}"), "integrated *and* distributed!")
+            .send(
+                user,
+                "alice",
+                &format!("hello from {user}"),
+                "integrated *and* distributed!",
+            )
             .expect("send");
     }
     let headers = clients[0].headers(boxes[0]).expect("alice reads");
@@ -65,7 +73,10 @@ fn main() {
         .send("bob", "alice", "found you", "mail is location-transparent")
         .expect("send after move");
     let headers = clients[0].headers(boxes[0]).expect("alice reads again");
-    println!("alice's inbox after the move: {} messages (read from node 0, served by node 2)", headers.len());
+    println!(
+        "alice's inbox after the move: {} messages (read from node 0, served by node 2)",
+        headers.len()
+    );
 
     // Show the layering at work.
     let listing = efs.list("/system/mail").expect("ls");

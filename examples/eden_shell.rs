@@ -65,7 +65,8 @@ commands:
   cache <node> <$N>                  cache a frozen replica on a node
   info <$N>                          object introspection
   ls <node>                          active objects on a node
-  metrics <node>                     kernel counters
+  metrics <node>                     counters, gauges and latency histograms
+  trace <node> [n]                   last n flight-recorder events (default 16)
   label <name> <$N>                  name a handle
   quit"
                 .to_string()),
@@ -83,7 +84,11 @@ commands:
                     .create_object(type_name, &values)
                     .map_err(|e| e.to_string())?;
                 self.caps.push(cap);
-                Ok(format!("${} = {} on node {node}", self.caps.len() - 1, cap.name()))
+                Ok(format!(
+                    "${} = {} on node {node}",
+                    self.caps.len() - 1,
+                    cap.name()
+                ))
             }
             "invoke" | "from" => {
                 let (node, rest) = if cmd == "from" {
@@ -157,7 +162,10 @@ commands:
                 Ok("not active on any node (passive or destroyed)".into())
             }
             "ls" => {
-                let node: usize = args.first().and_then(|t| t.parse().ok()).ok_or("ls <node>")?;
+                let node: usize = args
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("ls <node>")?;
                 let mut out = String::new();
                 for name in self.cluster.node(node).active_objects() {
                     let info = self.cluster.node(node).object_info(name);
@@ -170,8 +178,48 @@ commands:
                 let node: usize = args
                     .first()
                     .and_then(|t| t.parse().ok())
-                    .ok_or("metrics <node>")?;
-                Ok(format!("{:#?}", self.cluster.node(node).metrics()))
+                    .filter(|n| *n < NODES)
+                    .ok_or(format!("metrics <node>  (0..{})", NODES - 1))?;
+                let obs = self.cluster.node(node).obs();
+                let mut out = String::new();
+                let counters = obs.counters_snapshot();
+                if !counters.is_empty() {
+                    out.push_str("counters:\n");
+                    for (name, v) in counters {
+                        if v > 0 {
+                            out.push_str(&format!("  {name:<40} {v}\n"));
+                        }
+                    }
+                }
+                let gauges = obs.gauges_snapshot();
+                if !gauges.is_empty() {
+                    out.push_str("gauges:\n");
+                    for (name, v) in gauges {
+                        out.push_str(&format!("  {name:<40} {v}\n"));
+                    }
+                }
+                let hists = obs.histograms_snapshot();
+                if !hists.is_empty() {
+                    out.push_str("latency histograms (ns):\n");
+                    for (name, h) in hists {
+                        out.push_str(&format!("  {name:<40} {}\n", h.summary()));
+                    }
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "trace" => {
+                let node: usize = args
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|n| *n < NODES)
+                    .ok_or(format!("trace <node> [n]  (0..{})", NODES - 1))?;
+                let n: usize = args.get(1).and_then(|t| t.parse().ok()).unwrap_or(16);
+                let dump = self.cluster.node(node).obs().recorder().dump(n);
+                if dump.is_empty() {
+                    Ok("(flight recorder empty)".into())
+                } else {
+                    Ok(dump.trim_end().to_string())
+                }
             }
             "label" => {
                 let name = args.first().ok_or("label <name> <$N>")?;

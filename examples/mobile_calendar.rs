@@ -48,8 +48,14 @@ fn main() {
         .expect("schedule")
         .expect("a slot must exist");
     let elapsed = start.elapsed();
-    let sent = cluster.node(0).metrics().delta(&before).remote_invocations_sent;
-    println!("scheduled 'eden kernel sync' at {hour}:00 in {elapsed:?} ({sent} remote invocations)");
+    let sent = cluster
+        .node(0)
+        .metrics()
+        .delta(&before)
+        .remote_invocations_sent;
+    println!(
+        "scheduled 'eden kernel sync' at {hour}:00 in {elapsed:?} ({sent} remote invocations)"
+    );
 
     // Co-locate the calendars on node 0 (say, for a scheduling-heavy
     // week) and schedule again: the remote bill collapses.
@@ -72,7 +78,11 @@ fn main() {
         .expect("schedule")
         .expect("slot");
     let elapsed = start.elapsed();
-    let sent = cluster.node(0).metrics().delta(&before).remote_invocations_sent;
+    let sent = cluster
+        .node(0)
+        .metrics()
+        .delta(&before)
+        .remote_invocations_sent;
     println!("scheduled 'follow-up' at {hour}:00 in {elapsed:?} ({sent} remote invocations — all local now)");
 
     let m = cluster.node(0).metrics();

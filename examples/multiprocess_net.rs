@@ -144,7 +144,11 @@ fn main() {
 
     let cap_line = read_line(&mut server);
     let cap = decode_cap(cap_line.strip_prefix("CAP ").expect("CAP line"));
-    println!("node 1 (pid {}) created counter {}", server.id(), cap.name());
+    println!(
+        "node 1 (pid {}) created counter {}",
+        server.id(),
+        cap.name()
+    );
     let ready = read_line(&mut worker);
     assert_eq!(ready, "READY");
     println!("node 2 (pid {}) is up", worker.id());
@@ -156,7 +160,11 @@ fn main() {
     let out = node0
         .invoke_with_timeout(cap, "add", &[Value::I64(5)], Duration::from_secs(5))
         .expect("cross-process invoke");
-    println!("node 0 (pid {}) add(5)  -> {:?}", std::process::id(), out[0]);
+    println!(
+        "node 0 (pid {}) add(5)  -> {:?}",
+        std::process::id(),
+        out[0]
+    );
 
     // Node 2 invokes too, driven over its stdin.
     worker
@@ -171,7 +179,10 @@ fn main() {
     let out = node0
         .invoke_with_timeout(cap, "get", &[], Duration::from_secs(5))
         .expect("final get");
-    println!("node 0 get()   -> {:?} (three processes, one object space)", out[0]);
+    println!(
+        "node 0 get()   -> {:?} (three processes, one object space)",
+        out[0]
+    );
     assert_eq!(out[0].as_i64(), Some(15));
 
     for child in [&mut server, &mut worker] {

@@ -1,0 +1,32 @@
+//! Prints the span tree of one cross-node invocation (README capture).
+
+use eden::apps::counter::CounterType;
+use eden::kernel::Cluster;
+use eden::obs::{render_trace, SpanRecord};
+use eden::wire::Value;
+
+fn main() {
+    let c = Cluster::builder()
+        .nodes(2)
+        .register(|| Box::new(CounterType))
+        .build();
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    c.node(1).invoke(cap, "add", &[Value::I64(5)]).unwrap();
+
+    let root = c
+        .node(1)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .find(|s| s.name == "invoke" && s.parent_span == 0)
+        .expect("root span");
+    let spans: Vec<SpanRecord> = c
+        .nodes()
+        .iter()
+        .flat_map(|n| n.obs().traces().spans())
+        .filter(|s| s.trace_id == root.trace_id)
+        .collect();
+    print!("{}", render_trace(&spans, root.trace_id));
+    c.shutdown();
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, and the root test suite.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -1,0 +1,147 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a strategy (like real proptest): the
+//! pattern is a sequence of atoms — `.` (any printable char), a `[a-z]`
+//! character class, or a literal — each optionally followed by an
+//! `{lo,hi}` / `{n}` repetition. This covers the patterns the workspace
+//! uses (`".{0,64}"`, `"[a-z]{1,8}"`, …); anything fancier panics
+//! loudly rather than generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    /// `.` — any printable character.
+    AnyChar,
+    /// `[a-z0]` — chosen from explicit ranges / singletons.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some(ch) => ch,
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling '-' in pattern {pattern:?}"));
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for ch in chars.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("repetition lower bound"),
+                    b.trim().parse::<usize>().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::AnyChar => {
+            // Mostly printable ASCII with an occasional multi-byte char so
+            // UTF-8 length handling gets exercised.
+            if rng.below(10) == 0 {
+                const EXOTIC: &[char] = &['é', 'λ', '中', '🌿', 'ß', 'Ω'];
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from(32 + rng.below(95) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64).saturating_sub(*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("valid char");
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_expected_languages() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = ".{0,32}".generate(&mut rng);
+            assert!(t.chars().count() <= 32);
+
+            let u = "[a-c]{0,2}".generate(&mut rng);
+            assert!(u.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

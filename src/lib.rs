@@ -18,6 +18,8 @@
 //!   mobility, freezing, checkpoint/crash, behaviors, intra-object sync.
 //! * [`efs`] — the Eden File System: versions, directories, transactions.
 //! * [`apps`] — example type managers (mail, calendar, shared queue).
+//! * [`obs`] — observability: distributed invocation tracing, lock-free
+//!   latency histograms, and the per-node flight recorder.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use eden_capability as capability;
 pub use eden_efs as efs;
 pub use eden_ethersim as ethersim;
 pub use eden_kernel as kernel;
+pub use eden_obs as obs;
 pub use eden_store as store;
 pub use eden_transport as transport;
 pub use eden_wire as wire;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-5e83b3659a6569eb.d: crates/apps/tests/apps.rs
+
+/root/repo/target/debug/deps/apps-5e83b3659a6569eb: crates/apps/tests/apps.rs
+
+crates/apps/tests/apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-e0aa549d65cf0c7c.d: crates/apps/tests/apps.rs
+
+/root/repo/target/debug/deps/apps-e0aa549d65cf0c7c: crates/apps/tests/apps.rs
+
+crates/apps/tests/apps.rs:

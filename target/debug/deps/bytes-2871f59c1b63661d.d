@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-2871f59c1b63661d.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-2871f59c1b63661d: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint-05c3391b07dd6fb5.d: crates/bench/benches/checkpoint.rs
+
+/root/repo/target/debug/deps/checkpoint-05c3391b07dd6fb5: crates/bench/benches/checkpoint.rs
+
+crates/bench/benches/checkpoint.rs:

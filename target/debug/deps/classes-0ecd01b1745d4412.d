@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classes-0ecd01b1745d4412.d: crates/bench/benches/classes.rs
+
+/root/repo/target/debug/deps/classes-0ecd01b1745d4412: crates/bench/benches/classes.rs
+
+crates/bench/benches/classes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-939d9e368f5a96bd.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/codec-939d9e368f5a96bd: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

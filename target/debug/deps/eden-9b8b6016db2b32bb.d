@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eden-9b8b6016db2b32bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-9b8b6016db2b32bb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-9b8b6016db2b32bb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eden-ce50c8bbd243d39e.d: src/lib.rs
+
+/root/repo/target/debug/deps/eden-ce50c8bbd243d39e: src/lib.rs
+
+src/lib.rs:

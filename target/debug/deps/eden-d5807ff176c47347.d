@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eden-d5807ff176c47347.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-d5807ff176c47347.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-d5807ff176c47347.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eden-e3b8da6ab3f60f47.d: src/lib.rs
+
+/root/repo/target/debug/deps/eden-e3b8da6ab3f60f47: src/lib.rs
+
+src/lib.rs:

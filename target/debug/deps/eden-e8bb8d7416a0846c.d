@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eden-e8bb8d7416a0846c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden-e8bb8d7416a0846c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eden_apps-9c171025160ec5c5.d: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/debug/deps/eden_apps-9c171025160ec5c5: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/calendar.rs:
+crates/apps/src/counter.rs:
+crates/apps/src/hierarchy.rs:
+crates/apps/src/mail.rs:
+crates/apps/src/policy.rs:
+crates/apps/src/queue.rs:

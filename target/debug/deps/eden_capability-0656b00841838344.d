@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/eden_capability-0656b00841838344.d: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+/root/repo/target/debug/deps/eden_capability-0656b00841838344: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+crates/capability/src/lib.rs:
+crates/capability/src/clist.rs:
+crates/capability/src/name.rs:
+crates/capability/src/rights.rs:

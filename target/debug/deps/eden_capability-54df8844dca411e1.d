@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eden_capability-54df8844dca411e1.d: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+/root/repo/target/debug/deps/libeden_capability-54df8844dca411e1.rlib: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+/root/repo/target/debug/deps/libeden_capability-54df8844dca411e1.rmeta: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+crates/capability/src/lib.rs:
+crates/capability/src/clist.rs:
+crates/capability/src/name.rs:
+crates/capability/src/rights.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eden_capability-962833e4aa251e32.d: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_capability-962833e4aa251e32.rmeta: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs Cargo.toml
+
+crates/capability/src/lib.rs:
+crates/capability/src/clist.rs:
+crates/capability/src/name.rs:
+crates/capability/src/rights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

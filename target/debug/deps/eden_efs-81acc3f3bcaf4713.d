@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eden_efs-81acc3f3bcaf4713.d: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+/root/repo/target/debug/deps/libeden_efs-81acc3f3bcaf4713.rlib: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+/root/repo/target/debug/deps/libeden_efs-81acc3f3bcaf4713.rmeta: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+crates/efs/src/lib.rs:
+crates/efs/src/dir.rs:
+crates/efs/src/efs.rs:
+crates/efs/src/file.rs:
+crates/efs/src/records.rs:
+crates/efs/src/txn.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eden_efs-a65bbdd78ebcaeaa.d: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_efs-a65bbdd78ebcaeaa.rmeta: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs Cargo.toml
+
+crates/efs/src/lib.rs:
+crates/efs/src/dir.rs:
+crates/efs/src/efs.rs:
+crates/efs/src/file.rs:
+crates/efs/src/records.rs:
+crates/efs/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

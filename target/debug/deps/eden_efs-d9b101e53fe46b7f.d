@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eden_efs-d9b101e53fe46b7f.d: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+/root/repo/target/debug/deps/eden_efs-d9b101e53fe46b7f: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+crates/efs/src/lib.rs:
+crates/efs/src/dir.rs:
+crates/efs/src/efs.rs:
+crates/efs/src/file.rs:
+crates/efs/src/records.rs:
+crates/efs/src/txn.rs:

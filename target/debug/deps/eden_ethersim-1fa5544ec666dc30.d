@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eden_ethersim-1fa5544ec666dc30.d: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+/root/repo/target/debug/deps/eden_ethersim-1fa5544ec666dc30: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+crates/ethersim/src/lib.rs:
+crates/ethersim/src/aloha.rs:
+crates/ethersim/src/analytic.rs:
+crates/ethersim/src/config.rs:
+crates/ethersim/src/events.rs:
+crates/ethersim/src/metrics.rs:
+crates/ethersim/src/sim.rs:
+crates/ethersim/src/time.rs:
+crates/ethersim/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eden_ethersim-4c4af5e6c96bbf7a.d: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+/root/repo/target/debug/deps/libeden_ethersim-4c4af5e6c96bbf7a.rlib: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+/root/repo/target/debug/deps/libeden_ethersim-4c4af5e6c96bbf7a.rmeta: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+crates/ethersim/src/lib.rs:
+crates/ethersim/src/aloha.rs:
+crates/ethersim/src/analytic.rs:
+crates/ethersim/src/config.rs:
+crates/ethersim/src/events.rs:
+crates/ethersim/src/metrics.rs:
+crates/ethersim/src/sim.rs:
+crates/ethersim/src/time.rs:
+crates/ethersim/src/workload.rs:

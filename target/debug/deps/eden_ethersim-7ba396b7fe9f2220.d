@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/eden_ethersim-7ba396b7fe9f2220.d: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_ethersim-7ba396b7fe9f2220.rmeta: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs Cargo.toml
+
+crates/ethersim/src/lib.rs:
+crates/ethersim/src/aloha.rs:
+crates/ethersim/src/analytic.rs:
+crates/ethersim/src/config.rs:
+crates/ethersim/src/events.rs:
+crates/ethersim/src/metrics.rs:
+crates/ethersim/src/sim.rs:
+crates/ethersim/src/time.rs:
+crates/ethersim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/eden_kernel-f102585718911c26.d: crates/core/src/lib.rs crates/core/src/behavior.rs crates/core/src/cluster.rs crates/core/src/ctx.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/object.rs crates/core/src/policy.rs crates/core/src/repr.rs crates/core/src/sync.rs crates/core/src/types.rs crates/core/src/waiter.rs
+
+/root/repo/target/debug/deps/libeden_kernel-f102585718911c26.rlib: crates/core/src/lib.rs crates/core/src/behavior.rs crates/core/src/cluster.rs crates/core/src/ctx.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/object.rs crates/core/src/policy.rs crates/core/src/repr.rs crates/core/src/sync.rs crates/core/src/types.rs crates/core/src/waiter.rs
+
+/root/repo/target/debug/deps/libeden_kernel-f102585718911c26.rmeta: crates/core/src/lib.rs crates/core/src/behavior.rs crates/core/src/cluster.rs crates/core/src/ctx.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/object.rs crates/core/src/policy.rs crates/core/src/repr.rs crates/core/src/sync.rs crates/core/src/types.rs crates/core/src/waiter.rs
+
+crates/core/src/lib.rs:
+crates/core/src/behavior.rs:
+crates/core/src/cluster.rs:
+crates/core/src/ctx.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/object.rs:
+crates/core/src/policy.rs:
+crates/core/src/repr.rs:
+crates/core/src/sync.rs:
+crates/core/src/types.rs:
+crates/core/src/waiter.rs:

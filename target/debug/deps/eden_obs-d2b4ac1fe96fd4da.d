@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eden_obs-d2b4ac1fe96fd4da.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/eden_obs-d2b4ac1fe96fd4da: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:

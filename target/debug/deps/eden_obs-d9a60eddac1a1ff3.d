@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eden_obs-d9a60eddac1a1ff3.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_obs-d9a60eddac1a1ff3.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

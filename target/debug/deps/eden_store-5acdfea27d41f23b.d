@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eden_store-5acdfea27d41f23b.d: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/debug/deps/eden_store-5acdfea27d41f23b: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc.rs:
+crates/store/src/disk.rs:
+crates/store/src/faulty.rs:
+crates/store/src/mem.rs:
+crates/store/src/replicated.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eden_store-c6694f86d8dd71ec.d: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_store-c6694f86d8dd71ec.rmeta: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/crc.rs:
+crates/store/src/disk.rs:
+crates/store/src/faulty.rs:
+crates/store/src/mem.rs:
+crates/store/src/replicated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

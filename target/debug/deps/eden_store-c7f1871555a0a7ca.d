@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eden_store-c7f1871555a0a7ca.d: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/debug/deps/libeden_store-c7f1871555a0a7ca.rlib: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/debug/deps/libeden_store-c7f1871555a0a7ca.rmeta: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc.rs:
+crates/store/src/disk.rs:
+crates/store/src/faulty.rs:
+crates/store/src/mem.rs:
+crates/store/src/replicated.rs:

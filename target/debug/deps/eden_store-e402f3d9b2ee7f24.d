@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eden_store-e402f3d9b2ee7f24.d: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/debug/deps/libeden_store-e402f3d9b2ee7f24.rlib: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/debug/deps/libeden_store-e402f3d9b2ee7f24.rmeta: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc.rs:
+crates/store/src/disk.rs:
+crates/store/src/faulty.rs:
+crates/store/src/mem.rs:
+crates/store/src/replicated.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eden_transport-2df8d087a687319a.d: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_transport-2df8d087a687319a.rmeta: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/latency.rs:
+crates/transport/src/mesh.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eden_transport-9a7cd124e7b70397.d: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/eden_transport-9a7cd124e7b70397: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/latency.rs:
+crates/transport/src/mesh.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eden_transport-9e450a92c7d0a53e.d: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/eden_transport-9e450a92c7d0a53e: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/latency.rs:
+crates/transport/src/mesh.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eden_transport-a6a9745bca96a33c.d: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/libeden_transport-a6a9745bca96a33c.rlib: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/libeden_transport-a6a9745bca96a33c.rmeta: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/latency.rs:
+crates/transport/src/mesh.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:

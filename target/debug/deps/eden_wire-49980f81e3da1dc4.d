@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eden_wire-49980f81e3da1dc4.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+
+/root/repo/target/debug/deps/eden_wire-49980f81e3da1dc4: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/image.rs:
+crates/wire/src/message.rs:
+crates/wire/src/status.rs:
+crates/wire/src/value.rs:

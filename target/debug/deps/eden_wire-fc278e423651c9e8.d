@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/eden_wire-fc278e423651c9e8.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+
+/root/repo/target/debug/deps/eden_wire-fc278e423651c9e8: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/image.rs:
+crates/wire/src/message.rs:
+crates/wire/src/status.rs:
+crates/wire/src/value.rs:

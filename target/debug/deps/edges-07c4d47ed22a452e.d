@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edges-07c4d47ed22a452e.d: crates/core/tests/edges.rs
+
+/root/repo/target/debug/deps/edges-07c4d47ed22a452e: crates/core/tests/edges.rs
+
+crates/core/tests/edges.rs:

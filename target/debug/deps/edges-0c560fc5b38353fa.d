@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edges-0c560fc5b38353fa.d: crates/core/tests/edges.rs
+
+/root/repo/target/debug/deps/edges-0c560fc5b38353fa: crates/core/tests/edges.rs
+
+crates/core/tests/edges.rs:

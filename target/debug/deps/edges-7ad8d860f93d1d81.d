@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edges-7ad8d860f93d1d81.d: crates/core/tests/edges.rs
+
+/root/repo/target/debug/deps/edges-7ad8d860f93d1d81: crates/core/tests/edges.rs
+
+crates/core/tests/edges.rs:

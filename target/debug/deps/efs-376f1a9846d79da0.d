@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efs-376f1a9846d79da0.d: crates/efs/tests/efs.rs
+
+/root/repo/target/debug/deps/efs-376f1a9846d79da0: crates/efs/tests/efs.rs
+
+crates/efs/tests/efs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efs-6c927523ca8d8419.d: crates/efs/tests/efs.rs
+
+/root/repo/target/debug/deps/efs-6c927523ca8d8419: crates/efs/tests/efs.rs
+
+crates/efs/tests/efs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efs-c2d2ccf458ba2ee9.d: crates/bench/benches/efs.rs
+
+/root/repo/target/debug/deps/efs-c2d2ccf458ba2ee9: crates/bench/benches/efs.rs
+
+crates/bench/benches/efs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ethernet-0f5a477e8ba9fa27.d: crates/bench/benches/ethernet.rs
+
+/root/repo/target/debug/deps/ethernet-0f5a477e8ba9fa27: crates/bench/benches/ethernet.rs
+
+crates/bench/benches/ethernet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-20ab0f54c3cda1d5.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-20ab0f54c3cda1d5: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-a9ee7663f27466d5.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-a9ee7663f27466d5: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-b91e01f750dbc6ab.d: tests/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-b91e01f750dbc6ab.rmeta: tests/failover.rs Cargo.toml
+
+tests/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_topology-07873d86c72cd7ed.d: tests/figure1_topology.rs
+
+/root/repo/target/debug/deps/figure1_topology-07873d86c72cd7ed: tests/figure1_topology.rs
+
+tests/figure1_topology.rs:

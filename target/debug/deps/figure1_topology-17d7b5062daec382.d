@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_topology-17d7b5062daec382.d: tests/figure1_topology.rs
+
+/root/repo/target/debug/deps/figure1_topology-17d7b5062daec382: tests/figure1_topology.rs
+
+tests/figure1_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3_layers-9dc730636129ae5f.d: tests/figure3_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3_layers-9dc730636129ae5f.rmeta: tests/figure3_layers.rs Cargo.toml
+
+tests/figure3_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

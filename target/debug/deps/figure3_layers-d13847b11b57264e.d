@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3_layers-d13847b11b57264e.d: tests/figure3_layers.rs
+
+/root/repo/target/debug/deps/figure3_layers-d13847b11b57264e: tests/figure3_layers.rs
+
+tests/figure3_layers.rs:

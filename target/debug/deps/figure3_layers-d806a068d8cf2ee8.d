@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3_layers-d806a068d8cf2ee8.d: tests/figure3_layers.rs
+
+/root/repo/target/debug/deps/figure3_layers-d806a068d8cf2ee8: tests/figure3_layers.rs
+
+tests/figure3_layers.rs:

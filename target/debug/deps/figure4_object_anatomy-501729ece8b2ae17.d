@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_object_anatomy-501729ece8b2ae17.d: tests/figure4_object_anatomy.rs
+
+/root/repo/target/debug/deps/figure4_object_anatomy-501729ece8b2ae17: tests/figure4_object_anatomy.rs
+
+tests/figure4_object_anatomy.rs:

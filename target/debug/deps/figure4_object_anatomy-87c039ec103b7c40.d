@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4_object_anatomy-87c039ec103b7c40.d: tests/figure4_object_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4_object_anatomy-87c039ec103b7c40.rmeta: tests/figure4_object_anatomy.rs Cargo.toml
+
+tests/figure4_object_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

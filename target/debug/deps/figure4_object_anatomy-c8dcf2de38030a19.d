@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_object_anatomy-c8dcf2de38030a19.d: tests/figure4_object_anatomy.rs
+
+/root/repo/target/debug/deps/figure4_object_anatomy-c8dcf2de38030a19: tests/figure4_object_anatomy.rs
+
+tests/figure4_object_anatomy.rs:

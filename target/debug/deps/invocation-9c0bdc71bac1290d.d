@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invocation-9c0bdc71bac1290d.d: crates/bench/benches/invocation.rs
+
+/root/repo/target/debug/deps/invocation-9c0bdc71bac1290d: crates/bench/benches/invocation.rs
+
+crates/bench/benches/invocation.rs:

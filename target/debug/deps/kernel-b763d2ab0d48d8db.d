@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-b763d2ab0d48d8db.d: crates/core/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-b763d2ab0d48d8db: crates/core/tests/kernel.rs
+
+crates/core/tests/kernel.rs:

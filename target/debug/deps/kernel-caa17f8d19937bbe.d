@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-caa17f8d19937bbe.d: crates/core/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-caa17f8d19937bbe: crates/core/tests/kernel.rs
+
+crates/core/tests/kernel.rs:

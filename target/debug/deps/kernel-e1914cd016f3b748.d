@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-e1914cd016f3b748.d: crates/core/tests/kernel.rs
+
+/root/repo/target/debug/deps/kernel-e1914cd016f3b748: crates/core/tests/kernel.rs
+
+crates/core/tests/kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle_extended-0828e92008973048.d: crates/core/tests/lifecycle_extended.rs
+
+/root/repo/target/debug/deps/lifecycle_extended-0828e92008973048: crates/core/tests/lifecycle_extended.rs
+
+crates/core/tests/lifecycle_extended.rs:

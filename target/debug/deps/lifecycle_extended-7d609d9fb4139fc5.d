@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle_extended-7d609d9fb4139fc5.d: crates/core/tests/lifecycle_extended.rs
+
+/root/repo/target/debug/deps/lifecycle_extended-7d609d9fb4139fc5: crates/core/tests/lifecycle_extended.rs
+
+crates/core/tests/lifecycle_extended.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle_extended-d1abb8ad2540f4af.d: crates/core/tests/lifecycle_extended.rs
+
+/root/repo/target/debug/deps/lifecycle_extended-d1abb8ad2540f4af: crates/core/tests/lifecycle_extended.rs
+
+crates/core/tests/lifecycle_extended.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-2c3d85097ea95256.d: crates/core/tests/model.rs
+
+/root/repo/target/debug/deps/model-2c3d85097ea95256: crates/core/tests/model.rs
+
+crates/core/tests/model.rs:

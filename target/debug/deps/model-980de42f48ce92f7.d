@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-980de42f48ce92f7.d: crates/core/tests/model.rs
+
+/root/repo/target/debug/deps/model-980de42f48ce92f7: crates/core/tests/model.rs
+
+crates/core/tests/model.rs:

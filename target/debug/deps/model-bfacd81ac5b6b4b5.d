@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-bfacd81ac5b6b4b5.d: crates/core/tests/model.rs
+
+/root/repo/target/debug/deps/model-bfacd81ac5b6b4b5: crates/core/tests/model.rs
+
+crates/core/tests/model.rs:

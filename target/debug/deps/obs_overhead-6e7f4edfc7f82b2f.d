@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-6e7f4edfc7f82b2f.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/debug/deps/obs_overhead-6e7f4edfc7f82b2f: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

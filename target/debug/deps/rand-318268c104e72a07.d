@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-318268c104e72a07.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-318268c104e72a07: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-63f29cc721c939cb.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-63f29cc721c939cb.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-63f29cc721c939cb.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

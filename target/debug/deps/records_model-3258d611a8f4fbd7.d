@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/records_model-3258d611a8f4fbd7.d: crates/efs/tests/records_model.rs
+
+/root/repo/target/debug/deps/records_model-3258d611a8f4fbd7: crates/efs/tests/records_model.rs
+
+crates/efs/tests/records_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/records_model-d7f66934e2d937eb.d: crates/efs/tests/records_model.rs
+
+/root/repo/target/debug/deps/records_model-d7f66934e2d937eb: crates/efs/tests/records_model.rs
+
+crates/efs/tests/records_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-90a344b5bdcbb8b7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-90a344b5bdcbb8b7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-920a57523ea8a78b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-920a57523ea8a78b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

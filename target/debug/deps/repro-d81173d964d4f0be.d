@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d81173d964d4f0be.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d81173d964d4f0be: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_kernel-6ecce570af596a01.d: tests/tcp_kernel.rs
+
+/root/repo/target/debug/deps/tcp_kernel-6ecce570af596a01: tests/tcp_kernel.rs
+
+tests/tcp_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_kernel-a047104978d6fda5.d: tests/tcp_kernel.rs
+
+/root/repo/target/debug/deps/tcp_kernel-a047104978d6fda5: tests/tcp_kernel.rs
+
+tests/tcp_kernel.rs:

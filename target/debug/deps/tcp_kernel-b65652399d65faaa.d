@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_kernel-b65652399d65faaa.d: tests/tcp_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_kernel-b65652399d65faaa.rmeta: tests/tcp_kernel.rs Cargo.toml
+
+tests/tcp_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

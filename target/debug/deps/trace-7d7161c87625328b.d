@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-7d7161c87625328b.d: tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-7d7161c87625328b.rmeta: tests/trace.rs Cargo.toml
+
+tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

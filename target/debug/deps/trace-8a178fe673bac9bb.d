@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-8a178fe673bac9bb.d: tests/trace.rs
+
+/root/repo/target/debug/deps/trace-8a178fe673bac9bb: tests/trace.rs
+
+tests/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vprocs-87b6a1351a1418c5.d: crates/bench/benches/vprocs.rs
+
+/root/repo/target/debug/deps/vprocs-87b6a1351a1418c5: crates/bench/benches/vprocs.rs
+
+crates/bench/benches/vprocs.rs:

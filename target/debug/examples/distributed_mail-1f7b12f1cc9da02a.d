@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_mail-1f7b12f1cc9da02a.d: examples/distributed_mail.rs
+
+/root/repo/target/debug/examples/distributed_mail-1f7b12f1cc9da02a: examples/distributed_mail.rs
+
+examples/distributed_mail.rs:

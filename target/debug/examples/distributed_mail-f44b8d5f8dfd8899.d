@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_mail-f44b8d5f8dfd8899.d: examples/distributed_mail.rs
+
+/root/repo/target/debug/examples/distributed_mail-f44b8d5f8dfd8899: examples/distributed_mail.rs
+
+examples/distributed_mail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eden_shell-bb224ac52ba5f88e.d: examples/eden_shell.rs
+
+/root/repo/target/debug/examples/eden_shell-bb224ac52ba5f88e: examples/eden_shell.rs
+
+examples/eden_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eden_shell-c5b369fddd1e9560.d: examples/eden_shell.rs
+
+/root/repo/target/debug/examples/eden_shell-c5b369fddd1e9560: examples/eden_shell.rs
+
+examples/eden_shell.rs:

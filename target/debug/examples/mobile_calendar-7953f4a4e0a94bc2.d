@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_calendar-7953f4a4e0a94bc2.d: examples/mobile_calendar.rs
+
+/root/repo/target/debug/examples/mobile_calendar-7953f4a4e0a94bc2: examples/mobile_calendar.rs
+
+examples/mobile_calendar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_calendar-dc700fc17e30adde.d: examples/mobile_calendar.rs
+
+/root/repo/target/debug/examples/mobile_calendar-dc700fc17e30adde: examples/mobile_calendar.rs
+
+examples/mobile_calendar.rs:

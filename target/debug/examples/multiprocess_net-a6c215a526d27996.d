@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprocess_net-a6c215a526d27996.d: examples/multiprocess_net.rs
+
+/root/repo/target/debug/examples/multiprocess_net-a6c215a526d27996: examples/multiprocess_net.rs
+
+examples/multiprocess_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprocess_net-ef7d39e7ac0e3dc7.d: examples/multiprocess_net.rs
+
+/root/repo/target/debug/examples/multiprocess_net-ef7d39e7ac0e3dc7: examples/multiprocess_net.rs
+
+examples/multiprocess_net.rs:

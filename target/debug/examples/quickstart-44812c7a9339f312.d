@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-44812c7a9339f312.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-44812c7a9339f312: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b781dafb3267d49.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b781dafb3267d49: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/span_tree_capture-d194df7fbae40a9f.d: examples/span_tree_capture.rs
+
+/root/repo/target/debug/examples/span_tree_capture-d194df7fbae40a9f: examples/span_tree_capture.rs
+
+examples/span_tree_capture.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eden-5f15b36e0925a923.d: src/lib.rs
+
+/root/repo/target/release/deps/libeden-5f15b36e0925a923.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeden-5f15b36e0925a923.rmeta: src/lib.rs
+
+src/lib.rs:

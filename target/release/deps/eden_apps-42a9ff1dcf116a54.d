@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/eden_apps-42a9ff1dcf116a54.d: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/release/deps/libeden_apps-42a9ff1dcf116a54.rlib: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/release/deps/libeden_apps-42a9ff1dcf116a54.rmeta: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/calendar.rs:
+crates/apps/src/counter.rs:
+crates/apps/src/hierarchy.rs:
+crates/apps/src/mail.rs:
+crates/apps/src/policy.rs:
+crates/apps/src/queue.rs:

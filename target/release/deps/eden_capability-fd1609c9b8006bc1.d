@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/eden_capability-fd1609c9b8006bc1.d: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+/root/repo/target/release/deps/libeden_capability-fd1609c9b8006bc1.rlib: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+/root/repo/target/release/deps/libeden_capability-fd1609c9b8006bc1.rmeta: crates/capability/src/lib.rs crates/capability/src/clist.rs crates/capability/src/name.rs crates/capability/src/rights.rs
+
+crates/capability/src/lib.rs:
+crates/capability/src/clist.rs:
+crates/capability/src/name.rs:
+crates/capability/src/rights.rs:

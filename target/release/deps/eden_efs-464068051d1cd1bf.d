@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/eden_efs-464068051d1cd1bf.d: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+/root/repo/target/release/deps/libeden_efs-464068051d1cd1bf.rlib: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+/root/repo/target/release/deps/libeden_efs-464068051d1cd1bf.rmeta: crates/efs/src/lib.rs crates/efs/src/dir.rs crates/efs/src/efs.rs crates/efs/src/file.rs crates/efs/src/records.rs crates/efs/src/txn.rs
+
+crates/efs/src/lib.rs:
+crates/efs/src/dir.rs:
+crates/efs/src/efs.rs:
+crates/efs/src/file.rs:
+crates/efs/src/records.rs:
+crates/efs/src/txn.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/eden_ethersim-47dc6e1fd74b774e.d: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+/root/repo/target/release/deps/libeden_ethersim-47dc6e1fd74b774e.rlib: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+/root/repo/target/release/deps/libeden_ethersim-47dc6e1fd74b774e.rmeta: crates/ethersim/src/lib.rs crates/ethersim/src/aloha.rs crates/ethersim/src/analytic.rs crates/ethersim/src/config.rs crates/ethersim/src/events.rs crates/ethersim/src/metrics.rs crates/ethersim/src/sim.rs crates/ethersim/src/time.rs crates/ethersim/src/workload.rs
+
+crates/ethersim/src/lib.rs:
+crates/ethersim/src/aloha.rs:
+crates/ethersim/src/analytic.rs:
+crates/ethersim/src/config.rs:
+crates/ethersim/src/events.rs:
+crates/ethersim/src/metrics.rs:
+crates/ethersim/src/sim.rs:
+crates/ethersim/src/time.rs:
+crates/ethersim/src/workload.rs:

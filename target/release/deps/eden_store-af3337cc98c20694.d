@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/eden_store-af3337cc98c20694.d: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/release/deps/libeden_store-af3337cc98c20694.rlib: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+/root/repo/target/release/deps/libeden_store-af3337cc98c20694.rmeta: crates/store/src/lib.rs crates/store/src/crc.rs crates/store/src/disk.rs crates/store/src/faulty.rs crates/store/src/mem.rs crates/store/src/replicated.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc.rs:
+crates/store/src/disk.rs:
+crates/store/src/faulty.rs:
+crates/store/src/mem.rs:
+crates/store/src/replicated.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eden_transport-cfb28e6802453b31.d: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libeden_transport-cfb28e6802453b31.rlib: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libeden_transport-cfb28e6802453b31.rmeta: crates/transport/src/lib.rs crates/transport/src/latency.rs crates/transport/src/mesh.rs crates/transport/src/stats.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/latency.rs:
+crates/transport/src/mesh.rs:
+crates/transport/src/stats.rs:
+crates/transport/src/tcp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-97fb072e617caec4.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-97fb072e617caec4: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/proptest-4d9934ff43505820.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-4d9934ff43505820.rlib: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-4d9934ff43505820.rmeta: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/prelude.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/bool.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/prelude.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2583e7e1a435456d.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2583e7e1a435456d.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2583e7e1a435456d.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

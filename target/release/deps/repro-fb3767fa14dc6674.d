@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-fb3767fa14dc6674.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-fb3767fa14dc6674: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/eden_shell-a2e42baef6385dde.d: examples/eden_shell.rs
+
+/root/repo/target/release/examples/eden_shell-a2e42baef6385dde: examples/eden_shell.rs
+
+examples/eden_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/span_tree_capture-0e171e9558281c54.d: examples/span_tree_capture.rs
+
+/root/repo/target/release/examples/span_tree_capture-0e171e9558281c54: examples/span_tree_capture.rs
+
+examples/span_tree_capture.rs:

@@ -7,9 +7,13 @@
 use std::time::Duration;
 
 use eden::apps::with_apps;
+use eden::capability::{NodeId, Rights};
 use eden::efs::Efs;
-use eden::kernel::{Cluster, EdenError};
-use eden::wire::Status;
+use eden::kernel::{
+    Cluster, EdenError, OpCtx, OpError, OpResult, ReliabilityLevel, TypeManager, TypeSpec,
+};
+use eden::obs::KernelEvent;
+use eden::wire::{Status, Value};
 
 fn cluster(n: usize) -> Cluster {
     with_apps(Cluster::builder().nodes(n)).build()
@@ -56,10 +60,7 @@ fn partition_heals_and_invocations_resume() {
     assert_eq!(&client.read("/reachable").unwrap()[..], b"yes");
 
     // Partition the client from the host: reads fail...
-    c.mesh().partition(
-        c.node(0).node_id(),
-        c.node(2).node_id(),
-    );
+    c.mesh().partition(c.node(0).node_id(), c.node(2).node_id());
     let err = client.read("/reachable");
     assert!(err.is_err(), "partitioned read must fail");
 
@@ -85,15 +86,11 @@ fn lossy_network_is_survivable_for_idempotent_reads() {
     // 20% frame loss: timeouts and retries at the client layer still
     // converge for idempotent operations.
     use eden::transport::MeshOptions;
-    let c = with_apps(
-        Cluster::builder()
-            .nodes(2)
-            .mesh(MeshOptions {
-                loss_probability: 0.2,
-                seed: 7,
-                ..Default::default()
-            }),
-    )
+    let c = with_apps(Cluster::builder().nodes(2).mesh(MeshOptions {
+        loss_probability: 0.2,
+        seed: 7,
+        ..Default::default()
+    }))
     .build();
     let efs = Efs::format(c.node(1).clone()).unwrap();
     efs.write("/lossy", b"eventually").unwrap();
@@ -110,6 +107,108 @@ fn lossy_network_is_survivable_for_idempotent_reads() {
         successes >= 10,
         "most reads should eventually succeed, got {successes}/20"
     );
+}
+
+/// A counter that checkpoints on every add and can place its checksite
+/// (the E10 scenario type).
+struct DurableCounter;
+
+impl TypeManager for DurableCounter {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new("test.durable")
+            .class("all", 2)
+            .op("add_ckpt", "all", Rights::WRITE)
+            .op("get", "all", Rights::READ)
+            .op("checksite", "all", Rights::OWNER)
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "add_ckpt" => {
+                let d = OpCtx::i64_arg(args, 0)?;
+                let v = ctx.mutate_repr(|r| {
+                    let v = r.get_i64("count").unwrap_or(0) + d;
+                    r.put_i64("count", v);
+                    v
+                })?;
+                ctx.checkpoint()?;
+                Ok(vec![Value::I64(v)])
+            }
+            "get" => Ok(vec![Value::I64(
+                ctx.read_repr(|r| r.get_i64("count").unwrap_or(0)),
+            )]),
+            "checksite" => {
+                let node = OpCtx::u64_arg(args, 0)? as u16;
+                ctx.set_checksite(NodeId(node), ReliabilityLevel::Local)?;
+                Ok(vec![])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+#[test]
+fn flight_recorders_tell_the_failover_story_in_causal_order() {
+    // The E10 kill-node scenario: an object executes on node 0 with its
+    // checksite on node 1; node 0 dies; node 4 invokes. Afterwards the
+    // cluster's flight recorders must narrate the failover — the dead
+    // node's shutdown, the survivor's WhereIs broadcast, and the
+    // checksite node's reincarnation — in causal (timestamp) order.
+    let c = Cluster::builder()
+        .nodes(5)
+        .register(|| Box::new(DurableCounter))
+        .build();
+    let cap = c.node(0).create_object("test.durable", &[]).unwrap();
+    c.node(0)
+        .invoke(cap, "checksite", &[Value::U64(1)])
+        .unwrap();
+    c.node(0).invoke(cap, "add_ckpt", &[Value::I64(7)]).unwrap();
+
+    c.kill(0);
+    let out = c
+        .node(4)
+        .invoke_with_timeout(cap, "get", &[], Duration::from_secs(15))
+        .expect("failover get");
+    assert_eq!(out, vec![Value::I64(7)]);
+
+    let obj = cap.name().to_u128();
+    let find = |node: usize, pred: &dyn Fn(&KernelEvent) -> bool| {
+        c.node(node)
+            .obs()
+            .recorder()
+            .events()
+            .into_iter()
+            .find(|e| pred(&e.event))
+    };
+
+    let shutdown = find(0, &|e| matches!(e, KernelEvent::NodeShutdown))
+        .expect("killed node must record its shutdown");
+    let checkpoint = find(
+        0,
+        &|e| matches!(e, KernelEvent::CheckpointWrite { obj: o, .. } if *o == obj),
+    )
+    .expect("node 0 must have recorded the checkpoint write");
+    let broadcast = find(
+        4,
+        &|e| matches!(e, KernelEvent::WhereIsBroadcast { obj: o } if *o == obj),
+    )
+    .expect("the surviving invoker must record a WhereIs broadcast");
+    let reincarnation = find(
+        1,
+        &|e| matches!(e, KernelEvent::Reincarnation { obj: o, .. } if *o == obj),
+    )
+    .expect("the checksite node must record the reincarnation");
+
+    // All nodes share one monotonic clock, so cross-node timestamps are
+    // directly comparable: checkpoint → death → search → rebirth.
+    assert!(checkpoint.at_ns < shutdown.at_ns);
+    assert!(shutdown.at_ns < broadcast.at_ns);
+    assert!(broadcast.at_ns < reincarnation.at_ns);
+
+    // The dump is a readable postmortem.
+    let dump = c.node(1).obs().recorder().dump(16);
+    assert!(dump.contains("reincarnation"), "dump:\n{dump}");
+    c.shutdown();
 }
 
 #[test]

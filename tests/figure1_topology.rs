@@ -37,8 +37,11 @@ fn five_node_prototype_with_file_server() {
     let efs = Efs::format(cluster.node(4).clone()).unwrap();
     for i in 0..4 {
         let ws = Efs::mount(cluster.node(i).clone(), efs.root());
-        ws.write(&format!("/home/user{i}/hello"), format!("from node {i}").as_bytes())
-            .unwrap();
+        ws.write(
+            &format!("/home/user{i}/hello"),
+            format!("from node {i}").as_bytes(),
+        )
+        .unwrap();
     }
     // Everyone sees everyone's files.
     for reader in 0..4 {
@@ -60,11 +63,11 @@ fn five_node_prototype_with_file_server() {
         })
         .collect();
     for round in 1..=3i64 {
-        for i in 0..5usize {
+        for (i, cap) in caps.iter().enumerate() {
             let invoker = (i + 1) % 5;
             let out = cluster
                 .node(invoker)
-                .invoke(caps[i], "add", &[Value::I64(1)])
+                .invoke(*cap, "add", &[Value::I64(1)])
                 .unwrap();
             assert_eq!(out, vec![Value::I64(round)]);
         }

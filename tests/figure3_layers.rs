@@ -29,7 +29,8 @@ fn one_action_traverses_every_layer() {
     let t0_kernel = cluster.node(1).metrics();
 
     // The user action: bob sends alice mail.
-    bob.send("bob", "alice", "layers", "down the whole stack").unwrap();
+    bob.send("bob", "alice", "layers", "down the whole stack")
+        .unwrap();
 
     // Application layer: the mail arrived.
     let headers = alice.headers(alice_box).unwrap();
@@ -73,7 +74,9 @@ fn layers_are_location_independent_end_to_end() {
     let mbox = recipient_client.register_user("rae").unwrap();
 
     let sender = MailClient::new(cluster.node(1).clone(), registry);
-    sender.send("sam", "rae", "hi", "cross-node all the way").unwrap();
+    sender
+        .send("sam", "rae", "hi", "cross-node all the way")
+        .unwrap();
 
     let reader = MailClient::new(cluster.node(0).clone(), registry);
     let headers = reader.headers(mbox).unwrap();

@@ -87,7 +87,11 @@ fn the_name_is_unique_and_survives_the_whole_lifecycle() {
     let a = c.node(0).create_object("specimen", &[]).unwrap();
     let b = c.node(0).create_object("specimen", &[]).unwrap();
     assert_ne!(a.name(), b.name(), "names are unique");
-    assert_eq!(a.name().birth_node(), c.node(0).node_id(), "birth-node hint");
+    assert_eq!(
+        a.name().birth_node(),
+        c.node(0).node_id(),
+        "birth-node hint"
+    );
 
     // The same name designates the object across checkpoint + crash.
     c.node(0)

@@ -1,0 +1,129 @@
+//! Distributed invocation tracing end-to-end.
+//!
+//! One cross-node invocation must yield a single causally linked span
+//! tree spanning both kernels: the client's `invoke` root and
+//! `client-send`, the server's `dispatch` and `execute` (joined via the
+//! trace context carried on the wire), plus transport `net` spans and
+//! the client-side `reply` mark.
+
+use std::collections::HashSet;
+
+use eden::apps::counter::CounterType;
+use eden::kernel::Cluster;
+use eden::obs::{render_trace, SpanRecord};
+use eden::wire::Value;
+
+fn two_node_cluster() -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .register(|| Box::new(CounterType))
+        .build()
+}
+
+/// All spans from every node of the cluster, merged.
+fn all_spans(c: &Cluster) -> Vec<SpanRecord> {
+    c.nodes()
+        .iter()
+        .flat_map(|n| n.obs().traces().spans())
+        .collect()
+}
+
+#[test]
+fn cross_node_invocation_yields_one_causally_linked_trace() {
+    let c = two_node_cluster();
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    c.node(1).invoke(cap, "add", &[Value::I64(5)]).unwrap();
+
+    // The client's root span identifies the trace.
+    let root = c
+        .node(1)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .find(|s| s.name == "invoke" && s.parent_span == 0)
+        .expect("client must record a root `invoke` span");
+
+    let spans: Vec<SpanRecord> = all_spans(&c)
+        .into_iter()
+        .filter(|s| s.trace_id == root.trace_id)
+        .collect();
+    assert!(
+        spans.len() >= 4,
+        "a remote invocation must produce at least 4 spans, got {}: {:?}",
+        spans.len(),
+        spans.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+
+    // Causal linkage: every span is the root or hangs off another span
+    // of the same trace.
+    let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    for s in &spans {
+        assert!(
+            s.parent_span == 0 || ids.contains(&s.parent_span),
+            "span {:?} has a dangling parent",
+            s
+        );
+    }
+
+    // The expected layers all contributed.
+    let names: HashSet<&str> = spans.iter().map(|s| s.name).collect();
+    for expected in ["invoke", "client-send", "dispatch", "execute"] {
+        assert!(names.contains(expected), "missing span {expected:?}");
+    }
+
+    // And the tree genuinely crosses nodes.
+    let nodes: HashSet<u16> = spans.iter().map(|s| s.node).collect();
+    assert!(
+        nodes.contains(&0) && nodes.contains(&1),
+        "spans must come from both kernels, got {nodes:?}"
+    );
+
+    // The renderer draws one tree rooted at `invoke`.
+    let tree = render_trace(&spans, root.trace_id);
+    assert!(tree.contains("invoke"), "render:\n{tree}");
+    assert!(tree.contains("execute"), "render:\n{tree}");
+    c.shutdown();
+}
+
+#[test]
+fn local_invocations_trace_without_crossing_the_wire() {
+    let c = two_node_cluster();
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    c.node(0).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+
+    let spans = c.node(0).obs().traces().spans();
+    let root = spans
+        .iter()
+        .find(|s| s.name == "invoke" && s.parent_span == 0)
+        .expect("root span");
+    let mine: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.trace_id == root.trace_id)
+        .collect();
+    let names: HashSet<&str> = mine.iter().map(|s| s.name).collect();
+    assert!(names.contains("dispatch") && names.contains("execute"));
+    // Everything happened on node 0.
+    assert!(mine.iter().all(|s| s.node == 0));
+    c.shutdown();
+}
+
+#[test]
+fn separate_invocations_get_separate_traces() {
+    let c = two_node_cluster();
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    c.node(1).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+    c.node(1).invoke(cap, "add", &[Value::I64(2)]).unwrap();
+
+    let roots: Vec<SpanRecord> = c
+        .node(1)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "invoke" && s.parent_span == 0)
+        .collect();
+    assert_eq!(roots.len(), 2);
+    assert_ne!(roots[0].trace_id, roots[1].trace_id);
+    c.shutdown();
+}
