@@ -12,6 +12,9 @@
 //!   invocation fans out into many.
 //! * [`queue`] — a shared work queue whose invocation classes provide
 //!   all the synchronization (no locks in the type code).
+//! * [`monitor`] — cluster-wide telemetry as an object: holds one
+//!   read-only capability per node and scrapes metrics, traces and
+//!   flight events purely through invocation.
 //! * [`policy`] — a policy *object* (§4.3) that makes location decisions
 //!   for other objects, wrapping the kernel `move` primitive.
 //! * [`hierarchy`] — the §5 abstract type hierarchy: a three-level
@@ -21,6 +24,7 @@ pub mod calendar;
 pub mod counter;
 pub mod hierarchy;
 pub mod mail;
+pub mod monitor;
 pub mod policy;
 pub mod queue;
 
@@ -28,6 +32,7 @@ pub use calendar::{CalendarType, MeetingScheduler};
 pub use counter::CounterType;
 pub use hierarchy::{AuditedQueueType, NamedQueueType, ResourceType};
 pub use mail::{MailClient, MailboxType};
+pub use monitor::{ClusterMetrics, MonitorClient, MonitorType};
 pub use policy::PolicyObjectType;
 pub use queue::SharedQueueType;
 
@@ -44,4 +49,5 @@ pub fn with_apps(builder: ClusterBuilder) -> ClusterBuilder {
         .register(|| Box::new(ResourceType))
         .register(|| Box::new(NamedQueueType))
         .register(|| Box::new(AuditedQueueType))
+        .register(|| Box::new(MonitorType))
 }

@@ -1,0 +1,326 @@
+//! The monitor: cluster-wide telemetry as an ordinary Eden object.
+//!
+//! The paper's position (§2) is that system facilities should be
+//! provided *by objects* wherever possible. The monitor applies that to
+//! observability: it is a plain Eden object holding one read-only
+//! capability per watched kernel (see
+//! [`eden_kernel::node_object_cap`]), and it gathers metrics, traces
+//! and flight-recorder events purely through location-independent
+//! invocation — `get_metrics`, `get_trace` and `get_flight_log` on
+//! each node's reserved telemetry object. It has no private channel
+//! into any kernel: scrape it from anywhere, move it, checkpoint it;
+//! it keeps working because its state is just capabilities.
+//!
+//! Operations:
+//!
+//! | op | class | rights | effect |
+//! |---|---|---|---|
+//! | `add_node [cap]` | admin (1) | WRITE | watch another node |
+//! | `node_count` | scrape (2) | READ | number of watched nodes |
+//! | `scrape_metrics` | scrape | READ | per-node + cluster-merged metrics |
+//! | `scrape_trace [u64]` | scrape | READ | span records (optionally one trace) |
+//! | `scrape_events [u64]` | scrape | READ | merged flight-recorder stream |
+//!
+//! Scrape replies put per-node payloads first, any merged view second,
+//! and a list of unreachable node ids last, so a partial cluster still
+//! yields a useful (if incomplete) answer. The cluster-wide histogram
+//! merge is ordering-stable — see
+//! [`eden_obs::hist::HistogramSnapshot::merge`].
+
+use eden_capability::{Capability, NodeId, Rights};
+use eden_kernel::{
+    node_object_cap, Cluster, EdenError, Node, OpCtx, OpError, OpResult, TypeManager, TypeSpec,
+};
+use eden_obs::export::{self, NodeMetrics};
+use eden_obs::{FlightEvent, SpanRecord};
+use eden_wire::{obs_codec, Status, Value};
+
+/// The monitor type manager (type name `"monitor"`).
+pub struct MonitorType;
+
+impl MonitorType {
+    /// The registered type name.
+    pub const NAME: &'static str = "monitor";
+
+    /// The capability-list slot for a watched node.
+    fn slot_for(node: NodeId) -> String {
+        format!("node:{:04}", node.0)
+    }
+}
+
+impl TypeManager for MonitorType {
+    fn spec(&self) -> TypeSpec {
+        TypeSpec::new(MonitorType::NAME)
+            .class("admin", 1)
+            .class("scrape", 2)
+            .op("add_node", "admin", Rights::WRITE)
+            .op("node_count", "scrape", Rights::READ)
+            .op("scrape_metrics", "scrape", Rights::READ)
+            .op("scrape_trace", "scrape", Rights::READ)
+            .op("scrape_events", "scrape", Rights::READ)
+    }
+
+    /// Initial arguments: one `Value::Cap` per node to watch.
+    fn initialize(&self, ctx: &OpCtx<'_>, args: &[Value]) -> Result<(), OpError> {
+        for (i, arg) in args.iter().enumerate() {
+            let cap = OpCtx::cap_arg(args, i)
+                .map_err(|_| OpError::type_error(format!("argument {i}: {arg:?} is not a cap")))?;
+            ctx.mutate_repr(|r| {
+                r.caps_mut()
+                    .put(MonitorType::slot_for(cap.name().birth_node()), cap)
+            })?;
+        }
+        Ok(())
+    }
+
+    fn dispatch(&self, ctx: &OpCtx<'_>, op: &str, args: &[Value]) -> OpResult {
+        match op {
+            "add_node" => {
+                let cap = OpCtx::cap_arg(args, 0)?;
+                ctx.mutate_repr(|r| {
+                    r.caps_mut()
+                        .put(MonitorType::slot_for(cap.name().birth_node()), cap)
+                })?;
+                Ok(vec![])
+            }
+            "node_count" => Ok(vec![Value::U64(watched(ctx).len() as u64)]),
+            "scrape_metrics" => {
+                let mut per_node = Vec::new();
+                let mut parts = Vec::new();
+                let mut down = Vec::new();
+                for (id, cap) in watched(ctx) {
+                    match ctx.invoke(cap, "get_metrics", &[]) {
+                        Ok(reply) => {
+                            let m = decode_first(&reply, obs_codec::metrics_from_value)?;
+                            per_node.push(obs_codec::metrics_to_value(&m));
+                            parts.push(m);
+                        }
+                        Err(_) => down.push(Value::U64(u64::from(id.0))),
+                    }
+                }
+                let merged = export::merge_metrics(&parts);
+                Ok(vec![
+                    Value::List(per_node),
+                    obs_codec::metrics_to_value(&merged),
+                    Value::List(down),
+                ])
+            }
+            "scrape_trace" => {
+                let filter: Vec<Value> = match args.first() {
+                    Some(Value::U64(t)) => vec![Value::U64(*t)],
+                    _ => vec![],
+                };
+                let mut spans: Vec<SpanRecord> = Vec::new();
+                let mut down = Vec::new();
+                for (id, cap) in watched(ctx) {
+                    match ctx.invoke(cap, "get_trace", &filter) {
+                        Ok(reply) => {
+                            spans.extend(decode_first(&reply, obs_codec::spans_from_value)?)
+                        }
+                        Err(_) => down.push(Value::U64(u64::from(id.0))),
+                    }
+                }
+                // A deterministic total order regardless of which node
+                // answered first: by trace, then start time, then span id.
+                spans.sort_by_key(|s| (s.trace_id, s.start_ns, s.span_id));
+                Ok(vec![obs_codec::spans_to_value(&spans), Value::List(down)])
+            }
+            "scrape_events" => {
+                let limit: Vec<Value> = match args.first() {
+                    Some(Value::U64(n)) => vec![Value::U64(*n)],
+                    _ => vec![],
+                };
+                let mut events: Vec<(u16, FlightEvent)> = Vec::new();
+                let mut down = Vec::new();
+                for (id, cap) in watched(ctx) {
+                    match ctx.invoke(cap, "get_flight_log", &limit) {
+                        Ok(reply) => {
+                            events.extend(decode_first(&reply, obs_codec::events_from_value)?)
+                        }
+                        Err(_) => down.push(Value::U64(u64::from(id.0))),
+                    }
+                }
+                // The process-global flight-recorder sequence number is
+                // the total order across every node's stream.
+                events.sort_by_key(|(_, e)| e.seq);
+                let merged: Vec<Value> = events
+                    .iter()
+                    .map(|(node, e)| obs_codec::event_to_value(*node, e))
+                    .collect();
+                Ok(vec![Value::List(merged), Value::List(down)])
+            }
+            other => Err(OpError::no_such_op(other)),
+        }
+    }
+}
+
+/// The watched nodes, in node-id order (capability slots sort that way).
+fn watched(ctx: &OpCtx<'_>) -> Vec<(NodeId, Capability)> {
+    ctx.read_repr(|r| {
+        r.caps()
+            .iter()
+            .filter(|(slot, _)| slot.starts_with("node:"))
+            .map(|(_, cap)| (cap.name().birth_node(), cap))
+            .collect()
+    })
+}
+
+/// Decodes the first reply value with `decode`, or an app error naming
+/// the malformed payload.
+fn decode_first<T>(reply: &[Value], decode: impl Fn(&Value) -> Option<T>) -> Result<T, OpError> {
+    reply
+        .first()
+        .and_then(decode)
+        .ok_or_else(|| OpError::app(1, "malformed telemetry payload"))
+}
+
+/// A cluster metrics scrape: each reachable node's view, the merged
+/// cluster view, and the nodes that did not answer.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// One entry per node that answered.
+    pub per_node: Vec<NodeMetrics>,
+    /// The bucket-wise merged cluster view (labelled `cluster`).
+    pub merged: NodeMetrics,
+    /// Node ids that could not be scraped.
+    pub down: Vec<u16>,
+}
+
+/// Client facade over a monitor object: creation, scraping, and the
+/// three export formats.
+pub struct MonitorClient {
+    node: Node,
+    monitor: Capability,
+}
+
+impl MonitorClient {
+    /// Creates a monitor object on `node` watching `nodes`, handing it
+    /// one read-only telemetry capability per node.
+    pub fn create(node: &Node, nodes: &[NodeId]) -> eden_kernel::Result<MonitorClient> {
+        let args: Vec<Value> = nodes
+            .iter()
+            .map(|&n| Value::Cap(node_object_cap(n)))
+            .collect();
+        let monitor = node.create_object(MonitorType::NAME, &args)?;
+        Ok(MonitorClient {
+            node: node.clone(),
+            monitor,
+        })
+    }
+
+    /// A monitor on the cluster's first node watching every node.
+    pub fn for_cluster(cluster: &Cluster) -> eden_kernel::Result<MonitorClient> {
+        let ids: Vec<NodeId> = cluster.nodes().iter().map(Node::node_id).collect();
+        MonitorClient::create(cluster.node(0), &ids)
+    }
+
+    /// Wraps an existing monitor capability (e.g. received from another
+    /// holder) for use from `node`.
+    pub fn attach(node: &Node, monitor: Capability) -> MonitorClient {
+        MonitorClient {
+            node: node.clone(),
+            monitor,
+        }
+    }
+
+    /// The monitor object's capability.
+    pub fn capability(&self) -> Capability {
+        self.monitor
+    }
+
+    /// Adds a node to the watch set.
+    pub fn add_node(&self, node: NodeId) -> eden_kernel::Result<()> {
+        self.node.invoke(
+            self.monitor,
+            "add_node",
+            &[Value::Cap(node_object_cap(node))],
+        )?;
+        Ok(())
+    }
+
+    /// Scrapes metrics from every watched node.
+    pub fn scrape_metrics(&self) -> eden_kernel::Result<ClusterMetrics> {
+        let reply = self.node.invoke(self.monitor, "scrape_metrics", &[])?;
+        let per_node = match reply.first() {
+            Some(Value::List(items)) => items
+                .iter()
+                .map(obs_codec::metrics_from_value)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| malformed("per-node metrics"))?,
+            _ => return Err(malformed("per-node metrics")),
+        };
+        let merged = reply
+            .get(1)
+            .and_then(obs_codec::metrics_from_value)
+            .ok_or_else(|| malformed("merged metrics"))?;
+        let down = decode_down(reply.get(2))?;
+        Ok(ClusterMetrics {
+            per_node,
+            merged,
+            down,
+        })
+    }
+
+    /// Prometheus text exposition of a fresh scrape: every per-node
+    /// series plus the cluster-merged series.
+    pub fn prometheus(&self) -> eden_kernel::Result<String> {
+        let scrape = self.scrape_metrics()?;
+        let mut parts = scrape.per_node;
+        parts.push(scrape.merged);
+        Ok(export::prometheus_text(&parts))
+    }
+
+    /// Scrapes span records — all of them, or one trace by id.
+    pub fn scrape_spans(&self, trace_id: Option<u64>) -> eden_kernel::Result<Vec<SpanRecord>> {
+        let args: Vec<Value> = trace_id.map(Value::U64).into_iter().collect();
+        let reply = self.node.invoke(self.monitor, "scrape_trace", &args)?;
+        reply
+            .first()
+            .and_then(obs_codec::spans_from_value)
+            .ok_or_else(|| malformed("spans"))
+    }
+
+    /// Chrome-trace (Perfetto-loadable) JSON of a fresh span scrape.
+    pub fn chrome_trace(&self, trace_id: Option<u64>) -> eden_kernel::Result<String> {
+        Ok(export::chrome_trace_json(&self.scrape_spans(trace_id)?))
+    }
+
+    /// Scrapes the merged flight-recorder stream, totally ordered by
+    /// the process-global sequence number.
+    pub fn scrape_events(&self) -> eden_kernel::Result<Vec<(u16, FlightEvent)>> {
+        let reply = self.node.invoke(self.monitor, "scrape_events", &[])?;
+        match reply.first() {
+            Some(list @ Value::List(_)) => {
+                obs_codec::events_from_value(list).ok_or_else(|| malformed("events"))
+            }
+            _ => Err(malformed("events")),
+        }
+    }
+
+    /// JSONL export of a fresh event scrape.
+    pub fn events_jsonl(&self) -> eden_kernel::Result<String> {
+        let events = self.scrape_events()?;
+        Ok(events
+            .iter()
+            .map(|(node, e)| export::event_jsonl_line(*node, e) + "\n")
+            .collect())
+    }
+}
+
+fn malformed(what: &str) -> EdenError {
+    EdenError::Invoke(Status::AppError {
+        code: 1,
+        message: format!("malformed monitor reply: {what}"),
+    })
+}
+
+fn decode_down(v: Option<&Value>) -> eden_kernel::Result<Vec<u16>> {
+    match v {
+        Some(Value::List(items)) => items
+            .iter()
+            .map(|v| v.as_u64().map(|n| n as u16))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| malformed("down list")),
+        _ => Err(malformed("down list")),
+    }
+}

@@ -6,7 +6,7 @@
 //! every invocation unconditionally.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eden_obs::{now_ns, Histogram, KernelEvent, ObsRegistry};
+use eden_obs::{now_ns, Histogram, KernelEvent, ObsRegistry, TraceSampling};
 
 fn bench_obs(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
@@ -34,6 +34,19 @@ fn bench_obs(c: &mut Criterion) {
 
     group.bench_function("span_open_close", |b| {
         b.iter(|| obs.root_span("bench").finish())
+    });
+
+    // The sampled-out path: what every invocation pays when the
+    // sampling policy rejects it (should be a counter bump and nothing
+    // else — far below the span_open_close cost).
+    let sampled_out = ObsRegistry::new(0);
+    sampled_out.set_sampling(TraceSampling::Ratio(0));
+    group.bench_function("span_sampled_out", |b| {
+        b.iter(|| {
+            if let Some(s) = sampled_out.sampled_root_span("bench", "op") {
+                s.finish();
+            }
+        })
     });
 
     group.bench_function("flight_recorder_record", |b| {

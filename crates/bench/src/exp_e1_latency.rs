@@ -139,6 +139,21 @@ pub fn run() -> Table {
         ]);
     }
     t.note("cells are p50 / p95 / p99 per invocation; expected shape: local ≪ remote; LAN cost dominated by serialization time for large payloads");
+
+    // Telemetry artifacts: a Prometheus scrape of both mesh kernels
+    // (per-node plus cluster-merged series) and a Chrome trace of the
+    // echo invocations, exported through a monitor object so the data
+    // travels the same invocation path it measures.
+    if let Ok(monitor) = eden_apps::MonitorClient::for_cluster(&cluster) {
+        if let Ok(prom) = monitor.prometheus() {
+            let _ = std::fs::write(crate::artifact_path("e1.prom"), prom);
+        }
+        if let Ok(json) = monitor.chrome_trace(None) {
+            let _ = std::fs::write(crate::artifact_path("e1.trace.json"), json);
+        }
+        t.note("artifacts: target/artifacts/e1.prom, target/artifacts/e1.trace.json");
+    }
+
     for node in &tcp_nodes {
         node.shutdown();
     }

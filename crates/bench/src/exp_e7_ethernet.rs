@@ -121,13 +121,50 @@ pub fn protocol_comparison() -> Table {
     t
 }
 
+/// Prometheus exposition of the headline E7 curves. Simulator outputs
+/// are fractional (f64) gauges, not kernel metrics, so the lines are
+/// written directly rather than through the kernel exporter.
+pub fn prom_artifact() -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE eden_e7_throughput gauge\n");
+    out.push_str("# TYPE eden_e7_mean_delay_us gauge\n");
+    out.push_str("# TYPE eden_e7_collisions_per_frame gauge\n");
+    for load in [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5, 2.0] {
+        let r = sim_point(16, load, 1000, 1979);
+        let labels = format!("stations=\"16\",frame_bytes=\"1000\",offered=\"{load:.1}\"");
+        out.push_str(&format!(
+            "eden_e7_throughput{{{labels}}} {:.6}\n",
+            r.throughput
+        ));
+        out.push_str(&format!(
+            "eden_e7_mean_delay_us{{{labels}}} {:.3}\n",
+            r.mean_delay_us
+        ));
+        out.push_str(&format!(
+            "eden_e7_collisions_per_frame{{{labels}}} {:.6}\n",
+            r.collisions_per_frame()
+        ));
+    }
+    for stations in [2usize, 5, 16, 64] {
+        let r = sim_point(stations, 1.5, 1500, 12);
+        let labels = format!("stations=\"{stations}\",frame_bytes=\"1500\",offered=\"1.5\"");
+        out.push_str(&format!(
+            "eden_e7_throughput{{{labels}}} {:.6}\n",
+            r.throughput
+        ));
+    }
+    out
+}
+
 /// Runs E7 and returns its tables.
 pub fn run() -> Vec<Table> {
-    vec![
+    let tables = vec![
         load_sweep(16, 1000),
         load_sweep(16, 64),
         station_sweep(1500),
         station_sweep(64),
         protocol_comparison(),
-    ]
+    ];
+    let _ = std::fs::write(crate::artifact_path("e7.prom"), prom_artifact());
+    tables
 }

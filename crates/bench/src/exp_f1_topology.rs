@@ -40,10 +40,10 @@ pub fn run() -> Table {
         })
         .collect();
     for round in 0..10u64 {
-        for i in 0..5usize {
+        for (i, &cap) in caps.iter().enumerate() {
             cluster
                 .node((i + 1) % 5)
-                .invoke(caps[i], "echo", &[Value::U64(round)])
+                .invoke(cap, "echo", &[Value::U64(round)])
                 .expect("ring echo");
         }
     }

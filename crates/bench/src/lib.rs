@@ -35,6 +35,16 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
+/// Path for an experiment artifact, creating `target/artifacts/` on
+/// first use. Artifacts are machine-readable exports riding along with
+/// the printed tables — Prometheus scrapes, Chrome traces — referenced
+/// from EXPERIMENTS.md.
+pub fn artifact_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("artifacts");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
 /// Formats a duration in adaptive units for table cells.
 pub fn fmt_us(us: f64) -> String {
     if us >= 10_000.0 {

@@ -84,7 +84,10 @@ pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use ctx::OpCtx;
 pub use error::{EdenError, Result};
 pub use metrics::KernelMetrics;
-pub use node::{InvocationHandle, Node, NodeConfig, ObjectInfo, ReliabilityLevel};
+pub use node::{
+    node_object_cap, node_object_name, InvocationHandle, Node, NodeConfig, ObjectInfo,
+    ReliabilityLevel,
+};
 pub use object::ObjStatus;
 pub use repr::Representation;
 pub use sync::{EdenSemaphore, MessagePort};

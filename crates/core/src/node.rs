@@ -31,8 +31,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use eden_capability::{Capability, NameGenerator, NodeId, ObjName};
-use eden_obs::{now_ns, KernelEvent, ObsRegistry, TraceCtx};
+use eden_capability::{Capability, NameGenerator, NodeId, ObjName, Rights};
+use eden_obs::{now_ns, KernelEvent, ObsRegistry, TraceCtx, TraceSampling};
 use eden_store::CheckpointStore;
 use eden_transport::Endpoint;
 use eden_wire::{
@@ -89,6 +89,11 @@ pub struct NodeConfig {
     /// Ablation switch: disable request retransmission (a lost frame
     /// costs the whole candidate budget).
     pub enable_retransmission: bool,
+    /// Which invocations open a root trace span. Sampled-out
+    /// invocations carry no [`TraceCtx`] at all, so every downstream
+    /// layer (client send, transport, dispatch, execute, reply) skips
+    /// its span work for free.
+    pub trace_sampling: TraceSampling,
 }
 
 impl Default for NodeConfig {
@@ -104,8 +109,27 @@ impl Default for NodeConfig {
             retransmit_interval: Duration::from_millis(150),
             enable_location_cache: true,
             enable_retransmission: true,
+            trace_sampling: TraceSampling::Always,
         }
     }
+}
+
+/// The reserved object name under which each kernel answers telemetry
+/// scrapes (`get_metrics`, `get_trace`, `get_flight_log`).
+///
+/// [`NameGenerator`] epochs and sequence numbers start at zero and
+/// never reach `u32::MAX`/`u64::MAX`, so the sentinel cannot collide
+/// with a real object. Because the name's birth-node field is `node`,
+/// ordinary invocation routing delivers a scrape to the right kernel
+/// with no extra location traffic.
+pub fn node_object_name(node: NodeId) -> ObjName {
+    ObjName::from_parts(node, u32::MAX, u64::MAX)
+}
+
+/// A read-only capability for `node`'s telemetry object — the handle a
+/// monitor holds per node it watches.
+pub fn node_object_cap(node: NodeId) -> Capability {
+    Capability::with_rights(node_object_name(node), Rights::READ)
 }
 
 /// Replies the receive loop can rendezvous to a waiting requester.
@@ -238,6 +262,7 @@ impl Node {
     ) -> Node {
         let id = endpoint.node();
         let obs = Arc::new(ObsRegistry::new(id.0));
+        obs.set_sampling(config.trace_sampling.clone());
         endpoint.attach_obs(obs.clone());
         store.attach_obs(obs.clone());
         let inner = Arc::new(NodeInner {
@@ -443,11 +468,20 @@ impl Node {
     ) -> (Status, Vec<Value>) {
         let deadline = Instant::now() + timeout;
         let name = cap.name();
+        // Telemetry scrape of this kernel: served inline, before any
+        // span opens, so scraping never perturbs the traces it reads.
+        // A scrape of a *remote* kernel falls through to the ordinary
+        // remote path below — the sentinel name's birth hint routes it.
+        if name == node_object_name(self.inner.id) {
+            return self.serve_node_object(cap, op, args);
+        }
         // The root of this invocation's trace: every downstream span —
         // client-send, net, dispatch, execute, reply — descends from it,
-        // across however many nodes the invocation visits.
-        let root = self.inner.obs.root_span("invoke");
-        let ctx = root.ctx();
+        // across however many nodes the invocation visits. Subject to
+        // the node's sampling policy: `None` means this invocation is
+        // unsampled and no layer anywhere opens a span for it.
+        let root = self.inner.obs.sampled_root_span("invoke", op);
+        let ctx = root.as_ref().map(|r| r.ctx());
 
         // Fast path: active (or replica) on this node. The lookup is
         // bound first so the table's read guard drops before the
@@ -504,8 +538,7 @@ impl Node {
             if from_cache {
                 self.inner.metrics.bump_cache_hit();
             }
-            let (status, results, from) =
-                self.remote_invoke(candidate, cap, op, args, budget, Some(ctx));
+            let (status, results, from) = self.remote_invoke(candidate, cap, op, args, budget, ctx);
             match status {
                 Status::NoSuchObject | Status::Timeout => {
                     if from_cache {
@@ -548,8 +581,7 @@ impl Node {
             let Some(budget) = self.try_budget(deadline) else {
                 return (Status::Timeout, Vec::new());
             };
-            let (status, results, from) =
-                self.remote_invoke(holder, cap, op, args, budget, Some(ctx));
+            let (status, results, from) = self.remote_invoke(holder, cap, op, args, budget, ctx);
             match status {
                 Status::NoSuchObject | Status::Timeout => continue,
                 _ => {
@@ -561,6 +593,60 @@ impl Node {
             }
         }
         (Status::NoSuchObject, Vec::new())
+    }
+
+    /// Serves an invocation on this kernel's reserved telemetry object
+    /// (see [`node_object_name`]). The kernel itself is the "object":
+    /// there is no slot, no coordinator, no queueing — a scrape reads
+    /// the observability registry and replies inline. `Rights::READ`
+    /// gates all three operations.
+    fn serve_node_object(&self, cap: Capability, op: &str, args: &[Value]) -> (Status, Vec<Value>) {
+        if !cap.permits(Rights::READ) {
+            self.inner.metrics.bump_rights_violation();
+            return (
+                Status::RightsViolation {
+                    required: Rights::READ,
+                    held: cap.rights(),
+                },
+                Vec::new(),
+            );
+        }
+        let obs = &self.inner.obs;
+        match op {
+            // Counters, gauges and histogram snapshots of this node.
+            "get_metrics" => (
+                Status::Ok,
+                vec![eden_wire::obs_codec::registry_metrics_to_value(obs)],
+            ),
+            // Span records — all of them, or one trace when the first
+            // argument is a `U64` trace id.
+            "get_trace" => {
+                let spans = match args.first() {
+                    Some(Value::U64(trace_id)) => obs.traces().spans_for(*trace_id),
+                    _ => obs.traces().spans(),
+                };
+                (
+                    Status::Ok,
+                    vec![eden_wire::obs_codec::spans_to_value(&spans)],
+                )
+            }
+            // Flight-recorder events — all retained, or the last `n`
+            // when the first argument is a `U64`.
+            "get_flight_log" => {
+                let events = match args.first() {
+                    Some(Value::U64(n)) => obs.recorder().last(*n as usize),
+                    _ => obs.recorder().events(),
+                };
+                (
+                    Status::Ok,
+                    vec![eden_wire::obs_codec::events_to_value(
+                        self.inner.id.0,
+                        &events,
+                    )],
+                )
+            }
+            other => (Status::NoSuchOperation(other.to_string()), Vec::new()),
+        }
     }
 
     /// Remaining time for one candidate attempt, if any remains.
@@ -580,21 +666,15 @@ impl Node {
         op: &str,
         args: &[Value],
         deadline: Instant,
-        ctx: TraceCtx,
+        ctx: Option<TraceCtx>,
     ) -> (Status, Vec<Value>) {
         let start_ns = now_ns();
         let waiter: Arc<Waiter<(Status, Vec<Value>)>> = Arc::new(Waiter::new());
-        let pending = match self.validate(
-            slot,
-            cap,
-            op,
-            args,
-            ReplySink::Local(waiter.clone()),
-            Some(ctx),
-        ) {
-            Ok(p) => p,
-            Err(status) => return (status, Vec::new()),
-        };
+        let pending =
+            match self.validate(slot, cap, op, args, ReplySink::Local(waiter.clone()), ctx) {
+                Ok(p) => p,
+                Err(status) => return (status, Vec::new()),
+            };
         self.enqueue(slot, pending);
         let now = Instant::now();
         let budget = if deadline > now {
@@ -862,17 +942,15 @@ impl Node {
         let start_ns = now_ns();
         // The `client-send` span covers the whole request/reply exchange;
         // its context rides the request frame so the serving kernel's
-        // spans join the same trace.
-        let span = match parent {
-            Some(p) => self.inner.obs.child_span("client-send", p),
-            None => self.inner.obs.root_span("client-send"),
-        };
-        let send_ctx = span.ctx();
+        // spans join the same trace. No parent means the invocation was
+        // sampled out — no span opens and the frame carries no context.
+        let span = parent.map(|p| self.inner.obs.child_span("client-send", p));
+        let send_ctx = span.as_ref().map(|s| s.ctx());
         let inv_id = self.fresh_id();
         let waiter = Arc::new(Waiter::new());
         self.inner.pending.lock().insert(inv_id, waiter.clone());
         let request = || {
-            Frame::to(
+            let mut frame = Frame::to(
                 self.inner.id,
                 dst,
                 Message::InvokeRequest {
@@ -883,8 +961,11 @@ impl Node {
                     reply_to: self.inner.id,
                     hops: self.inner.config.hop_limit,
                 },
-            )
-            .with_trace(send_ctx)
+            );
+            if let Some(t) = send_ctx {
+                frame = frame.with_trace(t);
+            }
+            frame
         };
         let sent = self.inner.endpoint.send(request());
         if sent.is_err() {
@@ -918,7 +999,9 @@ impl Node {
             }
         };
         self.inner.pending.lock().remove(&inv_id);
-        span.finish();
+        if let Some(s) = span {
+            s.finish();
+        }
         self.inner
             .obs
             .histogram("invoke.remote")
@@ -1936,6 +2019,14 @@ impl Node {
             if served.in_progress.contains(&key) {
                 return;
             }
+        }
+
+        // Remote telemetry scrape of this kernel: no slot exists for
+        // the sentinel name, so answer before the object-table lookup.
+        if name == node_object_name(self.inner.id) {
+            let (status, results) = self.serve_node_object(target, &operation, &args);
+            self.send_reply(sink, status, results, trace);
+            return;
         }
 
         let slot = self.inner.objects.read().get(&name).cloned();

@@ -96,7 +96,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 64,
-        ..ProptestConfig::default()
     })]
 
     #[test]

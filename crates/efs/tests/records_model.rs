@@ -33,7 +33,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 32 })]
 
     #[test]
     fn records_match_a_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {

@@ -27,6 +27,28 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Inclusive upper bound of the value range covered by `index` (the
+/// `le` bound Prometheus exposition reports for the bucket).
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        index as u64
+    } else {
+        let rel = index - LINEAR_MAX as usize;
+        let exp = SUBBUCKET_BITS + (rel / SUBBUCKETS as usize) as u32;
+        let sub = (rel % SUBBUCKETS as usize) as u64;
+        let lo = (1u64 << exp) | (sub << (exp - SUBBUCKET_BITS));
+        let width = 1u64 << (exp - SUBBUCKET_BITS);
+        lo + (width - 1)
+    }
+}
+
+/// The fixed number of buckets every [`Histogram`] (and therefore every
+/// [`HistogramSnapshot`]) carries. Exposed so wire codecs can rebuild a
+/// dense bucket vector from a sparse encoding.
+pub const fn bucket_count() -> usize {
+    BUCKETS
+}
+
 /// Midpoint of the value range covered by `index` (the value quantile
 /// queries report).
 fn bucket_mid(index: usize) -> u64 {
@@ -118,7 +140,18 @@ impl std::fmt::Debug for Histogram {
 }
 
 /// An owned, mergeable copy of a [`Histogram`]'s state.
-#[derive(Debug, Clone)]
+///
+/// # Merge semantics
+///
+/// [`merge`](Self::merge) is a bucket-wise sum plus `count`/`sum`
+/// addition and `min`/`max` folds. Every component is **commutative and
+/// associative**, so folding any number of per-node snapshots of the
+/// same histogram name produces an identical cluster-wide snapshot
+/// regardless of the order nodes are visited (and regardless of how the
+/// fold is parenthesized). Cluster aggregation therefore needs no node
+/// ordering convention: `merge_snapshot_maps` can walk nodes in whatever
+/// order a scrape returned them and the merged view is stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     buckets: Vec<u64>,
     /// Total samples recorded.
@@ -143,7 +176,44 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Rebuilds a snapshot from previously extracted parts (the inverse
+    /// of [`buckets`](Self::buckets) plus the public fields; used by wire
+    /// codecs). `buckets` shorter than [`bucket_count`] is zero-padded;
+    /// longer is truncated.
+    pub fn from_parts(mut buckets: Vec<u64>, count: u64, sum: u64, min: u64, max: u64) -> Self {
+        buckets.resize(BUCKETS, 0);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The per-bucket sample counts (fixed length [`bucket_count`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs at each occupied bucket,
+    /// in ascending bound order — the shape Prometheus histogram
+    /// exposition (`le` buckets) wants. The final implicit `+Inf` bucket
+    /// is `count` and is not included.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
     /// Folds another snapshot in (for cluster-wide aggregates).
+    /// Commutative and associative — see the type-level merge semantics.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -197,6 +267,28 @@ impl HistogramSnapshot {
     }
 }
 
+/// Merges several nodes' `name → snapshot` maps into one cluster-wide
+/// view. When two nodes report the same histogram name the snapshots are
+/// folded with [`HistogramSnapshot::merge`]; because merge is commutative
+/// and associative the result is independent of the order `maps` is
+/// iterated, and the returned `BTreeMap` iterates names in a stable
+/// lexicographic order.
+pub fn merge_snapshot_maps<'a, I>(maps: I) -> std::collections::BTreeMap<String, HistogramSnapshot>
+where
+    I: IntoIterator<Item = &'a std::collections::BTreeMap<String, HistogramSnapshot>>,
+{
+    let mut merged = std::collections::BTreeMap::new();
+    for map in maps {
+        for (name, snap) in map {
+            merged
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(snap);
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +332,68 @@ mod tests {
         m.merge(&b.snapshot());
         assert_eq!(m.count, 2000);
         assert_eq!(m.max, 999 * 17);
+    }
+
+    #[test]
+    fn merged_map_view_is_ordering_stable() {
+        use std::collections::BTreeMap;
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let mut node0 = BTreeMap::new();
+        node0.insert("invoke.local".to_string(), mk(&[10, 20, 30]));
+        node0.insert("store.write".to_string(), mk(&[5]));
+        let mut node1 = BTreeMap::new();
+        node1.insert("invoke.local".to_string(), mk(&[1000, 2000]));
+        let mut node2 = BTreeMap::new();
+        node2.insert("invoke.local".to_string(), mk(&[7]));
+
+        let forward = merge_snapshot_maps([&node0, &node1, &node2]);
+        let backward = merge_snapshot_maps([&node2, &node1, &node0]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward["invoke.local"].count, 6);
+        assert_eq!(forward["invoke.local"].min, 7);
+        assert_eq!(forward["invoke.local"].max, 2000);
+        assert_eq!(forward["store.write"].count, 1);
+        // Stable name order for serializers.
+        let names: Vec<&String> = forward.keys().collect();
+        assert_eq!(names, vec!["invoke.local", "store.write"]);
+    }
+
+    #[test]
+    fn cumulative_buckets_reach_total_count() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 17, 40_000, 40_001] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative_buckets();
+        assert!(!cum.is_empty());
+        // Bounds ascend, counts ascend, last count is the total.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cum.last().unwrap().1, s.count);
+        // Every sample is ≤ the bound of the bucket it landed in.
+        assert!(cum[0].0 >= 3);
+    }
+
+    #[test]
+    fn from_parts_round_trips_buckets() {
+        let h = Histogram::new();
+        for v in 0..500u64 {
+            h.record(v * 13);
+        }
+        let s = h.snapshot();
+        let rebuilt =
+            HistogramSnapshot::from_parts(s.buckets().to_vec(), s.count, s.sum, s.min, s.max);
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.percentile(50.0), s.percentile(50.0));
     }
 
     #[test]

@@ -25,10 +25,19 @@
 //!   dumpable as text for postmortems after failover experiments.
 //!
 //! Everything hangs off a per-node [`ObsRegistry`]. All nodes in one
-//! process share a single monotonic epoch ([`now_ns`]), so timestamps
-//! from different in-process nodes are directly comparable.
+//! process share a single monotonic epoch ([`now_ns`]) and a single
+//! flight-recorder sequence counter, so timestamps and event sequence
+//! numbers from different in-process nodes are directly comparable.
+//!
+//! The [`export`] module is the boundary where telemetry leaves the
+//! process: Prometheus text exposition for metrics, Chrome-trace
+//! (Perfetto-loadable) JSON for span trees, and a JSONL event stream
+//! for the flight recorder. Root-span creation is governed by a
+//! configurable [`TraceSampling`] policy so tracing cost stays bounded
+//! under load.
 
 pub mod clock;
+pub mod export;
 pub mod hist;
 pub mod metric;
 pub mod recorder;
@@ -36,8 +45,12 @@ pub mod registry;
 pub mod trace;
 
 pub use clock::now_ns;
-pub use hist::{Histogram, HistogramSnapshot};
+pub use export::{
+    chrome_trace_json, events_jsonl, merge_metrics, parse_jsonl_line, parse_prometheus_line,
+    prometheus_text, validate_json, NodeMetrics, PromSample,
+};
+pub use hist::{merge_snapshot_maps, Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
 pub use recorder::{FlightEvent, FlightRecorder, KernelEvent};
-pub use registry::{ObsRegistry, SpanGuard};
-pub use trace::{render_trace, SpanRecord, TraceCollector, TraceCtx};
+pub use registry::{ObsRegistry, SpanGuard, TraceSampling};
+pub use trace::{intern_name, render_trace, SpanRecord, TraceCollector, TraceCtx};

@@ -76,11 +76,20 @@ impl fmt::Display for KernelEvent {
     }
 }
 
-/// A recorded event: sequence number (per recorder, monotone), timestamp
-/// on the process-wide clock, and the event itself.
+/// Recording order across *every* recorder in the process. Like the
+/// process-wide clock epoch, a single counter means events from
+/// different in-process nodes carry comparable sequence numbers, so a
+/// merged multi-node JSONL stream is totally orderable by `seq` even
+/// when `at_ns` timestamps tie.
+static GLOBAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A recorded event: sequence number (process-global, monotone),
+/// timestamp on the process-wide clock, and the event itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightEvent {
-    /// Per-recorder monotone sequence number (causal order on one node).
+    /// Process-global monotone sequence number: unique across all
+    /// recorders in the process and consistent with recording order, so
+    /// merged multi-node streams sort into one total order.
     pub seq: u64,
     /// Nanoseconds on the process-wide clock.
     pub at_ns: u64,
@@ -91,7 +100,6 @@ pub struct FlightEvent {
 /// A fixed-capacity ring buffer of [`FlightEvent`]s.
 pub struct FlightRecorder {
     capacity: usize,
-    seq: AtomicU64,
     ring: Mutex<VecDeque<FlightEvent>>,
 }
 
@@ -100,14 +108,14 @@ impl FlightRecorder {
     pub fn new(capacity: usize) -> Self {
         FlightRecorder {
             capacity,
-            seq: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
         }
     }
 
-    /// Appends an event, evicting the oldest at capacity.
+    /// Appends an event, evicting the oldest at capacity. The sequence
+    /// number is drawn from the process-global counter.
     pub fn record(&self, event: KernelEvent) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let seq = GLOBAL_SEQ.fetch_add(1, Ordering::Relaxed);
         let entry = FlightEvent {
             seq,
             at_ns: now_ns(),
@@ -162,10 +170,36 @@ mod tests {
         for i in 0..5u64 {
             r.record(KernelEvent::Retransmit { inv_id: i, dst: 0 });
         }
-        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![2, 3, 4]);
+        let events = r.events();
+        // Only the newest 3 of the 5 survive (payloads 2, 3, 4), and the
+        // global sequence numbers are strictly increasing in ring order.
+        let payloads: Vec<u64> = events
+            .iter()
+            .map(|e| match e.event {
+                KernelEvent::Retransmit { inv_id, .. } => inv_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(payloads, vec![2, 3, 4]);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
         assert_eq!(r.last(2).len(), 2);
         assert_eq!(r.last(99).len(), 3);
+    }
+
+    #[test]
+    fn sequence_is_global_across_recorders() {
+        // Two recorders model two in-process nodes: their merged event
+        // streams must sort into one total order by `seq`.
+        let (a, b) = (FlightRecorder::new(8), FlightRecorder::new(8));
+        a.record(KernelEvent::NodeShutdown);
+        b.record(KernelEvent::NodeShutdown);
+        a.record(KernelEvent::NodeShutdown);
+        let mut merged = a.events();
+        merged.extend(b.events());
+        let mut seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 3, "global seqs must be unique across rings");
     }
 
     #[test]

@@ -16,6 +16,35 @@ pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
 /// Default trace-collector capacity (spans per node).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// How root spans are sampled when a trace would start.
+///
+/// Sampling is decided once, at the root: a sampled-out invocation
+/// carries no [`TraceCtx`] at all, so every downstream layer (client
+/// send, transport, dispatch, execute, reply) skips span recording for
+/// free — the cost of a sampled-out trace is one policy check.
+///
+/// Ratio sampling is deterministic (a shared counter, not a random
+/// draw): exactly one in `n` roots is sampled, which keeps experiment
+/// runs reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceSampling {
+    /// Every invocation is traced (the default; matches the pre-sampling
+    /// behavior).
+    #[default]
+    Always,
+    /// One in `n` root spans is traced. `Ratio(0)` disables tracing
+    /// entirely; `Ratio(1)` is equivalent to [`Always`](Self::Always).
+    Ratio(u64),
+    /// Per-operation ratios, with `default` applied to operations not
+    /// listed. Each entry has [`Ratio`](Self::Ratio) semantics.
+    PerOperation {
+        /// Operation name → sampling ratio.
+        ops: BTreeMap<String, u64>,
+        /// Ratio for operations absent from `ops`.
+        default: u64,
+    },
+}
+
 /// One node's observability state. Cheap handles ([`Arc<Counter>`],
 /// [`Arc<Histogram>`]…) are handed out once and bumped lock-free on hot
 /// paths; the registry lock is only taken on first lookup of a name.
@@ -28,6 +57,8 @@ pub struct ObsRegistry {
     traces: TraceCollector,
     span_seq: AtomicU64,
     trace_seq: AtomicU64,
+    sampling: Mutex<TraceSampling>,
+    sample_seq: AtomicU64,
 }
 
 impl ObsRegistry {
@@ -42,6 +73,8 @@ impl ObsRegistry {
             traces: TraceCollector::new(DEFAULT_TRACE_CAPACITY),
             span_seq: AtomicU64::new(1),
             trace_seq: AtomicU64::new(1),
+            sampling: Mutex::new(TraceSampling::Always),
+            sample_seq: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +170,52 @@ impl ObsRegistry {
 
     fn next_trace_id(&self) -> u64 {
         ((self.node as u64) << 48) | self.trace_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Replaces the trace-sampling policy (effective for subsequent
+    /// root spans; in-flight traces finish under the old policy).
+    pub fn set_sampling(&self, policy: TraceSampling) {
+        *self.sampling.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The current trace-sampling policy.
+    pub fn sampling(&self) -> TraceSampling {
+        self.sampling
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Decides whether a root span for `op` should be traced under the
+    /// current policy. Deterministic: ratio decisions consume a shared
+    /// counter, so exactly one in `n` eligible roots samples.
+    pub fn should_sample(&self, op: &str) -> bool {
+        let ratio = match &*self.sampling.lock().unwrap_or_else(|e| e.into_inner()) {
+            TraceSampling::Always => return true,
+            TraceSampling::Ratio(n) => *n,
+            TraceSampling::PerOperation { ops, default } => {
+                ops.get(op).copied().unwrap_or(*default)
+            }
+        };
+        match ratio {
+            0 => false,
+            1 => true,
+            n => self
+                .sample_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n),
+        }
+    }
+
+    /// Opens a root span for operation `op` if the sampling policy
+    /// elects it; `None` means the invocation runs untraced (and every
+    /// downstream layer skips span work because no [`TraceCtx`] exists).
+    pub fn sampled_root_span(&self, name: &'static str, op: &str) -> Option<SpanGuard<'_>> {
+        if self.should_sample(op) {
+            Some(self.root_span(name))
+        } else {
+            None
+        }
     }
 
     /// Opens a root span, starting a new trace.
@@ -301,6 +380,47 @@ mod tests {
         }
         let tree = render_trace(&spans, trace_id);
         assert!(tree.contains("execute"), "tree:\n{tree}");
+    }
+
+    #[test]
+    fn sampling_always_and_never() {
+        let reg = ObsRegistry::new(0);
+        assert!(reg.sampled_root_span("invoke", "get").is_some());
+        let recorded = reg.traces().spans().len();
+        reg.set_sampling(TraceSampling::Ratio(0));
+        for _ in 0..10 {
+            assert!(reg.sampled_root_span("invoke", "get").is_none());
+        }
+        assert_eq!(reg.traces().spans().len(), recorded);
+        reg.set_sampling(TraceSampling::Ratio(1));
+        assert!(reg.sampled_root_span("invoke", "get").is_some());
+    }
+
+    #[test]
+    fn ratio_sampling_is_deterministic_one_in_n() {
+        let reg = ObsRegistry::new(0);
+        reg.set_sampling(TraceSampling::Ratio(4));
+        let sampled = (0..40)
+            .filter(|_| reg.sampled_root_span("invoke", "get").is_some())
+            .count();
+        assert_eq!(sampled, 10);
+    }
+
+    #[test]
+    fn per_operation_sampling_selects_by_op() {
+        let reg = ObsRegistry::new(0);
+        let mut ops = BTreeMap::new();
+        ops.insert("add".to_string(), 1u64);
+        reg.set_sampling(TraceSampling::PerOperation { ops, default: 0 });
+        assert!(reg.sampled_root_span("invoke", "add").is_some());
+        assert!(reg.sampled_root_span("invoke", "get").is_none());
+        assert_eq!(
+            reg.sampling(),
+            TraceSampling::PerOperation {
+                ops: [("add".to_string(), 1u64)].into_iter().collect(),
+                default: 0
+            }
+        );
     }
 
     #[test]

@@ -41,6 +41,35 @@ pub struct SpanRecord {
     pub end_ns: u64,
 }
 
+/// Interns a span name decoded from the wire into a `&'static str` (the
+/// type [`SpanRecord::name`] carries).
+///
+/// The set of span names in the system is small and fixed by the layers
+/// that open spans (`invoke`, `client-send`, `net`, `dispatch`,
+/// `execute`, `reply`, …), so leaking each *distinct* decoded name once
+/// is bounded. Well-known names are matched without any allocation.
+pub fn intern_name(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "invoke",
+        "client-send",
+        "net",
+        "dispatch",
+        "execute",
+        "reply",
+    ];
+    if let Some(k) = KNOWN.iter().find(|k| **k == name) {
+        return k;
+    }
+    static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(k) = extra.iter().find(|k| **k == name) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
 /// A bounded ring of finished spans (per node).
 pub struct TraceCollector {
     capacity: usize,
@@ -199,6 +228,16 @@ mod tests {
             .find("execute")
             .unwrap();
         assert!(exec_col > invoke_col);
+    }
+
+    #[test]
+    fn intern_reuses_known_and_decoded_names() {
+        // Well-known names come back as the same static pointer.
+        assert_eq!(intern_name("invoke"), "invoke");
+        // A novel decoded name is leaked once and then reused.
+        let a = intern_name("custom-layer");
+        let b = intern_name("custom-layer");
+        assert!(std::ptr::eq(a, b));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod codec;
 pub mod image;
 pub mod message;
+pub mod obs_codec;
 pub mod status;
 pub mod value;
 

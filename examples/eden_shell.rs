@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
-use eden::apps::with_apps;
-use eden::capability::Capability;
+use eden::apps::{with_apps, MonitorClient};
+use eden::capability::{Capability, NodeId};
 use eden::kernel::Cluster;
 use eden::wire::Value;
 
@@ -25,6 +25,9 @@ struct Shell {
     cluster: Cluster,
     caps: Vec<Capability>,
     labels: HashMap<String, usize>,
+    /// Lazily created monitor objects, keyed by export target
+    /// (`all` or a node index).
+    monitors: HashMap<String, MonitorClient>,
 }
 
 impl Shell {
@@ -67,6 +70,9 @@ commands:
   ls <node>                          active objects on a node
   metrics <node>                     counters, gauges and latency histograms
   trace <node> [n]                   last n flight-recorder events (default 16)
+  export <node|all> <prom|trace|events> [path]
+                                     write telemetry through a monitor object:
+                                     Prometheus text / Chrome-trace JSON / JSONL
   label <name> <$N>                  name a handle
   quit"
                 .to_string()),
@@ -221,6 +227,50 @@ commands:
                     Ok(dump.trim_end().to_string())
                 }
             }
+            "export" => {
+                let usage = "export <node|all> <prom|trace|events> [path]";
+                let target = *args.first().ok_or(usage)?;
+                let format = *args.get(1).ok_or(usage)?;
+                if target != "all" {
+                    let n: usize = target.parse().map_err(|_| usage.to_string())?;
+                    if n >= NODES {
+                        return Err(format!("no such node {n} (0..{})", NODES - 1));
+                    }
+                }
+                if !matches!(format, "prom" | "trace" | "events") {
+                    return Err(format!("unknown format '{format}' ({usage})"));
+                }
+                let monitor = match self.monitors.get(target) {
+                    Some(m) => m,
+                    None => {
+                        let ids: Vec<NodeId> = if target == "all" {
+                            (0..NODES).map(|i| NodeId(i as u16)).collect()
+                        } else {
+                            vec![NodeId(target.parse::<u16>().unwrap())]
+                        };
+                        let client = MonitorClient::create(self.cluster.node(0), &ids)
+                            .map_err(|e| e.to_string())?;
+                        self.monitors.entry(target.to_string()).or_insert(client)
+                    }
+                };
+                let (text, default_path) = match format {
+                    "prom" => (
+                        monitor.prometheus().map_err(|e| e.to_string())?,
+                        format!("eden-{target}.prom"),
+                    ),
+                    "trace" => (
+                        monitor.chrome_trace(None).map_err(|e| e.to_string())?,
+                        format!("eden-{target}.trace.json"),
+                    ),
+                    _ => (
+                        monitor.events_jsonl().map_err(|e| e.to_string())?,
+                        format!("eden-{target}.jsonl"),
+                    ),
+                };
+                let path = args.get(2).map_or(default_path, |p| p.to_string());
+                std::fs::write(&path, &text).map_err(|e| format!("write {path}: {e}"))?;
+                Ok(format!("wrote {} bytes to {path}", text.len()))
+            }
             "label" => {
                 let name = args.first().ok_or("label <name> <$N>")?;
                 let idx: usize = args
@@ -243,6 +293,7 @@ fn main() {
         cluster,
         caps: Vec::new(),
         labels: HashMap::new(),
+        monitors: HashMap::new(),
     };
     let stdin = std::io::stdin();
     loop {

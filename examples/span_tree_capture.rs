@@ -1,14 +1,31 @@
 //! Prints the span tree of one cross-node invocation (README capture).
+//!
+//! With `--chrome <path>` it additionally scrapes the trace through a
+//! monitor object and writes it as Chrome-trace JSON (load the file in
+//! Perfetto or `chrome://tracing`), validating the JSON before exit:
+//!
+//! ```sh
+//! cargo run --example span_tree_capture -- --chrome trace.json
+//! ```
 
 use eden::apps::counter::CounterType;
+use eden::apps::{MonitorClient, MonitorType};
 use eden::kernel::Cluster;
-use eden::obs::{render_trace, SpanRecord};
+use eden::obs::{render_trace, validate_json, SpanRecord};
 use eden::wire::Value;
 
 fn main() {
+    let chrome_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--chrome")
+            .map(|i| args.get(i + 1).expect("--chrome needs a path").clone())
+    };
+
     let c = Cluster::builder()
         .nodes(2)
         .register(|| Box::new(CounterType))
+        .register(|| Box::new(MonitorType))
         .build();
     let cap = c.node(0).create_object("counter", &[]).unwrap();
     c.node(1).invoke(cap, "add", &[Value::I64(5)]).unwrap();
@@ -28,5 +45,15 @@ fn main() {
         .filter(|s| s.trace_id == root.trace_id)
         .collect();
     print!("{}", render_trace(&spans, root.trace_id));
+
+    if let Some(path) = chrome_path {
+        let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+        let json = monitor
+            .chrome_trace(Some(root.trace_id))
+            .expect("scrape trace");
+        validate_json(&json).expect("exported trace is valid JSON");
+        std::fs::write(&path, &json).expect("write chrome trace");
+        eprintln!("wrote {} bytes of Chrome-trace JSON to {path}", json.len());
+    }
     c.shutdown();
 }

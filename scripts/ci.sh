@@ -8,3 +8,11 @@ cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Telemetry export smoke test: capture a cross-node trace through the
+# monitor object and check the exported Chrome-trace JSON parses.
+cargo run --release --example span_tree_capture -- --chrome target/span_tree.trace.json
+test -s target/span_tree.trace.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool target/span_tree.trace.json >/dev/null
+fi

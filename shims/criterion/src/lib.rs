@@ -119,16 +119,9 @@ impl Default for Settings {
 }
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     settings: Settings,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {
-            settings: Settings::default(),
-        }
-    }
 }
 
 impl Criterion {

@@ -205,6 +205,25 @@ fn flight_recorders_tell_the_failover_story_in_causal_order() {
     assert!(shutdown.at_ns < broadcast.at_ns);
     assert!(broadcast.at_ns < reincarnation.at_ns);
 
+    // The process-global flight-recorder sequence number tells the
+    // same story without consulting the clock: merged streams from
+    // different nodes interleave correctly on `seq` alone.
+    assert!(checkpoint.seq < shutdown.seq);
+    assert!(shutdown.seq < broadcast.seq);
+    assert!(broadcast.seq < reincarnation.seq);
+    let seqs: Vec<u64> = c
+        .nodes()
+        .iter()
+        .flat_map(|n| n.obs().recorder().events())
+        .map(|e| e.seq)
+        .collect();
+    let unique: std::collections::HashSet<u64> = seqs.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        seqs.len(),
+        "sequence numbers are unique across every node's recorder"
+    );
+
     // The dump is a readable postmortem.
     let dump = c.node(1).obs().recorder().dump(16);
     assert!(dump.contains("reincarnation"), "dump:\n{dump}");

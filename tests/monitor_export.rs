@@ -1,0 +1,238 @@
+//! Cluster-wide telemetry export through the monitor object.
+//!
+//! The monitor holds one read-only capability per node and gathers
+//! every kernel's metrics, spans and flight events purely through
+//! Eden invocation — these tests never hand it a registry back door —
+//! then renders them as Prometheus text, Chrome-trace JSON and JSONL.
+
+use std::collections::{BTreeMap, HashSet};
+use std::time::Duration;
+
+use eden::apps::{with_apps, MonitorClient};
+use eden::capability::{NodeId, Rights};
+use eden::kernel::{node_object_cap, Cluster, EdenError};
+use eden::obs::{parse_jsonl_line, parse_prometheus_line, validate_json, SpanRecord};
+use eden::wire::{obs_codec, Status, Value};
+
+fn cluster3() -> Cluster {
+    with_apps(Cluster::builder().nodes(3)).build()
+}
+
+/// Some invocation traffic touching every node: local and remote
+/// invocations against one counter, so several kernels accumulate
+/// `invoke.local` / `invoke.remote` histogram samples.
+fn warm(c: &Cluster) -> eden::capability::Capability {
+    let cap = c.node(1).create_object("counter", &[]).unwrap();
+    for i in 0..3 {
+        c.node(0).invoke(cap, "add", &[Value::I64(i)]).unwrap();
+        c.node(1).invoke(cap, "add", &[Value::I64(i)]).unwrap();
+        c.node(2).invoke(cap, "get", &[]).unwrap();
+    }
+    cap
+}
+
+#[test]
+fn monitor_scrapes_every_node_and_merges_histograms() {
+    let c = cluster3();
+    warm(&c);
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let scrape = monitor.scrape_metrics().expect("scrape");
+
+    assert!(scrape.down.is_empty(), "all nodes up, none down");
+    let labels: HashSet<&str> = scrape.per_node.iter().map(|m| m.node.as_str()).collect();
+    assert_eq!(labels, HashSet::from(["0", "1", "2"]));
+    assert_eq!(scrape.merged.node, "cluster");
+
+    // Every node executed or issued invocations, so each contributes
+    // at least one latency histogram, and the cluster merge must hold
+    // exactly the sum of the per-node counts for every series.
+    let mut want: BTreeMap<String, u64> = BTreeMap::new();
+    for m in &scrape.per_node {
+        assert!(
+            m.histograms.keys().any(|k| k.starts_with("invoke.")),
+            "node {} has no invocation histogram",
+            m.node
+        );
+        for (name, h) in &m.histograms {
+            *want.entry(name.clone()).or_insert(0) += h.count;
+        }
+    }
+    for (name, total) in want {
+        assert_eq!(
+            scrape.merged.histograms[&name].count, total,
+            "merged count for {name}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_export_has_per_node_and_cluster_series() {
+    let c = cluster3();
+    warm(&c);
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let text = monitor.prometheus().expect("prometheus");
+
+    // Histogram series for individual nodes AND the merged cluster view.
+    assert!(
+        text.contains("eden_invoke_local_bucket{node=\"1\""),
+        "{text}"
+    );
+    assert!(text.contains("eden_invoke_local_bucket{node=\"cluster\""));
+    assert!(text.contains("eden_invoke_remote_count{node=\"cluster\"}"));
+
+    // The whole exposition re-parses line by line.
+    let mut samples = 0;
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE "), "unexpected comment: {line}");
+            continue;
+        }
+        let s = parse_prometheus_line(line)
+            .unwrap_or_else(|| panic!("unparseable exposition line: {line}"));
+        assert!(s.name.starts_with("eden_"));
+        samples += 1;
+    }
+    assert!(samples > 50, "expected a rich exposition, got {samples}");
+}
+
+#[test]
+fn chrome_trace_of_a_cross_node_invocation_is_valid_and_nested() {
+    let c = cluster3();
+    let cap = c.node(1).create_object("counter", &[]).unwrap();
+    c.node(2).invoke(cap, "add", &[Value::I64(9)]).unwrap();
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let spans = monitor.scrape_spans(None).expect("scrape spans");
+
+    // Find the cross-node trace: grouped by trace id, it must link
+    // client-send → net → dispatch → execute under one root.
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    let (tid, trace) = by_trace
+        .into_iter()
+        .find(|(_, spans)| {
+            spans.len() >= 5 && spans.iter().map(|s| s.node).collect::<HashSet<_>>().len() >= 2
+        })
+        .expect("a cross-node trace with at least 5 spans");
+    let ids: HashSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    let roots = trace.iter().filter(|s| s.parent_span == 0).count();
+    assert_eq!(roots, 1, "exactly one root span");
+    for s in &trace {
+        assert!(
+            s.parent_span == 0 || ids.contains(&s.parent_span),
+            "span {} has dangling parent {}",
+            s.span_id,
+            s.parent_span
+        );
+    }
+
+    let json = monitor.chrome_trace(Some(tid)).expect("chrome trace");
+    validate_json(&json).expect("exported chrome trace is valid JSON");
+    assert_eq!(
+        json.matches("\"ph\":\"X\"").count(),
+        trace.len(),
+        "one complete event per span"
+    );
+    assert!(json.contains("\"name\":\"client-send\""));
+    assert!(json.contains("\"name\":\"dispatch\""));
+}
+
+#[test]
+fn flight_events_merge_into_one_totally_ordered_stream() {
+    let c = cluster3();
+    let cap = warm(&c);
+
+    // A move generates events on two different kernels.
+    c.node(1).move_object(cap, NodeId(2)).expect("move");
+    c.node(0)
+        .invoke_with_timeout(cap, "get", &[], Duration::from_secs(10))
+        .expect("post-move get");
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let events = monitor.scrape_events().expect("scrape events");
+    assert!(events.len() >= 2, "move must leave flight events");
+
+    let nodes: HashSet<u16> = events.iter().map(|(n, _)| *n).collect();
+    assert!(nodes.len() >= 2, "events from more than one node");
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].1.seq < pair[1].1.seq,
+            "merged stream must be strictly ordered by the global seq"
+        );
+    }
+
+    // The JSONL export round-trips line by line.
+    let jsonl = monitor.events_jsonl().expect("jsonl");
+    let parsed: Vec<_> = jsonl
+        .lines()
+        .map(|l| parse_jsonl_line(l).unwrap_or_else(|| panic!("unparseable JSONL line: {l}")))
+        .collect();
+    assert_eq!(parsed.len(), events.len());
+    for ((n, e), (pn, pe)) in events.iter().zip(&parsed) {
+        assert_eq!(n, pn);
+        assert_eq!(e.seq, pe.seq);
+    }
+}
+
+#[test]
+fn node_telemetry_object_honors_capability_rights() {
+    let c = cluster3();
+    warm(&c);
+
+    // A direct invocation on the reserved telemetry object, from a
+    // *different* node: routed like any remote invocation.
+    let reply = c
+        .node(2)
+        .invoke(node_object_cap(NodeId(0)), "get_metrics", &[])
+        .expect("remote telemetry scrape");
+    let metrics = reply
+        .first()
+        .and_then(obs_codec::metrics_from_value)
+        .expect("decodable metrics");
+    assert_eq!(metrics.node, "0");
+
+    // Without READ the scrape is refused — locally and remotely.
+    let no_read = node_object_cap(NodeId(0)).restrict(Rights::WRITE);
+    for node in [0, 2] {
+        let err = c
+            .node(node)
+            .invoke(no_read, "get_metrics", &[])
+            .expect_err("rights violation");
+        assert!(
+            matches!(
+                err,
+                EdenError::Invoke(Status::RightsViolation { required, .. })
+                    if required == Rights::READ
+            ),
+            "got {err:?}"
+        );
+    }
+
+    // Unknown telemetry operations surface as NoSuchOperation.
+    let err = c
+        .node(0)
+        .invoke(node_object_cap(NodeId(0)), "bogus", &[])
+        .expect_err("no such op");
+    assert!(matches!(
+        err,
+        EdenError::Invoke(Status::NoSuchOperation(op)) if op == "bogus"
+    ));
+}
+
+#[test]
+fn monitor_reports_dead_nodes_instead_of_failing() {
+    let c = cluster3();
+    warm(&c);
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+
+    c.kill(2);
+    let scrape = monitor.scrape_metrics().expect("partial scrape");
+    assert_eq!(scrape.down, vec![2], "killed node reported as down");
+    let labels: HashSet<&str> = scrape.per_node.iter().map(|m| m.node.as_str()).collect();
+    assert_eq!(labels, HashSet::from(["0", "1"]));
+    assert_eq!(scrape.merged.node, "cluster");
+}

@@ -9,8 +9,8 @@
 use std::collections::HashSet;
 
 use eden::apps::counter::CounterType;
-use eden::kernel::Cluster;
-use eden::obs::{render_trace, SpanRecord};
+use eden::kernel::{Cluster, NodeConfig};
+use eden::obs::{render_trace, SpanRecord, TraceSampling};
 use eden::wire::Value;
 
 fn two_node_cluster() -> Cluster {
@@ -125,5 +125,83 @@ fn separate_invocations_get_separate_traces() {
         .collect();
     assert_eq!(roots.len(), 2);
     assert_ne!(roots[0].trace_id, roots[1].trace_id);
+    c.shutdown();
+}
+
+/// A cluster whose every node runs the given trace-sampling policy.
+fn sampled_cluster(policy: TraceSampling) -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .node_config(NodeConfig {
+            trace_sampling: policy,
+            ..NodeConfig::default()
+        })
+        .register(|| Box::new(CounterType))
+        .build()
+}
+
+#[test]
+fn sampled_out_invocations_open_no_spans_anywhere() {
+    let c = sampled_cluster(TraceSampling::Ratio(0));
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    for i in 0..4 {
+        let out = c.node(1).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+        assert_eq!(out, vec![Value::I64(i + 1)], "invocations still work");
+    }
+    // No root means no trace context on any frame: neither kernel nor
+    // the transport opened a single span.
+    assert!(all_spans(&c).is_empty(), "got {:?}", all_spans(&c));
+    c.shutdown();
+}
+
+#[test]
+fn ratio_sampling_traces_a_deterministic_subset() {
+    let c = sampled_cluster(TraceSampling::Ratio(4));
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    for _ in 0..40 {
+        c.node(1).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+    }
+    let roots: Vec<SpanRecord> = c
+        .node(1)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "invoke" && s.parent_span == 0)
+        .collect();
+    assert_eq!(roots.len(), 10, "1-in-4 of 40 invocations");
+    // Sampled invocations still produce complete cross-node trees.
+    let dispatches = c
+        .node(0)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "dispatch")
+        .count();
+    assert_eq!(dispatches, 10);
+    c.shutdown();
+}
+
+#[test]
+fn per_operation_sampling_selects_by_operation_name() {
+    let c = sampled_cluster(TraceSampling::PerOperation {
+        ops: [("get".to_string(), 1)].into_iter().collect(),
+        default: 0,
+    });
+    let cap = c.node(0).create_object("counter", &[]).unwrap();
+    for _ in 0..5 {
+        c.node(1).invoke(cap, "add", &[Value::I64(1)]).unwrap();
+        c.node(1).invoke(cap, "get", &[]).unwrap();
+    }
+    let roots: Vec<SpanRecord> = c
+        .node(1)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "invoke" && s.parent_span == 0)
+        .collect();
+    assert_eq!(roots.len(), 5, "only the `get`s are traced");
     c.shutdown();
 }
