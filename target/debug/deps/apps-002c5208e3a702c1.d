@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-002c5208e3a702c1.d: crates/apps/tests/apps.rs
+
+/root/repo/target/debug/deps/apps-002c5208e3a702c1: crates/apps/tests/apps.rs
+
+crates/apps/tests/apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-300f06771a6f216a.d: crates/apps/tests/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-300f06771a6f216a.rmeta: crates/apps/tests/apps.rs Cargo.toml
+
+crates/apps/tests/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint-6ac867daa2c1f949.d: crates/bench/benches/checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint-6ac867daa2c1f949.rmeta: crates/bench/benches/checkpoint.rs Cargo.toml
+
+crates/bench/benches/checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

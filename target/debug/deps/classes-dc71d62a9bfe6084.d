@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classes-dc71d62a9bfe6084.d: crates/bench/benches/classes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclasses-dc71d62a9bfe6084.rmeta: crates/bench/benches/classes.rs Cargo.toml
+
+crates/bench/benches/classes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eden-3403a5a51c824421.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden-3403a5a51c824421.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eden-58a704af5f68fa7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/eden-58a704af5f68fa7b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eden-d359a1a5e4d023e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-d359a1a5e4d023e6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeden-d359a1a5e4d023e6.rmeta: src/lib.rs
+
+src/lib.rs:

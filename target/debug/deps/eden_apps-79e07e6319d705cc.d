@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/eden_apps-79e07e6319d705cc.d: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_apps-79e07e6319d705cc.rmeta: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/calendar.rs:
+crates/apps/src/counter.rs:
+crates/apps/src/hierarchy.rs:
+crates/apps/src/mail.rs:
+crates/apps/src/monitor.rs:
+crates/apps/src/policy.rs:
+crates/apps/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

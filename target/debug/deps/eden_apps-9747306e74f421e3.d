@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eden_apps-9747306e74f421e3.d: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/debug/deps/libeden_apps-9747306e74f421e3.rlib: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/debug/deps/libeden_apps-9747306e74f421e3.rmeta: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/calendar.rs:
+crates/apps/src/counter.rs:
+crates/apps/src/hierarchy.rs:
+crates/apps/src/mail.rs:
+crates/apps/src/monitor.rs:
+crates/apps/src/policy.rs:
+crates/apps/src/queue.rs:

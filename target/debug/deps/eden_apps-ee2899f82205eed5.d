@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eden_apps-ee2899f82205eed5.d: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+/root/repo/target/debug/deps/eden_apps-ee2899f82205eed5: crates/apps/src/lib.rs crates/apps/src/calendar.rs crates/apps/src/counter.rs crates/apps/src/hierarchy.rs crates/apps/src/mail.rs crates/apps/src/monitor.rs crates/apps/src/policy.rs crates/apps/src/queue.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/calendar.rs:
+crates/apps/src/counter.rs:
+crates/apps/src/hierarchy.rs:
+crates/apps/src/mail.rs:
+crates/apps/src/monitor.rs:
+crates/apps/src/policy.rs:
+crates/apps/src/queue.rs:

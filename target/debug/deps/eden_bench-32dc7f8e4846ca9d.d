@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/eden_bench-32dc7f8e4846ca9d.d: crates/bench/src/lib.rs crates/bench/src/table.rs crates/bench/src/types.rs crates/bench/src/exp_e10_failover.rs crates/bench/src/exp_e11_ablation.rs crates/bench/src/exp_e1_latency.rs crates/bench/src/exp_e2_classes.rs crates/bench/src/exp_e3_checkpoint.rs crates/bench/src/exp_e4_frozen.rs crates/bench/src/exp_e5_mobility.rs crates/bench/src/exp_e6_location.rs crates/bench/src/exp_e7_ethernet.rs crates/bench/src/exp_e8_efs_cc.rs crates/bench/src/exp_e9_replication.rs crates/bench/src/exp_f1_topology.rs crates/bench/src/exp_f2_vprocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_bench-32dc7f8e4846ca9d.rmeta: crates/bench/src/lib.rs crates/bench/src/table.rs crates/bench/src/types.rs crates/bench/src/exp_e10_failover.rs crates/bench/src/exp_e11_ablation.rs crates/bench/src/exp_e1_latency.rs crates/bench/src/exp_e2_classes.rs crates/bench/src/exp_e3_checkpoint.rs crates/bench/src/exp_e4_frozen.rs crates/bench/src/exp_e5_mobility.rs crates/bench/src/exp_e6_location.rs crates/bench/src/exp_e7_ethernet.rs crates/bench/src/exp_e8_efs_cc.rs crates/bench/src/exp_e9_replication.rs crates/bench/src/exp_f1_topology.rs crates/bench/src/exp_f2_vprocs.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:
+crates/bench/src/types.rs:
+crates/bench/src/exp_e10_failover.rs:
+crates/bench/src/exp_e11_ablation.rs:
+crates/bench/src/exp_e1_latency.rs:
+crates/bench/src/exp_e2_classes.rs:
+crates/bench/src/exp_e3_checkpoint.rs:
+crates/bench/src/exp_e4_frozen.rs:
+crates/bench/src/exp_e5_mobility.rs:
+crates/bench/src/exp_e6_location.rs:
+crates/bench/src/exp_e7_ethernet.rs:
+crates/bench/src/exp_e8_efs_cc.rs:
+crates/bench/src/exp_e9_replication.rs:
+crates/bench/src/exp_f1_topology.rs:
+crates/bench/src/exp_f2_vprocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/eden_bench-5c904075f97ddd82.d: crates/bench/src/lib.rs crates/bench/src/table.rs crates/bench/src/types.rs crates/bench/src/exp_e10_failover.rs crates/bench/src/exp_e11_ablation.rs crates/bench/src/exp_e1_latency.rs crates/bench/src/exp_e2_classes.rs crates/bench/src/exp_e3_checkpoint.rs crates/bench/src/exp_e4_frozen.rs crates/bench/src/exp_e5_mobility.rs crates/bench/src/exp_e6_location.rs crates/bench/src/exp_e7_ethernet.rs crates/bench/src/exp_e8_efs_cc.rs crates/bench/src/exp_e9_replication.rs crates/bench/src/exp_f1_topology.rs crates/bench/src/exp_f2_vprocs.rs
+
+/root/repo/target/debug/deps/libeden_bench-5c904075f97ddd82.rlib: crates/bench/src/lib.rs crates/bench/src/table.rs crates/bench/src/types.rs crates/bench/src/exp_e10_failover.rs crates/bench/src/exp_e11_ablation.rs crates/bench/src/exp_e1_latency.rs crates/bench/src/exp_e2_classes.rs crates/bench/src/exp_e3_checkpoint.rs crates/bench/src/exp_e4_frozen.rs crates/bench/src/exp_e5_mobility.rs crates/bench/src/exp_e6_location.rs crates/bench/src/exp_e7_ethernet.rs crates/bench/src/exp_e8_efs_cc.rs crates/bench/src/exp_e9_replication.rs crates/bench/src/exp_f1_topology.rs crates/bench/src/exp_f2_vprocs.rs
+
+/root/repo/target/debug/deps/libeden_bench-5c904075f97ddd82.rmeta: crates/bench/src/lib.rs crates/bench/src/table.rs crates/bench/src/types.rs crates/bench/src/exp_e10_failover.rs crates/bench/src/exp_e11_ablation.rs crates/bench/src/exp_e1_latency.rs crates/bench/src/exp_e2_classes.rs crates/bench/src/exp_e3_checkpoint.rs crates/bench/src/exp_e4_frozen.rs crates/bench/src/exp_e5_mobility.rs crates/bench/src/exp_e6_location.rs crates/bench/src/exp_e7_ethernet.rs crates/bench/src/exp_e8_efs_cc.rs crates/bench/src/exp_e9_replication.rs crates/bench/src/exp_f1_topology.rs crates/bench/src/exp_f2_vprocs.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:
+crates/bench/src/types.rs:
+crates/bench/src/exp_e10_failover.rs:
+crates/bench/src/exp_e11_ablation.rs:
+crates/bench/src/exp_e1_latency.rs:
+crates/bench/src/exp_e2_classes.rs:
+crates/bench/src/exp_e3_checkpoint.rs:
+crates/bench/src/exp_e4_frozen.rs:
+crates/bench/src/exp_e5_mobility.rs:
+crates/bench/src/exp_e6_location.rs:
+crates/bench/src/exp_e7_ethernet.rs:
+crates/bench/src/exp_e8_efs_cc.rs:
+crates/bench/src/exp_e9_replication.rs:
+crates/bench/src/exp_f1_topology.rs:
+crates/bench/src/exp_f2_vprocs.rs:

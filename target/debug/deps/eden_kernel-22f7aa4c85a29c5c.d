@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/eden_kernel-22f7aa4c85a29c5c.d: crates/core/src/lib.rs crates/core/src/behavior.rs crates/core/src/cluster.rs crates/core/src/ctx.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/object.rs crates/core/src/policy.rs crates/core/src/repr.rs crates/core/src/sync.rs crates/core/src/types.rs crates/core/src/waiter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_kernel-22f7aa4c85a29c5c.rmeta: crates/core/src/lib.rs crates/core/src/behavior.rs crates/core/src/cluster.rs crates/core/src/ctx.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/object.rs crates/core/src/policy.rs crates/core/src/repr.rs crates/core/src/sync.rs crates/core/src/types.rs crates/core/src/waiter.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/behavior.rs:
+crates/core/src/cluster.rs:
+crates/core/src/ctx.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/object.rs:
+crates/core/src/policy.rs:
+crates/core/src/repr.rs:
+crates/core/src/sync.rs:
+crates/core/src/types.rs:
+crates/core/src/waiter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

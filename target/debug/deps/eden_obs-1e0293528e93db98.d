@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/eden_obs-1e0293528e93db98.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/eden_obs-1e0293528e93db98.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
-/root/repo/target/debug/deps/libeden_obs-1e0293528e93db98.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/libeden_obs-1e0293528e93db98.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
-/root/repo/target/debug/deps/libeden_obs-1e0293528e93db98.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/libeden_obs-1e0293528e93db98.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/clock.rs:
+crates/obs/src/export.rs:
 crates/obs/src/hist.rs:
 crates/obs/src/metric.rs:
 crates/obs/src/recorder.rs:

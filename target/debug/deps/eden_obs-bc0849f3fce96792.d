@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/eden_obs-bc0849f3fce96792.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_obs-bc0849f3fce96792.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/export.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

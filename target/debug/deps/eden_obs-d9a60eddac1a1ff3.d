@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/eden_obs-d9a60eddac1a1ff3.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/eden_obs-d9a60eddac1a1ff3.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libeden_obs-d9a60eddac1a1ff3.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libeden_obs-d9a60eddac1a1ff3.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
 
 crates/obs/src/lib.rs:
 crates/obs/src/clock.rs:
+crates/obs/src/export.rs:
 crates/obs/src/hist.rs:
 crates/obs/src/metric.rs:
 crates/obs/src/recorder.rs:

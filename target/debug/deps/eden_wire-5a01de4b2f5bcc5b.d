@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/eden_wire-5a01de4b2f5bcc5b.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/eden_wire-5a01de4b2f5bcc5b.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libeden_wire-5a01de4b2f5bcc5b.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libeden_wire-5a01de4b2f5bcc5b.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
 
 crates/wire/src/lib.rs:
 crates/wire/src/codec.rs:
 crates/wire/src/image.rs:
 crates/wire/src/message.rs:
+crates/wire/src/obs_codec.rs:
 crates/wire/src/status.rs:
 crates/wire/src/value.rs:
 Cargo.toml:

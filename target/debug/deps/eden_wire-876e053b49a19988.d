@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eden_wire-876e053b49a19988.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeden_wire-876e053b49a19988.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/image.rs:
+crates/wire/src/message.rs:
+crates/wire/src/obs_codec.rs:
+crates/wire/src/status.rs:
+crates/wire/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/eden_wire-96f1c6cf83f13142.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/debug/deps/eden_wire-96f1c6cf83f13142.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
-/root/repo/target/debug/deps/libeden_wire-96f1c6cf83f13142.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/debug/deps/libeden_wire-96f1c6cf83f13142.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
-/root/repo/target/debug/deps/libeden_wire-96f1c6cf83f13142.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/debug/deps/libeden_wire-96f1c6cf83f13142.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
 crates/wire/src/lib.rs:
 crates/wire/src/codec.rs:
 crates/wire/src/image.rs:
 crates/wire/src/message.rs:
+crates/wire/src/obs_codec.rs:
 crates/wire/src/status.rs:
 crates/wire/src/value.rs:

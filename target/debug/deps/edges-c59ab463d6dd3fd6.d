@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edges-c59ab463d6dd3fd6.d: crates/core/tests/edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedges-c59ab463d6dd3fd6.rmeta: crates/core/tests/edges.rs Cargo.toml
+
+crates/core/tests/edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

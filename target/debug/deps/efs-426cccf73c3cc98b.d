@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efs-426cccf73c3cc98b.d: crates/bench/benches/efs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefs-426cccf73c3cc98b.rmeta: crates/bench/benches/efs.rs Cargo.toml
+
+crates/bench/benches/efs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

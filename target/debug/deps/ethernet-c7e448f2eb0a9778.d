@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ethernet-c7e448f2eb0a9778.d: crates/bench/benches/ethernet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libethernet-c7e448f2eb0a9778.rmeta: crates/bench/benches/ethernet.rs Cargo.toml
+
+crates/bench/benches/ethernet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

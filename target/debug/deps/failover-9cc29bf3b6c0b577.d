@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-9cc29bf3b6c0b577.d: tests/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-9cc29bf3b6c0b577.rmeta: tests/failover.rs Cargo.toml
+
+tests/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

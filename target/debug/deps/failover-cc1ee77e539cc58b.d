@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-cc1ee77e539cc58b.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-cc1ee77e539cc58b: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1_topology-38e12394143f83ae.d: tests/figure1_topology.rs
+
+/root/repo/target/debug/deps/figure1_topology-38e12394143f83ae: tests/figure1_topology.rs
+
+tests/figure1_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1_topology-d6c620c4d9e159b4.d: tests/figure1_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1_topology-d6c620c4d9e159b4.rmeta: tests/figure1_topology.rs Cargo.toml
+
+tests/figure1_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3_layers-914cf2d099ea7751.d: tests/figure3_layers.rs
+
+/root/repo/target/debug/deps/figure3_layers-914cf2d099ea7751: tests/figure3_layers.rs
+
+tests/figure3_layers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4_object_anatomy-45977f9096e51fa3.d: tests/figure4_object_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4_object_anatomy-45977f9096e51fa3.rmeta: tests/figure4_object_anatomy.rs Cargo.toml
+
+tests/figure4_object_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_object_anatomy-f5ed60581fe59405.d: tests/figure4_object_anatomy.rs
+
+/root/repo/target/debug/deps/figure4_object_anatomy-f5ed60581fe59405: tests/figure4_object_anatomy.rs
+
+tests/figure4_object_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invocation-c3ff13aac2b3ff91.d: crates/bench/benches/invocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvocation-c3ff13aac2b3ff91.rmeta: crates/bench/benches/invocation.rs Cargo.toml
+
+crates/bench/benches/invocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel-1cec3bc19539f034.d: crates/core/tests/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel-1cec3bc19539f034.rmeta: crates/core/tests/kernel.rs Cargo.toml
+
+crates/core/tests/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

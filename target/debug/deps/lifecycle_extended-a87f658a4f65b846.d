@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle_extended-a87f658a4f65b846.d: crates/core/tests/lifecycle_extended.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle_extended-a87f658a4f65b846.rmeta: crates/core/tests/lifecycle_extended.rs Cargo.toml
+
+crates/core/tests/lifecycle_extended.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

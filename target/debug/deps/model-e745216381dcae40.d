@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-e745216381dcae40.d: crates/core/tests/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-e745216381dcae40.rmeta: crates/core/tests/model.rs Cargo.toml
+
+crates/core/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

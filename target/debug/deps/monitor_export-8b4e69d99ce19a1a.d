@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitor_export-8b4e69d99ce19a1a.d: tests/monitor_export.rs
+
+/root/repo/target/debug/deps/monitor_export-8b4e69d99ce19a1a: tests/monitor_export.rs
+
+tests/monitor_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitor_export-d8ce311086628e0f.d: tests/monitor_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitor_export-d8ce311086628e0f.rmeta: tests/monitor_export.rs Cargo.toml
+
+tests/monitor_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0a74d54ef21b869d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0a74d54ef21b869d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_kernel-b4d005e7e676df4e.d: tests/tcp_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_kernel-b4d005e7e676df4e.rmeta: tests/tcp_kernel.rs Cargo.toml
+
+tests/tcp_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

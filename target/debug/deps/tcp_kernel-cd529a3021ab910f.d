@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_kernel-cd529a3021ab910f.d: tests/tcp_kernel.rs
+
+/root/repo/target/debug/deps/tcp_kernel-cd529a3021ab910f: tests/tcp_kernel.rs
+
+tests/tcp_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-a0c8a0735f26173c.d: tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-a0c8a0735f26173c.rmeta: tests/trace.rs Cargo.toml
+
+tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-aeda31b8d295145b.d: tests/trace.rs
+
+/root/repo/target/debug/deps/trace-aeda31b8d295145b: tests/trace.rs
+
+tests/trace.rs:

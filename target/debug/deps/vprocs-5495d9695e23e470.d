@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vprocs-5495d9695e23e470.d: crates/bench/benches/vprocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvprocs-5495d9695e23e470.rmeta: crates/bench/benches/vprocs.rs Cargo.toml
+
+crates/bench/benches/vprocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_mail-2d3baf07f1b4c745.d: examples/distributed_mail.rs
+
+/root/repo/target/debug/examples/distributed_mail-2d3baf07f1b4c745: examples/distributed_mail.rs
+
+examples/distributed_mail.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_mail-55ef295e29185a0c.d: examples/distributed_mail.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_mail-55ef295e29185a0c.rmeta: examples/distributed_mail.rs Cargo.toml
+
+examples/distributed_mail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

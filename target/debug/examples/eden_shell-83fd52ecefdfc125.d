@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/eden_shell-83fd52ecefdfc125.d: examples/eden_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeden_shell-83fd52ecefdfc125.rmeta: examples/eden_shell.rs Cargo.toml
+
+examples/eden_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eden_shell-dce203810d7ca181.d: examples/eden_shell.rs
+
+/root/repo/target/debug/examples/eden_shell-dce203810d7ca181: examples/eden_shell.rs
+
+examples/eden_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobile_calendar-6b33a4c516a9b531.d: examples/mobile_calendar.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobile_calendar-6b33a4c516a9b531.rmeta: examples/mobile_calendar.rs Cargo.toml
+
+examples/mobile_calendar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

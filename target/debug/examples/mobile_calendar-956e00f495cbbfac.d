@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_calendar-956e00f495cbbfac.d: examples/mobile_calendar.rs
+
+/root/repo/target/debug/examples/mobile_calendar-956e00f495cbbfac: examples/mobile_calendar.rs
+
+examples/mobile_calendar.rs:

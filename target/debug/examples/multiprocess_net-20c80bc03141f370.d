@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multiprocess_net-20c80bc03141f370.d: examples/multiprocess_net.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultiprocess_net-20c80bc03141f370.rmeta: examples/multiprocess_net.rs Cargo.toml
+
+examples/multiprocess_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprocess_net-408c8b054c30d83a.d: examples/multiprocess_net.rs
+
+/root/repo/target/debug/examples/multiprocess_net-408c8b054c30d83a: examples/multiprocess_net.rs
+
+examples/multiprocess_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ffd427e783f3da36.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ffd427e783f3da36: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/span_tree_capture-b6caed2790ac772d.d: examples/span_tree_capture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspan_tree_capture-b6caed2790ac772d.rmeta: examples/span_tree_capture.rs Cargo.toml
+
+examples/span_tree_capture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

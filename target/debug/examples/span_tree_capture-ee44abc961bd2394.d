@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/span_tree_capture-ee44abc961bd2394.d: examples/span_tree_capture.rs
+
+/root/repo/target/debug/examples/span_tree_capture-ee44abc961bd2394: examples/span_tree_capture.rs
+
+examples/span_tree_capture.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eden-e94eddbf92bacafc.d: src/lib.rs
+
+/root/repo/target/release/deps/libeden-e94eddbf92bacafc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeden-e94eddbf92bacafc.rmeta: src/lib.rs
+
+src/lib.rs:

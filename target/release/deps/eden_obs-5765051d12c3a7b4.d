@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/eden_obs-5765051d12c3a7b4.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/eden_obs-5765051d12c3a7b4.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
-/root/repo/target/release/deps/libeden_obs-5765051d12c3a7b4.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/libeden_obs-5765051d12c3a7b4.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
-/root/repo/target/release/deps/libeden_obs-5765051d12c3a7b4.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/libeden_obs-5765051d12c3a7b4.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/export.rs crates/obs/src/hist.rs crates/obs/src/metric.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/clock.rs:
+crates/obs/src/export.rs:
 crates/obs/src/hist.rs:
 crates/obs/src/metric.rs:
 crates/obs/src/recorder.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/eden_wire-80334e6e4ac4e1f3.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/release/deps/eden_wire-80334e6e4ac4e1f3.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
-/root/repo/target/release/deps/libeden_wire-80334e6e4ac4e1f3.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/release/deps/libeden_wire-80334e6e4ac4e1f3.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
-/root/repo/target/release/deps/libeden_wire-80334e6e4ac4e1f3.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/status.rs crates/wire/src/value.rs
+/root/repo/target/release/deps/libeden_wire-80334e6e4ac4e1f3.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/image.rs crates/wire/src/message.rs crates/wire/src/obs_codec.rs crates/wire/src/status.rs crates/wire/src/value.rs
 
 crates/wire/src/lib.rs:
 crates/wire/src/codec.rs:
 crates/wire/src/image.rs:
 crates/wire/src/message.rs:
+crates/wire/src/obs_codec.rs:
 crates/wire/src/status.rs:
 crates/wire/src/value.rs:

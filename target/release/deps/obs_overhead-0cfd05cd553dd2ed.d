@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-0cfd05cd553dd2ed.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-0cfd05cd553dd2ed: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

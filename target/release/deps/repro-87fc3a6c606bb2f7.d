@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-87fc3a6c606bb2f7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-87fc3a6c606bb2f7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

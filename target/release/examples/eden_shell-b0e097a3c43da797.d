@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/eden_shell-b0e097a3c43da797.d: examples/eden_shell.rs
+
+/root/repo/target/release/examples/eden_shell-b0e097a3c43da797: examples/eden_shell.rs
+
+examples/eden_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/span_tree_capture-6f0c66f9a08977bb.d: examples/span_tree_capture.rs
+
+/root/repo/target/release/examples/span_tree_capture-6f0c66f9a08977bb: examples/span_tree_capture.rs
+
+examples/span_tree_capture.rs:
