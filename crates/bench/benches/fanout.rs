@@ -1,0 +1,30 @@
+//! E12 macro-benchmark: the bounded virtual-processor pool under
+//! fan-out (each iteration runs the full 64-client × 8-object spin
+//! batch against one node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::exp_e12_fanout::{fanout_batch_seconds, CLIENTS};
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_batch");
+    for workers in [4usize, CLIENTS] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| fanout_batch_seconds(w))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fanout
+}
+criterion_main!(benches);

@@ -54,4 +54,7 @@ fn main() {
     if want("e11") {
         exp_e11_ablation::run().print();
     }
+    if want("e12") {
+        exp_e12_fanout::run().print();
+    }
 }

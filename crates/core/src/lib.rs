@@ -78,6 +78,7 @@ pub mod policy;
 pub mod repr;
 pub mod sync;
 pub mod types;
+pub mod vproc;
 pub mod waiter;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
@@ -92,3 +93,4 @@ pub use object::ObjStatus;
 pub use repr::Representation;
 pub use sync::{EdenSemaphore, MessagePort};
 pub use types::{ClassSpec, OpError, OpResult, OpSpec, TypeManager, TypeRegistry, TypeSpec};
+pub use vproc::VprocStats;

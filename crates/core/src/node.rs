@@ -10,9 +10,14 @@
 //! [`Node`] is one kernel instance. Its pieces:
 //!
 //! * an **object table** (the virtual memory) of [`ObjectSlot`]s;
-//! * a **virtual-processor gate**: invocations execute on their own
-//!   threads — the paper's invocation processes — but only
-//!   [`NodeConfig::virtual_processors`] of them run concurrently; a
+//! * a **virtual-processor pool** ([`VirtualProcessorPool`]): a bounded
+//!   set of [`NodeConfig::vproc_workers`] worker threads that executes
+//!   every invocation process, async invoke, move, reincarnation and
+//!   redelivery — the paper's fixed processor complement (§3). Excess
+//!   work queues up to [`NodeConfig::vproc_queue_cap`], past which the
+//!   kernel sheds load with [`Status::Overloaded`];
+//! * a **virtual-processor gate**: of the pooled invocation processes,
+//!   only [`NodeConfig::virtual_processors`] *execute* concurrently; a
 //!   process yields its processor while blocked in a nested invocation,
 //!   so nesting can never deadlock the node (the default of 2 mirrors
 //!   the two GDPs of the default Eden node machine, "field upgradable"
@@ -50,6 +55,7 @@ use crate::object::{
 use crate::repr::Representation;
 use crate::sync::EdenSemaphore;
 use crate::types::TypeRegistry;
+use crate::vproc::{SubmitError, VirtualProcessorPool, VprocStats};
 use crate::waiter::{LocationAnswer, QueryCollector, Waiter};
 
 thread_local! {
@@ -94,6 +100,16 @@ pub struct NodeConfig {
     /// layer (client send, transport, dispatch, execute, reply) skips
     /// its span work for free.
     pub trace_sampling: TraceSampling,
+    /// Worker threads in the virtual-processor pool that runs every
+    /// invocation process, async invoke, move, reincarnation and
+    /// redelivery. `0` (the default) means auto: the host's available
+    /// parallelism, floored at [`NodeConfig::virtual_processors`] so
+    /// the configured invocation concurrency is always schedulable.
+    pub vproc_workers: usize,
+    /// Bound on the pool's task queue. Past it the kernel sheds load
+    /// with [`Status::Overloaded`] instead of queueing without limit —
+    /// the backpressure contract a fan-out client must handle.
+    pub vproc_queue_cap: usize,
 }
 
 impl Default for NodeConfig {
@@ -110,6 +126,8 @@ impl Default for NodeConfig {
             enable_location_cache: true,
             enable_retransmission: true,
             trace_sampling: TraceSampling::Always,
+            vproc_workers: 0,
+            vproc_queue_cap: 1024,
         }
     }
 }
@@ -190,6 +208,7 @@ pub(crate) struct NodeInner {
     store: Arc<dyn CheckpointStore>,
     endpoint: Arc<dyn Endpoint>,
     gate: EdenSemaphore,
+    vprocs: VirtualProcessorPool,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     metrics: MetricsCell,
@@ -265,9 +284,18 @@ impl Node {
         obs.set_sampling(config.trace_sampling.clone());
         endpoint.attach_obs(obs.clone());
         store.attach_obs(obs.clone());
+        let workers = if config.vproc_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(config.virtual_processors.max(1))
+        } else {
+            config.vproc_workers
+        };
         let inner = Arc::new(NodeInner {
             id,
             gate: EdenSemaphore::new(config.virtual_processors.max(1) as u64),
+            vprocs: VirtualProcessorPool::new(id, workers, config.vproc_queue_cap, &obs),
             config,
             names: NameGenerator::new(id),
             registry,
@@ -323,6 +351,12 @@ impl Node {
     /// A snapshot of the transport counters.
     pub fn transport_stats(&self) -> eden_transport::TransportStats {
         self.inner.endpoint.stats()
+    }
+
+    /// A snapshot of the virtual-processor pool: configured workers,
+    /// live/idle/blocked counts, queue depth, and lifetime counters.
+    pub fn vproc_stats(&self) -> VprocStats {
+        self.inner.vprocs.stats()
     }
 
     /// The other nodes reachable on this node's network — what a policy
@@ -428,13 +462,16 @@ impl Node {
         let node = self.clone();
         let op = op.to_string();
         let args = args.to_vec();
-        std::thread::Builder::new()
-            .name("eden-async-invoke".into())
-            .spawn(move || {
-                let r = node.invoke(cap, &op, &args);
-                waiter.complete(r);
-            })
-            .expect("spawn async invocation");
+        let task_waiter = waiter.clone();
+        if let Err(e) = self.inner.vprocs.submit(move || {
+            let r = node.invoke(cap, &op, &args);
+            task_waiter.complete(r);
+        }) {
+            waiter.complete(Err(match e {
+                SubmitError::Overloaded => EdenError::Invoke(Status::Overloaded),
+                SubmitError::Closed => EdenError::ShuttingDown,
+            }));
+        }
         handle
     }
 
@@ -682,7 +719,9 @@ impl Node {
         } else {
             Duration::ZERO
         };
-        let outcome = match waiter.wait(budget) {
+        // A pool worker waiting here (async or nested invocation) yields
+        // its place: the reply it waits for may itself need a worker.
+        let outcome = match self.inner.vprocs.blocking(|| waiter.wait(budget)) {
             Some((status, results)) => (status, results),
             None => (Status::Timeout, Vec::new()),
         };
@@ -767,11 +806,18 @@ impl Node {
                 coord.status = ObjStatus::Moving;
                 coord.pending_move = None;
                 let node = self.clone();
-                let slot = slot.clone();
-                std::thread::Builder::new()
-                    .name("eden-move".into())
-                    .spawn(move || node.start_move(slot, dst))
-                    .expect("spawn move");
+                let task_slot = slot.clone();
+                if self
+                    .inner
+                    .vprocs
+                    .submit(move || node.start_move(task_slot, dst))
+                    .is_err()
+                {
+                    // Pool saturated (or shutting down): resume in place;
+                    // a later pump retries the move.
+                    coord.status = ObjStatus::Active;
+                    coord.pending_move = Some(dst);
+                }
             }
             return; // No dispatch while a move is pending.
         }
@@ -791,14 +837,35 @@ impl Node {
                     .obs
                     .gauge(&format!("class.in_service.{class}"))
                     .inc();
-                *coord.class_in_service.entry(class).or_insert(0) += 1;
+                *coord.class_in_service.entry(class.clone()).or_insert(0) += 1;
                 let node = self.clone();
-                let slot = slot.clone();
-                self.inner.metrics.bump_process();
-                std::thread::Builder::new()
-                    .name("eden-invocation".into())
-                    .spawn(move || node.run_invocation(slot, pending))
-                    .expect("spawn invocation process");
+                let task_slot = slot.clone();
+                let sink = pending.sink.clone();
+                let trace = pending.trace;
+                if self
+                    .inner
+                    .vprocs
+                    .submit(move || node.run_invocation(task_slot, pending))
+                    .is_ok()
+                {
+                    self.inner.metrics.bump_process();
+                } else {
+                    // Pool saturated: undo the dispatch bookkeeping and
+                    // shed this invocation with the backpressure status.
+                    coord.running -= 1;
+                    self.inner
+                        .obs
+                        .gauge(&format!("class.in_service.{class}"))
+                        .dec();
+                    if let Some(n) = coord.class_in_service.get_mut(&class) {
+                        *n -= 1;
+                        if *n == 0 {
+                            coord.class_in_service.remove(&class);
+                        }
+                    }
+                    self.send_reply(sink, Status::Overloaded, Vec::new(), trace);
+                    break; // The queue is full; later pumps retry the rest.
+                }
             } else {
                 i += 1;
             }
@@ -974,30 +1041,34 @@ impl Node {
         }
         // Wait in retransmission-sized slices: an unanswered request is
         // re-sent with the same id, and the server dedupes (at-most-once
-        // execution; a lost reply is replayed from its reply cache).
-        let result = if !self.inner.config.enable_retransmission {
-            waiter.wait(budget)
-        } else {
-            let deadline = Instant::now() + budget;
-            loop {
-                let now = Instant::now();
-                if now >= deadline {
-                    break None;
+        // execution; a lost reply is replayed from its reply cache). The
+        // wait is a blocking scope: a pool worker parked here (async
+        // invoke, redelivery) must not starve runnable local tasks.
+        let result = self.inner.vprocs.blocking(|| {
+            if !self.inner.config.enable_retransmission {
+                waiter.wait(budget)
+            } else {
+                let deadline = Instant::now() + budget;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break None;
+                    }
+                    let slice = self.inner.config.retransmit_interval.min(deadline - now);
+                    if let Some(reply) = waiter.wait(slice) {
+                        break Some(reply);
+                    }
+                    if Instant::now() >= deadline {
+                        break None;
+                    }
+                    self.inner
+                        .obs
+                        .recorder()
+                        .record(KernelEvent::Retransmit { inv_id, dst: dst.0 });
+                    let _ = self.inner.endpoint.send(request());
                 }
-                let slice = self.inner.config.retransmit_interval.min(deadline - now);
-                if let Some(reply) = waiter.wait(slice) {
-                    break Some(reply);
-                }
-                if Instant::now() >= deadline {
-                    break None;
-                }
-                self.inner
-                    .obs
-                    .recorder()
-                    .record(KernelEvent::Retransmit { inv_id, dst: dst.0 });
-                let _ = self.inner.endpoint.send(request());
             }
-        };
+        });
         self.inner.pending.lock().remove(&inv_id);
         if let Some(s) = span {
             s.finish();
@@ -1045,7 +1116,10 @@ impl Node {
                 reply_to: self.inner.id,
             },
         ));
-        let answers = collector.wait(self.inner.config.locate_window);
+        let answers = self
+            .inner
+            .vprocs
+            .blocking(|| collector.wait(self.inner.config.locate_window));
         self.inner.location.queries.lock().remove(&query_id);
         answers
     }
@@ -1120,7 +1194,10 @@ impl Node {
                 reply_to: self.inner.id,
             },
         ));
-        let result = waiter.wait(self.inner.config.remote_try_timeout);
+        let result = self
+            .inner
+            .vprocs
+            .blocking(|| waiter.wait(self.inner.config.remote_try_timeout));
         self.inner.pending.lock().remove(&req_id);
         match result {
             Some(ReplyMsg::CkptAck(true, version)) => Ok(version),
@@ -1298,11 +1375,18 @@ impl Node {
             slot
         };
         let node = self.clone();
-        let thread_slot = slot.clone();
-        std::thread::Builder::new()
-            .name("eden-reincarnate".into())
-            .spawn(move || node.run_reincarnation(thread_slot))
-            .expect("spawn reincarnation");
+        let task_slot = slot.clone();
+        if self
+            .inner
+            .vprocs
+            .submit(move || node.run_reincarnation(task_slot))
+            .is_err()
+        {
+            // Pool saturated: back out; the object stays passive and a
+            // later invocation retries the reincarnation.
+            self.inner.objects.write().remove(&name);
+            return None;
+        }
         Some(slot)
     }
 
@@ -1418,7 +1502,10 @@ impl Node {
                 reply_to: self.inner.id,
             },
         ));
-        let ack = waiter.wait(self.inner.config.move_timeout);
+        let ack = self
+            .inner
+            .vprocs
+            .blocking(|| waiter.wait(self.inner.config.move_timeout));
         self.inner.pending.lock().remove(&xfer_id);
         match ack {
             Some(ReplyMsg::MoveAck(true, _reason)) => {
@@ -1459,9 +1546,11 @@ impl Node {
                         }
                         ReplySink::Local(waiter) => {
                             let node = self.clone();
-                            std::thread::Builder::new()
-                                .name("eden-move-redeliver".into())
-                                .spawn(move || {
+                            let task_waiter = waiter.clone();
+                            if self
+                                .inner
+                                .vprocs
+                                .submit(move || {
                                     let (status, results, _from) = node.remote_invoke(
                                         dst,
                                         pending.presented,
@@ -1470,9 +1559,12 @@ impl Node {
                                         node.inner.config.remote_try_timeout,
                                         pending.trace,
                                     );
-                                    waiter.complete((status, results));
+                                    task_waiter.complete((status, results));
                                 })
-                                .expect("spawn redelivery");
+                                .is_err()
+                            {
+                                waiter.complete((Status::Overloaded, Vec::new()));
+                            }
                         }
                         ReplySink::Discard => {}
                     }
@@ -1751,8 +1843,8 @@ impl Node {
         matches!(result, Some(ReplyMsg::Pong))
     }
 
-    /// Stops the receive loop, tears down behaviors, and detaches from
-    /// the network.
+    /// Stops the receive loop, tears down behaviors, drains the
+    /// virtual-processor pool, and detaches from the network.
     pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::AcqRel) {
             return;
@@ -1762,9 +1854,12 @@ impl Node {
         if let Some(h) = self.inner.recv_thread.lock().take() {
             let _ = h.join();
         }
+        // Teardown before the pool drain: it wakes behaviors (and their
+        // port waits), so pool tasks blocked on object state can finish.
         for slot in self.inner.objects.read().values() {
             slot.short.teardown();
         }
+        self.inner.vprocs.shutdown();
     }
 
     // ================= The receive loop =================
@@ -1867,10 +1962,23 @@ impl Node {
                 reply_to,
             } => {
                 let node = self.clone();
-                std::thread::Builder::new()
-                    .name("eden-move-install".into())
-                    .spawn(move || node.install_moved(reply_to, xfer_id, name, image))
-                    .expect("spawn move install");
+                if self
+                    .inner
+                    .vprocs
+                    .submit(move || node.install_moved(reply_to, xfer_id, name, image))
+                    .is_err()
+                {
+                    // Refuse the transfer; the source resumes in place.
+                    let _ = self.inner.endpoint.send(Frame::to(
+                        self.inner.id,
+                        reply_to,
+                        Message::MoveAck {
+                            xfer_id,
+                            accepted: false,
+                            reason: "node overloaded".to_string(),
+                        },
+                    ));
+                }
             }
             Message::MoveAck {
                 xfer_id,
@@ -2023,7 +2131,16 @@ impl Node {
 
         // Remote telemetry scrape of this kernel: no slot exists for
         // the sentinel name, so answer before the object-table lookup.
+        // The scrape enters the same at-most-once bookkeeping as an
+        // ordinary invocation — `send_reply` records it done — so a
+        // retransmitted scrape replays the cached reply instead of
+        // re-executing and double-counting scrape-side metrics.
         if name == node_object_name(self.inner.id) {
+            self.inner
+                .served
+                .lock()
+                .in_progress
+                .insert((reply_to, inv_id));
             let (status, results) = self.serve_node_object(target, &operation, &args);
             self.send_reply(sink, status, results, trace);
             return;

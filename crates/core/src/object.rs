@@ -72,6 +72,7 @@ pub struct Checksite {
 }
 
 /// Where a completed invocation's status and results go.
+#[derive(Clone)]
 pub(crate) enum ReplySink {
     /// A thread on this node is parked on the waiter.
     Local(Arc<Waiter<(Status, Vec<Value>)>>),

@@ -1,0 +1,479 @@
+//! The virtual-processor pool: a bounded worker set for kernel tasks.
+//!
+//! §3: the Eden node machine multiplexes a *fixed* complement of
+//! processors (two GDPs, "field upgradable" to four) over however many
+//! invocation processes exist. The kernel used to spawn one OS thread
+//! per invocation process, async invoke, move, reincarnation and
+//! redelivery, so a fan-out burst created unbounded threads and the
+//! [`EdenSemaphore`](crate::sync::EdenSemaphore) gate throttled only
+//! *execution*, never *thread creation*. [`VirtualProcessorPool`] is the
+//! fixed supply of workers those tasks now share; excess work queues,
+//! and past [`NodeConfig::vproc_queue_cap`](crate::NodeConfig) the
+//! kernel sheds load with `Status::Overloaded` instead of falling over.
+//!
+//! ## Blocked-worker replacement
+//!
+//! Kernel tasks legitimately block: an async-invoke task waits for its
+//! invocation's reply, a nested invocation waits for the inner result, a
+//! move task waits for the transfer ack. With a strictly fixed worker
+//! count those waits could consume every worker while the tasks able to
+//! *unblock* them sit in the queue — a thread-starvation deadlock. The
+//! kernel therefore wraps each such wait in [`VirtualProcessorPool::
+//! blocking`], which parks the worker *outside* the pool's accounting
+//! and, when runnable work would otherwise stall, injects a temporary
+//! *spare* worker. Spares drain the queue and exit as soon as it is
+//! empty, so the pool returns to its configured size once the burst
+//! passes. The invariant maintained is that the number of unblocked
+//! workers stays at the configured target whenever work is queued —
+//! blocked workers cost memory, not processors, exactly like the
+//! paper's invocation processes multiplexed over a fixed set of GDPs.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden_capability::NodeId;
+use eden_obs::{now_ns, Counter, Gauge, Histogram, ObsRegistry};
+use parking_lot::{Condvar, Mutex};
+
+thread_local! {
+    /// Identity (by [`Shared`] address) of the pool whose worker loop
+    /// owns this thread, so [`VirtualProcessorPool::blocking`] performs
+    /// replacement accounting only on the pool's own workers — a client
+    /// thread waiting inside `Node::invoke` needs no spare.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Task {
+    job: Job,
+    enqueued_ns: u64,
+}
+
+struct State {
+    queue: VecDeque<Task>,
+    /// Worker threads currently alive (base workers + spares).
+    live: usize,
+    /// Workers parked on the condvar waiting for work.
+    idle: usize,
+    /// Workers inside a [`VirtualProcessorPool::blocking`] scope.
+    blocked: usize,
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    node: NodeId,
+    /// Target number of unblocked workers (the configured pool size).
+    workers: usize,
+    queue_cap: usize,
+    busy: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    task_wait: Arc<Histogram>,
+    executed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    spares: Arc<Counter>,
+    panicked: Arc<Counter>,
+}
+
+/// Why [`VirtualProcessorPool::submit`] refused a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The task queue is at `vproc_queue_cap`; the kernel sheds this
+    /// request with `Status::Overloaded`.
+    Overloaded,
+    /// The pool has been shut down.
+    Closed,
+}
+
+/// A point-in-time snapshot of one node's pool (see
+/// [`Node::vproc_stats`](crate::Node::vproc_stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VprocStats {
+    /// Configured worker count (the fixed processor complement).
+    pub workers: usize,
+    /// Worker threads currently alive (base workers + live spares).
+    pub live: usize,
+    /// Workers parked waiting for work.
+    pub idle: usize,
+    /// Workers parked inside a blocking scope (nested/remote waits).
+    pub blocked: usize,
+    /// Tasks waiting in the queue.
+    pub queued: usize,
+    /// Queue capacity before `Overloaded` shedding starts.
+    pub queue_cap: usize,
+    /// Tasks executed to completion since boot.
+    pub executed: u64,
+    /// Tasks refused because the queue was full.
+    pub rejected: u64,
+    /// Spare workers injected to replace blocked ones.
+    pub spares_spawned: u64,
+    /// Tasks that panicked (the worker survives).
+    pub panicked: u64,
+}
+
+/// A fixed set of named worker threads executing the kernel's deferred
+/// tasks; see the module docs for the scheduling model.
+pub struct VirtualProcessorPool {
+    shared: Arc<Shared>,
+    base: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl VirtualProcessorPool {
+    /// Starts `workers` base workers for `node`, with a task queue
+    /// bounded at `queue_cap`. Pressure metrics are registered in `obs`
+    /// (`vproc.busy`, `vproc.queue_depth`, `vproc.task_wait`, …), so
+    /// the Monitor object and the Prometheus export see them.
+    pub fn new(node: NodeId, workers: usize, queue_cap: usize, obs: &ObsRegistry) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                live: workers,
+                idle: 0,
+                blocked: 0,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            node,
+            workers,
+            queue_cap: queue_cap.max(1),
+            busy: obs.gauge("vproc.busy"),
+            queue_depth: obs.gauge("vproc.queue_depth"),
+            task_wait: obs.histogram("vproc.task_wait"),
+            executed: obs.counter("vproc.executed"),
+            rejected: obs.counter("vproc.rejected"),
+            spares: obs.counter("vproc.spares_spawned"),
+            panicked: obs.counter("vproc.panicked"),
+        });
+        let pool = VirtualProcessorPool {
+            shared,
+            base: Mutex::new(Vec::with_capacity(workers)),
+        };
+        let mut base = pool.base.lock();
+        for i in 0..workers {
+            let shared = pool.shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("eden-vproc-{node}-{i}"))
+                .spawn(move || worker_loop(shared, false))
+                .expect("spawn virtual-processor worker");
+            base.push(handle);
+        }
+        drop(base);
+        pool
+    }
+
+    /// Queues `job` for execution on a pool worker.
+    ///
+    /// Fails with [`SubmitError::Overloaded`] when the queue is at
+    /// capacity (the job is dropped; the caller owes the invoker a
+    /// `Status::Overloaded` reply) and [`SubmitError::Closed`] after
+    /// shutdown.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let spawn_spare = {
+            let mut st = self.shared.state.lock();
+            if st.stop {
+                return Err(SubmitError::Closed);
+            }
+            if st.queue.len() >= self.shared.queue_cap {
+                self.shared.rejected.inc();
+                return Err(SubmitError::Overloaded);
+            }
+            st.queue.push_back(Task {
+                job: Box::new(job),
+                enqueued_ns: now_ns(),
+            });
+            self.shared.queue_depth.inc();
+            self.reserve_spare(&mut st)
+        };
+        self.shared.cv.notify_one();
+        if spawn_spare {
+            self.spawn_spare();
+        }
+        Ok(())
+    }
+
+    /// Runs `f` — a wait whose completion may itself need pool capacity
+    /// (a nested or remote invocation's reply, a move ack) — with this
+    /// worker marked *blocked*. If runnable work would otherwise stall,
+    /// a spare worker is injected for the duration; see the module docs.
+    /// On a thread that is not one of this pool's workers, `f` runs
+    /// unadorned.
+    pub fn blocking<R>(&self, f: impl FnOnce() -> R) -> R {
+        if WORKER_OF.with(Cell::get) != Arc::as_ptr(&self.shared) as usize {
+            return f();
+        }
+        let spawn_spare = {
+            let mut st = self.shared.state.lock();
+            st.blocked += 1;
+            self.reserve_spare(&mut st)
+        };
+        if spawn_spare {
+            self.spawn_spare();
+        }
+        struct Unblock<'a>(&'a Shared);
+        impl Drop for Unblock<'_> {
+            fn drop(&mut self) {
+                self.0.state.lock().blocked -= 1;
+            }
+        }
+        let guard = Unblock(&self.shared);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// Whether a spare is needed right now: queued work exists, no idle
+    /// worker will pick it up, and blocking waits have eaten into the
+    /// configured processor complement. Reserves the spare's `live` slot
+    /// under the lock so concurrent callers do not over-inject.
+    fn reserve_spare(&self, st: &mut State) -> bool {
+        let need = !st.stop
+            && !st.queue.is_empty()
+            && st.idle == 0
+            && st.live.saturating_sub(st.blocked) < self.shared.workers;
+        if need {
+            st.live += 1;
+        }
+        need
+    }
+
+    fn spawn_spare(&self) {
+        self.shared.spares.inc();
+        let n = self.shared.spares.get();
+        let shared = self.shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("eden-vproc-{}-s{n}", self.shared.node))
+            .spawn(move || worker_loop(shared, true));
+        if spawned.is_err() {
+            // Could not create the thread: release the reserved slot.
+            self.shared.state.lock().live -= 1;
+        }
+    }
+
+    /// Current pool shape and lifetime counters.
+    pub fn stats(&self) -> VprocStats {
+        let st = self.shared.state.lock();
+        VprocStats {
+            workers: self.shared.workers,
+            live: st.live,
+            idle: st.idle,
+            blocked: st.blocked,
+            queued: st.queue.len(),
+            queue_cap: self.shared.queue_cap,
+            executed: self.shared.executed.get(),
+            rejected: self.shared.rejected.get(),
+            spares_spawned: self.shared.spares.get(),
+            panicked: self.shared.panicked.get(),
+        }
+    }
+
+    /// Stops accepting work and drains: base workers finish every task
+    /// already queued, then exit. Workers wedged in a long-running
+    /// operation are abandoned after a grace period rather than hanging
+    /// the caller (they still exit once their task completes).
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            if st.stop {
+                return;
+            }
+            st.stop = true;
+        }
+        self.shared.cv.notify_all();
+        let deadline = Instant::now() + Duration::from_millis(500);
+        for handle in self.base.lock().drain(..) {
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, spare: bool) {
+    WORKER_OF.with(|c| c.set(Arc::as_ptr(&shared) as usize));
+    loop {
+        let task = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(task) = st.queue.pop_front() {
+                    break Some(task);
+                }
+                // Spares exist only to cover a blocked-worker gap: once
+                // the queue is empty they retire. Base workers park —
+                // and drain the remaining queue on stop before exiting.
+                if st.stop || spare {
+                    break None;
+                }
+                st.idle += 1;
+                shared.cv.wait(&mut st);
+                st.idle -= 1;
+            }
+        };
+        let Some(task) = task else { break };
+        shared.queue_depth.dec();
+        shared
+            .task_wait
+            .record(now_ns().saturating_sub(task.enqueued_ns));
+        shared.busy.inc();
+        // Panic isolation: one panicking task must not kill its worker.
+        // (Operation panics are already caught in `run_invocation`; this
+        // is the backstop for every other task the kernel queues.)
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(task.job));
+        shared.busy.dec();
+        shared.executed.inc();
+        if outcome.is_err() {
+            shared.panicked.inc();
+        }
+    }
+    shared.state.lock().live -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(workers: usize, cap: usize) -> VirtualProcessorPool {
+        let obs = ObsRegistry::new(0);
+        VirtualProcessorPool::new(NodeId(0), workers, cap, &obs)
+    }
+
+    #[test]
+    fn executes_submitted_tasks() {
+        let p = pool(2, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = done.clone();
+            p.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 16 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        p.shutdown();
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_queued() {
+        let p = pool(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Wedge the single worker so the queue backs up.
+        let g = gate.clone();
+        p.submit(move || {
+            let mut open = g.0.lock();
+            while !*open {
+                g.1.wait(&mut open);
+            }
+        })
+        .unwrap();
+        // Wait until the worker has actually taken the wedge task.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while p.stats().queued > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        p.submit(|| {}).unwrap();
+        p.submit(|| {}).unwrap();
+        assert_eq!(p.submit(|| {}), Err(SubmitError::Overloaded));
+        assert!(p.stats().rejected >= 1);
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        p.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let p = pool(1, 64);
+        p.submit(|| panic!("boom")).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        p.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(p.stats().panicked, 1);
+        p.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        let p = pool(1, 1024);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let d = done.clone();
+            p.submit(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        p.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+        assert_eq!(p.submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn blocked_worker_is_replaced_by_a_spare() {
+        let p = Arc::new(pool(1, 64));
+        let unblocker = Arc::new(AtomicUsize::new(0));
+        // The single worker's task blocks until a *second* task — which
+        // can only run if a spare is injected — unblocks it.
+        let (p2, u2) = (p.clone(), unblocker.clone());
+        p.submit(move || {
+            p2.blocking(|| {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while u2.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let u3 = unblocker.clone();
+        p.submit(move || {
+            u3.store(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while unblocker.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(unblocker.load(Ordering::SeqCst), 1, "spare never ran");
+        assert!(p.stats().spares_spawned >= 1);
+        p.shutdown();
+    }
+
+    #[test]
+    fn steady_state_thread_count_is_bounded() {
+        let p = pool(3, 4096);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..256 {
+            let d = done.clone();
+            p.submit(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+            assert!(
+                p.stats().live <= 3,
+                "non-blocking load must not grow the pool"
+            );
+        }
+        p.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 256);
+    }
+}

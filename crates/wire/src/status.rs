@@ -48,6 +48,10 @@ pub enum Status {
         /// Human-readable detail.
         message: String,
     },
+    /// The serving node's virtual-processor pool is saturated: its task
+    /// queue is at capacity and the invocation was shed rather than
+    /// queued. Backpressure, not failure — the caller may retry.
+    Overloaded,
 }
 
 impl Status {
@@ -70,6 +74,7 @@ impl Status {
             Status::NodeUnreachable => "node-unreachable",
             Status::Destroyed => "destroyed",
             Status::AppError { .. } => "app-error",
+            Status::Overloaded => "overloaded",
         }
     }
 }
@@ -99,6 +104,7 @@ const TAG_TYPE_ERROR: u8 = 7;
 const TAG_UNREACHABLE: u8 = 8;
 const TAG_DESTROYED: u8 = 9;
 const TAG_APP: u8 = 10;
+const TAG_OVERLOADED: u8 = 11;
 
 impl WireEncode for Status {
     fn encode(&self, w: &mut Writer) {
@@ -128,6 +134,7 @@ impl WireEncode for Status {
                 w.put_u32(*code as u32);
                 w.put_str(message);
             }
+            Status::Overloaded => w.put_u8(TAG_OVERLOADED),
         }
     }
 }
@@ -152,6 +159,7 @@ impl WireDecode for Status {
                 code: r.get_u32()? as i32,
                 message: r.get_str()?,
             }),
+            TAG_OVERLOADED => Ok(Status::Overloaded),
             tag => Err(CodecError::BadTag {
                 what: "Status",
                 tag,
@@ -182,6 +190,7 @@ mod tests {
             Just(Status::Destroyed),
             (any::<i32>(), ".{0,32}")
                 .prop_map(|(code, message)| Status::AppError { code, message }),
+            Just(Status::Overloaded),
         ]
     }
 
@@ -220,6 +229,7 @@ mod tests {
             Status::Frozen,
             Status::NodeUnreachable,
             Status::Destroyed,
+            Status::Overloaded,
         ];
         let labels: std::collections::HashSet<_> = variants.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), variants.len());

@@ -69,6 +69,7 @@ commands:
   info <$N>                          object introspection
   ls <node>                          active objects on a node
   metrics <node>                     counters, gauges and latency histograms
+  vprocs <node>                      virtual-processor pool status
   trace <node> [n]                   last n flight-recorder events (default 16)
   export <node|all> <prom|trace|events> [path]
                                      write telemetry through a monitor object:
@@ -179,6 +180,29 @@ commands:
                     out.push_str(&format!("{name}  {type_name}\n"));
                 }
                 Ok(out.trim_end().to_string())
+            }
+            "vprocs" => {
+                let node: usize = args
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|n| *n < NODES)
+                    .ok_or(format!("vprocs <node>  (0..{})", NODES - 1))?;
+                let s = self.cluster.node(node).vproc_stats();
+                Ok(format!(
+                    "workers    {} configured, {} live ({} idle, {} blocked)\n\
+                     queue      {} of {} slots used\n\
+                     lifetime   {} executed, {} rejected, {} spares spawned, {} panicked",
+                    s.workers,
+                    s.live,
+                    s.idle,
+                    s.blocked,
+                    s.queued,
+                    s.queue_cap,
+                    s.executed,
+                    s.rejected,
+                    s.spares_spawned,
+                    s.panicked,
+                ))
             }
             "metrics" => {
                 let node: usize = args

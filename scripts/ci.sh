@@ -7,7 +7,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
-cargo test -q
+cargo test --workspace -q
+cargo bench --no-run
 
 # Telemetry export smoke test: capture a cross-node trace through the
 # monitor object and check the exported Chrome-trace JSON parses.
