@@ -20,6 +20,8 @@
 //! * [`hierarchy`] — the §5 abstract type hierarchy: a three-level
 //!   subtype family inheriting display code and location operations.
 
+#![forbid(unsafe_code)]
+
 pub mod calendar;
 pub mod counter;
 pub mod hierarchy;

@@ -8,6 +8,8 @@
 //! Everything here runs on the public API only — the harness is
 //! downstream code, not a kernel back door.
 
+#![forbid(unsafe_code)]
+
 pub mod table;
 pub mod types;
 

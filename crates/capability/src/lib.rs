@@ -22,6 +22,8 @@
 //! managers receive capabilities exclusively through kernel-mediated
 //! invocation parameters.
 
+#![forbid(unsafe_code)]
+
 pub mod clist;
 pub mod name;
 pub mod rights;

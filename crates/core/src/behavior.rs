@@ -134,8 +134,14 @@ pub(crate) fn spawn_behavior(
     };
     slot.short.behaviors.lock().push(handle);
     let ctx = BehaviorCtx { node, slot, stop };
+    // Behaviors are *detached, long-lived* caretaker processes (§4.2):
+    // routing one through the bounded virtual-processor pool would pin a
+    // pool worker for the object's whole lifetime, starving invocation
+    // processing. A dedicated thread is the correct resource model here,
+    // so the pool-discipline lint is suppressed rather than obeyed.
     std::thread::Builder::new()
         .name(format!("eden-behavior-{label}"))
+        // eden-lint: allow(pool-discipline)
         .spawn(move || body(ctx))
         .expect("spawn behavior thread");
 }

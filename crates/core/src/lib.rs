@@ -67,6 +67,8 @@
 //! cluster.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod behavior;
 pub mod cluster;
 pub mod ctx;

@@ -583,7 +583,19 @@ impl Node {
                     }
                     continue;
                 }
-                _ => {
+                // Every other status is an *answer* from the object's
+                // real home — enumerated (not `_`) so a new wire status
+                // forces a decision about whether it ends the search.
+                Status::Ok
+                | Status::NoSuchOperation(_)
+                | Status::RightsViolation { .. }
+                | Status::ObjectCrashed
+                | Status::Frozen
+                | Status::TypeError(_)
+                | Status::NodeUnreachable
+                | Status::Destroyed
+                | Status::AppError { .. }
+                | Status::Overloaded => {
                     // Cache the node that *answered*: after a forwarding
                     // chain that is the object's real home.
                     if self.inner.config.enable_location_cache {
@@ -621,7 +633,16 @@ impl Node {
             let (status, results, from) = self.remote_invoke(holder, cap, op, args, budget, ctx);
             match status {
                 Status::NoSuchObject | Status::Timeout => continue,
-                _ => {
+                Status::Ok
+                | Status::NoSuchOperation(_)
+                | Status::RightsViolation { .. }
+                | Status::ObjectCrashed
+                | Status::Frozen
+                | Status::TypeError(_)
+                | Status::NodeUnreachable
+                | Status::Destroyed
+                | Status::AppError { .. }
+                | Status::Overloaded => {
                     if self.inner.config.enable_location_cache {
                         self.inner.location.cache.write().insert(name, from);
                     }
@@ -1680,7 +1701,18 @@ impl Node {
     /// replica, so subsequent invocations run locally (§4.3: "Such an
     /// object can be replicated and cached at several sites in order to
     /// save the overhead of remote invocations").
+    ///
+    /// Requires `Rights::READ`: a replica is a readable copy of the
+    /// whole representation, so a capability that cannot read the
+    /// object must not be able to pull its bytes across the network.
     pub fn cache_replica(&self, cap: Capability) -> Result<()> {
+        if !cap.permits(Rights::READ) {
+            self.inner.metrics.bump_rights_violation();
+            return Err(EdenError::Invoke(Status::RightsViolation {
+                required: Rights::READ,
+                held: cap.rights(),
+            }));
+        }
         let name = cap.name();
         if let Some(slot) = self.inner.objects.read().get(&name) {
             return if slot.is_frozen() {
@@ -1748,7 +1780,18 @@ impl Node {
     /// execution"). Picks the highest version among the answering
     /// holders. Fails if the object is already active anywhere or no
     /// checkpoint can be found.
+    ///
+    /// Requires `Rights::MOVE`, matching [`Node::move_object`]:
+    /// activation decides *where* the object runs, which §4.3 reserves
+    /// to holders of the location-decision right.
     pub fn activate_here(&self, cap: Capability) -> Result<()> {
+        if !cap.permits(Rights::MOVE) {
+            self.inner.metrics.bump_rights_violation();
+            return Err(EdenError::Invoke(Status::RightsViolation {
+                required: Rights::MOVE,
+                held: cap.rights(),
+            }));
+        }
         let name = cap.name();
         if self.inner.objects.read().contains_key(&name) {
             return Ok(()); // Already active here.

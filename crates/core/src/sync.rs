@@ -13,7 +13,29 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use eden_wire::Value;
-use parking_lot::{Condvar, Mutex};
+
+use self::shim::{Condvar, Mutex};
+
+/// The sync primitives the kernel's concurrency-sensitive paths build
+/// on, swappable at compile time for model checking.
+///
+/// Normally these are `parking_lot` and `std::thread`. Under
+/// `RUSTFLAGS="--cfg loom"` (the `scripts/ci.sh loom` target) they
+/// become the `loom` crate's instrumented equivalents, so the
+/// [`VirtualProcessorPool`](crate::vproc::VirtualProcessorPool) and the
+/// intra-object primitives in this module run under the model checker's
+/// schedule exploration without any source changes. The two APIs are
+/// kept parking_lot-shaped (`lock()` returns the guard directly).
+pub mod shim {
+    #[cfg(loom)]
+    pub use loom::sync::{Condvar, Mutex};
+    #[cfg(loom)]
+    pub use loom::thread;
+    #[cfg(not(loom))]
+    pub use parking_lot::{Condvar, Mutex};
+    #[cfg(not(loom))]
+    pub use std::thread;
+}
 
 /// A counting semaphore for invocation processes and behaviors within one
 /// object.

@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use eden_capability::NodeId;
 use eden_obs::{now_ns, Counter, Gauge, Histogram, ObsRegistry};
-use parking_lot::{Condvar, Mutex};
+
+use crate::sync::shim::{self, Condvar, Mutex};
 
 thread_local! {
     /// Identity (by [`Shared`] address) of the pool whose worker loop
@@ -120,7 +121,7 @@ pub struct VprocStats {
 /// tasks; see the module docs for the scheduling model.
 pub struct VirtualProcessorPool {
     shared: Arc<Shared>,
-    base: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    base: Mutex<Vec<shim::thread::JoinHandle<()>>>,
 }
 
 impl VirtualProcessorPool {
@@ -157,7 +158,7 @@ impl VirtualProcessorPool {
         let mut base = pool.base.lock();
         for i in 0..workers {
             let shared = pool.shared.clone();
-            let handle = std::thread::Builder::new()
+            let handle = shim::thread::Builder::new()
                 .name(format!("eden-vproc-{node}-{i}"))
                 .spawn(move || worker_loop(shared, false))
                 .expect("spawn virtual-processor worker");
@@ -246,7 +247,7 @@ impl VirtualProcessorPool {
         self.shared.spares.inc();
         let n = self.shared.spares.get();
         let shared = self.shared.clone();
-        let spawned = std::thread::Builder::new()
+        let spawned = shim::thread::Builder::new()
             .name(format!("eden-vproc-{}-s{n}", self.shared.node))
             .spawn(move || worker_loop(shared, true));
         if spawned.is_err() {

@@ -791,6 +791,45 @@ fn caching_an_unfrozen_object_is_refused() {
 }
 
 #[test]
+fn cache_replica_requires_the_read_right() {
+    let cluster = standard_cluster(2);
+    let cap = cluster.node(0).create_object("dict", &[]).unwrap();
+    cluster
+        .node(0)
+        .invoke(
+            cap,
+            "put",
+            &[Value::Str("k".into()), Value::Str("v".into())],
+        )
+        .unwrap();
+    cluster.node(0).invoke(cap, "freeze", &[]).unwrap();
+    // A write-only capability must not be able to pull the frozen
+    // representation across the network.
+    let no_read = cap.restrict(Rights::WRITE);
+    let err = cluster.node(1).cache_replica(no_read).unwrap_err();
+    assert!(matches!(
+        err,
+        EdenError::Invoke(Status::RightsViolation { .. })
+    ));
+    assert_eq!(cluster.node(1).metrics().replicas_cached, 0);
+    // With READ, the replica installs.
+    cluster.node(1).cache_replica(cap).unwrap();
+    assert_eq!(cluster.node(1).metrics().replicas_cached, 1);
+}
+
+#[test]
+fn activate_here_requires_the_move_right() {
+    let cluster = standard_cluster(2);
+    let cap = cluster.node(0).create_object("counter", &[]).unwrap();
+    let no_move = cap.restrict(Rights::READ | Rights::WRITE);
+    let err = cluster.node(1).activate_here(no_move).unwrap_err();
+    assert!(matches!(
+        err,
+        EdenError::Invoke(Status::RightsViolation { .. })
+    ));
+}
+
+#[test]
 fn behaviors_process_port_traffic() {
     let cluster = standard_cluster(1);
     let node = cluster.node(0);

@@ -31,6 +31,8 @@
 //! * [`Efs`] — a client-side convenience facade (paths, read/write,
 //!   transactions) so downstream code reads like file-system code.
 
+#![forbid(unsafe_code)]
+
 pub mod dir;
 pub mod efs;
 pub mod file;

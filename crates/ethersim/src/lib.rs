@@ -25,6 +25,8 @@
 //! implements the slotted-ALOHA baseline MAC the Ethernet papers measure
 //! against (saturating at 1/e versus CSMA/CD's >0.9 for long frames).
 
+#![forbid(unsafe_code)]
+
 pub mod aloha;
 pub mod analytic;
 pub mod config;

@@ -1,0 +1,1147 @@
+//! `eden-lint`: Eden-specific invariants clippy cannot express.
+//!
+//! The Eden argument (paper §2, §4.1–4.2) rests on discipline the Rust
+//! type system does not enforce for us: every kernel entry point must
+//! verify capability rights before acting, all kernel work must flow
+//! through the bounded virtual-processor pool rather than ad-hoc
+//! threads, and wire-tag dispatch must fail loudly when a new tag
+//! appears. Following Lampson's advice to make such invariants
+//! *checkable* rather than conventional, this crate parses the whole
+//! workspace (a purpose-built lexer — the build image has no network
+//! access for `syn`) and enforces four rules:
+//!
+//! * **L1 `pool-discipline`** — no `thread::spawn` /
+//!   `thread::Builder::…spawn` in `eden-core` outside `vproc.rs` and
+//!   the allowlisted `eden-recv` receive loop in `node.rs`. Everything
+//!   else must go through [`VirtualProcessorPool`].
+//! * **L2 `capability-discipline`** — every *public* kernel entry point
+//!   in `node.rs` / `object.rs` that accepts a `Capability` must either
+//!   call a rights check (`permits` / `check_rights` / `require_rights`)
+//!   or forward the capability into another checked call *before* any
+//!   store, transport, or dispatch effect on that path.
+//! * **L3 `wire-exhaustiveness`** — `match` statements whose arms match
+//!   wire `Status` variants or `TAG_*` constants (in `eden-wire` and
+//!   `eden-core`) must not use a `_ =>` wildcard arm, so a new tag (like
+//!   PR 3's `Overloaded`, tag 11) breaks at lint time instead of being
+//!   silently swallowed at runtime. A *named* binding arm (`tag =>`,
+//!   `other =>`) stays legal — decoders need one for the error path.
+//! * **L4 `panic-hygiene`** — no `.unwrap()` / `.expect(…)` directly on
+//!   lock acquisitions or channel ends (`lock`, `read`, `write`, `recv`,
+//!   `send`, `join`, …) in non-test kernel code.
+//!
+//! Findings can be suppressed with a `// eden-lint: allow(<rule>)`
+//! comment on the offending line or on the line directly above it;
+//! suppressed findings are still counted and reported.
+//!
+//! Test code is exempt everywhere: files under `tests/`, `benches/`,
+//! `examples/` or `fixtures/` directories, and `#[cfg(test)] mod`
+//! bodies inside library files.
+//!
+//! [`VirtualProcessorPool`]: ../eden_kernel/vproc/struct.VirtualProcessorPool.html
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::path::Path;
+
+/// The four invariants eden-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L1: kernel work flows through the virtual-processor pool.
+    PoolDiscipline,
+    /// L2: rights are checked before a capability-bearing entry point
+    /// reaches the store, the transport, or dispatch.
+    CapabilityDiscipline,
+    /// L3: no `_ =>` wildcards in matches over wire `Status`/tag enums.
+    WireExhaustiveness,
+    /// L4: no `unwrap`/`expect` on locks or channel ends in kernel code.
+    PanicHygiene,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 4] = [
+        Rule::PoolDiscipline,
+        Rule::CapabilityDiscipline,
+        Rule::WireExhaustiveness,
+        Rule::PanicHygiene,
+    ];
+
+    /// The stable kebab-case name used in reports and suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PoolDiscipline => "pool-discipline",
+            Rule::CapabilityDiscipline => "capability-discipline",
+            Rule::WireExhaustiveness => "wire-exhaustiveness",
+            Rule::PanicHygiene => "panic-hygiene",
+        }
+    }
+
+    /// Parses a rule name as used in `allow(<rule>)`.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant was violated.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Whether an `eden-lint: allow(...)` comment covers this line.
+    pub suppressed: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}{}",
+            self.file,
+            self.line,
+            self.rule,
+            self.message,
+            if self.suppressed { " (suppressed)" } else { "" }
+        )
+    }
+}
+
+/// The outcome of scanning a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a suppression comment.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// `(unsuppressed, suppressed)` counts per rule, for the summary.
+    pub fn counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for rule in Rule::ALL {
+            counts.insert(rule.name(), (0, 0));
+        }
+        for f in &self.findings {
+            let entry = counts.entry(f.rule.name()).or_default();
+            if f.suppressed {
+                entry.1 += 1;
+            } else {
+                entry.0 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Serializes the report as a stable machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"message\": \"{}\"}}{}\n",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                f.suppressed,
+                json_escape(&f.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"counts\": {\n");
+        let counts = self.counts();
+        let last = counts.len();
+        for (i, (rule, (open, suppressed))) in counts.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{rule}\": {{\"unsuppressed\": {open}, \"suppressed\": {suppressed}}}{}\n",
+                if i + 1 == last { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "  }},\n  \"files_scanned\": {},\n  \"ok\": {}\n}}\n",
+            self.files_scanned,
+            self.unsuppressed().count() == 0
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ================= Source model =================
+
+/// A lexed view of one file: `code` and `comments` are byte-for-byte the
+/// same length as `raw`, with the other class of text blanked to spaces
+/// (string and char literal *contents* are blanked in `code` too), so
+/// byte offsets line up across all three views.
+struct SourceModel {
+    raw: String,
+    code: String,
+    comments: String,
+    /// Byte offset at which each line starts.
+    line_starts: Vec<usize>,
+    /// Per line: true when inside a `#[cfg(test)] mod` body.
+    test_lines: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    Char,
+}
+
+impl SourceModel {
+    fn new(raw: &str) -> SourceModel {
+        let mut code = String::with_capacity(raw.len());
+        let mut comments = String::with_capacity(raw.len());
+        let mut state = LexState::Normal;
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+
+        // Pushes `c` to the active buffer and pads the other with spaces
+        // of the same UTF-8 width, preserving offsets. Newlines go to
+        // both so line structure is shared.
+        let push = |code: &mut String, comments: &mut String, c: char, to_code: bool| {
+            let pad = " ".repeat(c.len_utf8());
+            if c == '\n' {
+                code.push('\n');
+                comments.push('\n');
+            } else if to_code {
+                code.push(c);
+                comments.push_str(&pad);
+            } else {
+                comments.push(c);
+                code.push_str(&pad);
+            }
+        };
+        // Blanks a char in both views (string/char literal contents).
+        let blank = |code: &mut String, comments: &mut String, c: char| {
+            if c == '\n' {
+                code.push('\n');
+                comments.push('\n');
+            } else {
+                let pad = " ".repeat(c.len_utf8());
+                code.push_str(&pad);
+                comments.push_str(&pad);
+            }
+        };
+
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                LexState::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = LexState::LineComment;
+                        push(&mut code, &mut comments, c, false);
+                    }
+                    '/' if next == Some('*') => {
+                        state = LexState::BlockComment(1);
+                        push(&mut code, &mut comments, c, false);
+                        push(&mut code, &mut comments, '*', false);
+                        i += 1;
+                    }
+                    '"' => {
+                        state = LexState::Str { raw_hashes: None };
+                        push(&mut code, &mut comments, c, true);
+                    }
+                    'r' | 'b' if starts_raw_string(&bytes, i) => {
+                        // Emit the prefix up to and including the quote.
+                        let mut hashes = 0u32;
+                        push(&mut code, &mut comments, c, true);
+                        i += 1;
+                        if bytes.get(i) == Some(&'r') && c == 'b' {
+                            push(&mut code, &mut comments, 'r', true);
+                            i += 1;
+                        }
+                        while bytes.get(i) == Some(&'#') {
+                            hashes += 1;
+                            push(&mut code, &mut comments, '#', true);
+                            i += 1;
+                        }
+                        // Now at the opening quote.
+                        push(&mut code, &mut comments, '"', true);
+                        state = LexState::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                    }
+                    'b' if next == Some('\'') => {
+                        push(&mut code, &mut comments, c, true);
+                        push(&mut code, &mut comments, '\'', true);
+                        i += 1;
+                        state = LexState::Char;
+                    }
+                    '\'' if is_char_literal(&bytes, i) => {
+                        push(&mut code, &mut comments, c, true);
+                        state = LexState::Char;
+                    }
+                    c => push(&mut code, &mut comments, c, true),
+                },
+                LexState::LineComment => {
+                    if c == '\n' {
+                        state = LexState::Normal;
+                    }
+                    push(&mut code, &mut comments, c, false);
+                }
+                LexState::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        push(&mut code, &mut comments, c, false);
+                        push(&mut code, &mut comments, '/', false);
+                        i += 1;
+                        state = if depth == 1 {
+                            LexState::Normal
+                        } else {
+                            LexState::BlockComment(depth - 1)
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        push(&mut code, &mut comments, c, false);
+                        push(&mut code, &mut comments, '*', false);
+                        i += 1;
+                        state = LexState::BlockComment(depth + 1);
+                    } else {
+                        push(&mut code, &mut comments, c, false);
+                    }
+                }
+                LexState::Str { raw_hashes: None } => match c {
+                    '\\' => {
+                        blank(&mut code, &mut comments, c);
+                        if let Some(n) = next {
+                            blank(&mut code, &mut comments, n);
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        push(&mut code, &mut comments, c, true);
+                        state = LexState::Normal;
+                    }
+                    c => blank(&mut code, &mut comments, c),
+                },
+                LexState::Str {
+                    raw_hashes: Some(h),
+                } => {
+                    if c == '"' && raw_string_closes(&bytes, i, h) {
+                        push(&mut code, &mut comments, c, true);
+                        for _ in 0..h {
+                            i += 1;
+                            push(&mut code, &mut comments, '#', true);
+                        }
+                        state = LexState::Normal;
+                    } else {
+                        blank(&mut code, &mut comments, c);
+                    }
+                }
+                LexState::Char => match c {
+                    '\\' => {
+                        blank(&mut code, &mut comments, c);
+                        if let Some(n) = next {
+                            blank(&mut code, &mut comments, n);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        push(&mut code, &mut comments, c, true);
+                        state = LexState::Normal;
+                    }
+                    c => blank(&mut code, &mut comments, c),
+                },
+            }
+            i += 1;
+        }
+
+        let mut line_starts = vec![0usize];
+        for (pos, b) in code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(pos + 1);
+            }
+        }
+        let test_lines = mark_test_lines(&code, &line_starts);
+        SourceModel {
+            raw: raw.to_string(),
+            code,
+            comments,
+            line_starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based line for a byte offset.
+    fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The code text of one 1-based line.
+    fn code_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|e| e - 1)
+            .unwrap_or(self.code.len());
+        &self.code[start..end.max(start)]
+    }
+}
+
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  br#"..."#
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn raw_string_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime: `'x'` and `'\n'` are
+/// literals; `'a` followed by anything but a closing quote is a
+/// lifetime.
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` bodies.
+fn mark_test_lines(code: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; line_starts.len()];
+    let mut depth: i32 = 0;
+    let mut pending_cfg_test = false;
+    let mut regions: Vec<i32> = Vec::new(); // depths at which a test mod opened
+    for (idx, &start) in line_starts.iter().enumerate() {
+        let end = line_starts.get(idx + 1).copied().unwrap_or(code.len());
+        let line = &code[start..end];
+        let compact: String = line.split_whitespace().collect();
+        if compact.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if !regions.is_empty() {
+            flags[idx] = true;
+        } else if pending_cfg_test {
+            // The attribute line and the mod header are test lines too.
+            flags[idx] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_cfg_test {
+                        regions.push(depth);
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+// ================= Suppressions =================
+
+/// Lines covered by `// eden-lint: allow(<rule>)`, per rule. A comment
+/// on a code-bearing line covers that line; a comment on its own line
+/// covers the next code-bearing line as well.
+fn collect_suppressions(model: &SourceModel) -> HashMap<Rule, HashSet<usize>> {
+    let mut map: HashMap<Rule, HashSet<usize>> = HashMap::new();
+    let total = model.line_starts.len();
+    for line in 1..=total {
+        let start = model.line_starts[line - 1];
+        let end = model
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(model.comments.len());
+        let comment = &model.comments[start..end.min(model.comments.len())];
+        let Some(pos) = comment.find("eden-lint:") else {
+            continue;
+        };
+        let rest = &comment[pos + "eden-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        for name in rest[open + "allow(".len()..open + close].split(',') {
+            let Some(rule) = Rule::from_name(name.trim()) else {
+                continue;
+            };
+            let lines = map.entry(rule).or_default();
+            lines.insert(line);
+            if model.code_line(line).trim().is_empty() {
+                // Standalone comment: cover the next code-bearing line.
+                for next in line + 1..=total {
+                    if !model.code_line(next).trim().is_empty() {
+                        lines.insert(next);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+// ================= Token helpers =================
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets of whole-word occurrences of `needle` in `hay`.
+fn word_occurrences(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// The identifier ending at byte offset `end` (exclusive), if any.
+fn ident_before(code: &str, mut end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let stop = end;
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    (start < stop).then(|| &code[start..stop])
+}
+
+/// Skips a balanced `(...)` group ending at `close` (offset of `)`),
+/// returning the offset of the matching `(`.
+fn open_paren_of(code: &str, close: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    if bytes.get(close) != Some(&b')') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}
+
+/// Finds the byte offset of the brace matching the `{` at `open`.
+fn matching_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    if bytes.get(open) != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ================= Rules =================
+
+/// Scans one file's source, applying every rule whose path scope
+/// matches `rel_path` (workspace-relative, forward slashes).
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    if rel_path.split('/').any(|part| {
+        matches!(
+            part,
+            "tests" | "benches" | "examples" | "fixtures" | "target"
+        )
+    }) {
+        return Vec::new();
+    }
+    let model = SourceModel::new(source);
+    let mut findings = Vec::new();
+    pool_discipline(rel_path, &model, &mut findings);
+    capability_discipline(rel_path, &model, &mut findings);
+    wire_exhaustiveness(rel_path, &model, &mut findings);
+    panic_hygiene(rel_path, &model, &mut findings);
+
+    let suppressions = collect_suppressions(&model);
+    for f in &mut findings {
+        if let Some(lines) = suppressions.get(&f.rule) {
+            f.suppressed = lines.contains(&f.line);
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// L1: kernel threads come from the virtual-processor pool.
+fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
+    if !rel_path.starts_with("crates/core/src/") || rel_path.ends_with("vproc.rs") {
+        return;
+    }
+    let mut sites: Vec<usize> = word_occurrences(&model.code, "spawn")
+        .into_iter()
+        .filter(|&at| {
+            // `thread::spawn(` directly, or `.spawn(` completing a
+            // `thread::Builder` chain within the preceding few lines.
+            let before = &model.code[..at];
+            if before.ends_with("thread::") {
+                return true;
+            }
+            if before.ends_with('.') {
+                let window_start = before.len().saturating_sub(300);
+                return before[window_start..].contains("thread::Builder");
+            }
+            false
+        })
+        .collect();
+    sites.dedup_by_key(|at| model.line_of(*at));
+    for at in sites {
+        let line = model.line_of(at);
+        if model.is_test_line(line) {
+            continue;
+        }
+        // In-lint allowlist: the kernel's one legitimate direct thread,
+        // the per-node receive loop (named "eden-recv-<id>").
+        if rel_path.ends_with("node.rs") {
+            let lo = model.line_starts[line.saturating_sub(4).max(1) - 1];
+            let hi = model
+                .line_starts
+                .get(line + 3)
+                .copied()
+                .unwrap_or(model.raw.len());
+            if model.raw[lo..hi].contains("eden-recv") {
+                continue;
+            }
+        }
+        out.push(Finding {
+            rule: Rule::PoolDiscipline,
+            file: rel_path.to_string(),
+            line,
+            message: "direct thread spawn in eden-core; kernel work must go through \
+                      VirtualProcessorPool::submit (allowlisted: vproc.rs workers, \
+                      the eden-recv loop)"
+                .to_string(),
+            suppressed: false,
+        });
+    }
+}
+
+/// L2: rights checks precede effects on capability-bearing entry points.
+fn capability_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
+    if !(rel_path == "crates/core/src/node.rs" || rel_path == "crates/core/src/object.rs") {
+        return;
+    }
+    const CHECKS: [&str; 3] = ["permits(", "check_rights", "require_rights"];
+    const EFFECTS: [&str; 7] = [
+        ".endpoint.",
+        ".store.",
+        ".dispatch",
+        "dispatch(",
+        ".enqueue",
+        "remote_invoke(",
+        "locate_broadcast(",
+    ];
+    let code = &model.code;
+    for at in word_occurrences(code, "fn") {
+        // Only `pub fn` (not `pub(crate) fn`): look back for `pub` with
+        // nothing but whitespace between.
+        let Some(prev) = ident_before(code, at) else {
+            continue;
+        };
+        if prev != "pub" {
+            continue;
+        }
+        let line = model.line_of(at);
+        if model.is_test_line(line) {
+            continue;
+        }
+        let Some(params_open) = code[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(params_close) = matching_paren_fwd(code, params_open) else {
+            continue;
+        };
+        let params = &code[params_open + 1..params_close];
+        let Some(cap_param) = capability_param(params) else {
+            continue;
+        };
+        let Some(body_open) = code[params_close..].find('{').map(|p| params_close + p) else {
+            continue;
+        };
+        let Some(body_close) = matching_brace(code, body_open) else {
+            continue;
+        };
+        let body = &code[body_open..body_close];
+
+        let first_effect = EFFECTS.iter().filter_map(|t| body.find(t)).min();
+        let Some(effect_at) = first_effect else {
+            continue; // No store/transport/dispatch on this path.
+        };
+        let first_check = CHECKS.iter().filter_map(|t| body.find(t)).min();
+        // Forwarding the capability into another call (delegation to a
+        // checked entry point) also counts as the guard.
+        let first_forward = word_occurrences(body, &cap_param).into_iter().find(|&p| {
+            let lead = body[..p].trim_end();
+            lead.ends_with('(') || lead.ends_with(',')
+        });
+        let guard = match (first_check, first_forward) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if guard.map(|g| g > effect_at).unwrap_or(true) {
+            let fn_name = code[at + 2..params_open].trim().to_string();
+            out.push(Finding {
+                rule: Rule::CapabilityDiscipline,
+                file: rel_path.to_string(),
+                line,
+                message: format!(
+                    "public kernel entry point `{fn_name}` accepts a Capability but reaches \
+                     a store/transport/dispatch call before any rights check \
+                     (permits/check_rights/require_rights) or checked delegation"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// Forward matcher for `(...)` starting at `open`.
+fn matching_paren_fwd(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    if bytes.get(open) != Some(&b'(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The name of the first parameter typed `Capability` / `&Capability`.
+fn capability_param(params: &str) -> Option<String> {
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let bytes = params.as_bytes();
+    let mut pieces = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'<' | b'[' => depth += 1,
+            b')' | b'>' | b']' => depth -= 1,
+            b',' if depth == 0 => {
+                pieces.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pieces.push(&params[start..]);
+    for piece in pieces {
+        let Some((name, ty)) = piece.split_once(':') else {
+            continue;
+        };
+        let ty = ty.trim().trim_start_matches('&').trim();
+        if ty == "Capability" || ty.ends_with("::Capability") {
+            return Some(name.trim().trim_start_matches("mut ").trim().to_string());
+        }
+    }
+    None
+}
+
+/// L3: matches over wire `Status`/`TAG_*` enums are exhaustive.
+fn wire_exhaustiveness(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
+    if !(rel_path.starts_with("crates/wire/src") || rel_path.starts_with("crates/core/src")) {
+        return;
+    }
+    let code = &model.code;
+    for at in word_occurrences(code, "match") {
+        let line = model.line_of(at);
+        if model.is_test_line(line) {
+            continue;
+        }
+        // Scrutinee runs to the first `{` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut open = None;
+        for (i, b) in code.bytes().enumerate().skip(at + 5) {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if depth == 0 => break, // not a match expression
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = matching_brace(code, open) else {
+            continue;
+        };
+        let arms = match_arms(&code[open + 1..close]);
+        let is_wire_match = arms
+            .iter()
+            .any(|(pat, _)| pat.contains("Status::") || pat.contains("TAG_"));
+        if !is_wire_match {
+            continue;
+        }
+        for (pat, rel_off) in &arms {
+            let wildcard = pat
+                .split('|')
+                .any(|alt| alt.trim() == "_" || alt.trim().starts_with("_ if"));
+            if wildcard {
+                out.push(Finding {
+                    rule: Rule::WireExhaustiveness,
+                    file: rel_path.to_string(),
+                    line: model.line_of(open + 1 + rel_off),
+                    message: "wildcard `_ =>` arm in a match over wire Status/tag variants; \
+                              enumerate the variants (or bind a name for the error path) so \
+                              new wire tags fail loudly"
+                        .to_string(),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+}
+
+/// Splits a match body into `(pattern, offset_of_pattern)` pairs.
+/// Patterns run to the first `=>` at bracket depth 0; arm bodies are a
+/// balanced block or run to the next `,` at depth 0.
+fn match_arms(body: &str) -> Vec<(String, usize)> {
+    let bytes = body.as_bytes();
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    let len = bytes.len();
+    while i < len {
+        while i < len && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= len {
+            break;
+        }
+        let pat_start = i;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        while i < len {
+            match bytes[i] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'=' if depth == 0 && bytes.get(i + 1) == Some(&b'>') => {
+                    arrow = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        arms.push((body[pat_start..arrow].trim().to_string(), pat_start));
+        i = arrow + 2;
+        while i < len && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < len && bytes[i] == b'{' {
+            let mut depth = 0i32;
+            while i < len {
+                match bytes[i] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while i < len {
+                match bytes[i] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    arms
+}
+
+/// L4: no panicking accessors on locks or channel ends in kernel code.
+fn panic_hygiene(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
+    let scoped = ["crates/core/src", "crates/obs/src", "crates/wire/src"];
+    if !scoped.iter().any(|s| rel_path.starts_with(s)) {
+        return;
+    }
+    const TARGETS: [&str; 10] = [
+        "lock",
+        "try_lock",
+        "read",
+        "write",
+        "recv",
+        "recv_timeout",
+        "try_recv",
+        "send",
+        "try_send",
+        "join",
+    ];
+    let code = &model.code;
+    let mut sites: Vec<(usize, &'static str)> = Vec::new();
+    for at in word_occurrences(code, "unwrap") {
+        if code[at..].starts_with("unwrap()") {
+            sites.push((at, ".unwrap()"));
+        }
+    }
+    for at in word_occurrences(code, "expect") {
+        if code.as_bytes().get(at + 6) == Some(&b'(') {
+            sites.push((at, ".expect(…)"));
+        }
+    }
+    for (at, what) in sites {
+        // Require `.` immediately before, then a balanced call group,
+        // then one of the lock/channel method names.
+        let mut dot = at;
+        while dot > 0 && code.as_bytes()[dot - 1].is_ascii_whitespace() {
+            dot -= 1;
+        }
+        if dot == 0 || code.as_bytes()[dot - 1] != b'.' {
+            continue;
+        }
+        let mut close = dot - 1;
+        while close > 0 && code.as_bytes()[close - 1].is_ascii_whitespace() {
+            close -= 1;
+        }
+        if close == 0 || code.as_bytes()[close - 1] != b')' {
+            continue;
+        }
+        let Some(open) = open_paren_of(code, close - 1) else {
+            continue;
+        };
+        let Some(method) = ident_before(code, open) else {
+            continue;
+        };
+        if !TARGETS.contains(&method) {
+            continue;
+        }
+        let line = model.line_of(at);
+        if model.is_test_line(line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::PanicHygiene,
+            file: rel_path.to_string(),
+            line,
+            message: format!(
+                "{what} on `.{method}(…)` in non-test kernel code; propagate the error or \
+                 recover (e.g. `unwrap_or_else(|e| e.into_inner())` for poisoned locks)"
+            ),
+            suppressed: false,
+        });
+    }
+}
+
+// ================= Workspace walking =================
+
+/// Scans every in-scope `.rs` file under `root` (the workspace root).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report
+            .findings
+            .extend(scan_source(&rel, &source).into_iter().map(|mut f| {
+                f.file = rel.clone();
+                f
+            }));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(
+                name.as_str(),
+                "target" | ".git" | "tests" | "benches" | "examples" | "fixtures"
+            ) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_blanks_strings_and_comments() {
+        let m = SourceModel::new("let a = \"thread::spawn\"; // thread::spawn\nlet b = 'x';\n");
+        assert!(!m.code.contains("thread::spawn"));
+        assert!(m.comments.contains("thread::spawn"));
+        assert_eq!(m.raw.len(), m.code.len());
+        assert_eq!(m.raw.len(), m.comments.len());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = SourceModel::new("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(m.code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let m = SourceModel::new(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(4));
+        assert!(!m.is_test_line(6));
+    }
+
+    #[test]
+    fn suppression_on_own_line_covers_next_code_line() {
+        let src = "// eden-lint: allow(panic-hygiene)\nlet g = m.lock().unwrap();\n";
+        let findings = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].suppressed);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            rule: Rule::PanicHygiene,
+            file: "a \"quoted\".rs".into(),
+            line: 3,
+            message: "msg".into(),
+            suppressed: false,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ok\": false"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The `eden-lint` binary: scans the workspace and reports invariant
+//! violations. Exit code 0 when every finding is suppressed (or none
+//! exist), 1 when unsuppressed findings remain, 2 on usage/IO errors.
+//!
+//! ```text
+//! cargo run -p eden-lint                # human-readable report
+//! cargo run -p eden-lint -- --json      # machine-readable (ci.sh archives it)
+//! cargo run -p eden-lint -- --root DIR  # scan another workspace root
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eden_lint::{scan_workspace, Rule};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("eden-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: eden-lint [--json] [--root DIR]");
+                eprintln!("rules: {}", rule_list());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("eden-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("eden-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "eden-lint: {} file(s), {} finding(s) ({} suppressed)",
+            report.files_scanned,
+            report.findings.len(),
+            report.findings.iter().filter(|f| f.suppressed).count()
+        );
+        for (rule, (open, suppressed)) in report.counts() {
+            println!("  {rule}: {open} unsuppressed, {suppressed} suppressed");
+        }
+    }
+
+    if report.unsuppressed().count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn rule_list() -> String {
+    Rule::ALL
+        .iter()
+        .map(|r| r.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

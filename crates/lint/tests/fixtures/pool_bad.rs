@@ -1,0 +1,14 @@
+// Fixture: L1 pool-discipline violations (scanned as crates/core/src/worker.rs).
+
+fn redelivery_task() {
+    std::thread::spawn(|| {
+        println!("redelivering outside the pool");
+    });
+}
+
+fn named_task() {
+    std::thread::Builder::new()
+        .name("eden-rogue".to_string())
+        .spawn(|| {})
+        .expect("spawn");
+}

@@ -1,0 +1,18 @@
+// Fixture: L1 pool-discipline clean file (scanned as crates/core/src/worker.rs).
+// Mentions of thread::spawn in comments and strings must not count, and
+// test modules are exempt.
+
+fn routed_through_pool(pool: &VirtualProcessorPool) {
+    // The old code used std::thread::spawn here.
+    let msg = "thread::spawn is banned";
+    pool.submit(move || println!("{msg}")).unwrap_or(());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        let t = std::thread::spawn(|| 42);
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: L3 wire-exhaustiveness clean file (scanned as
+// crates/wire/src/status.rs): a fully enumerated Status match, a decode
+// with a *named* binding arm for the error path (legal), and a
+// non-wire match where a wildcard is fine.
+
+fn label(status: &Status) -> &'static str {
+    match status {
+        Status::Ok => "ok",
+        Status::Timeout => "timeout",
+        Status::Overloaded => "overloaded",
+    }
+}
+
+fn decode(tag: u8) -> Result<Status, CodecError> {
+    match tag {
+        TAG_OK => Ok(Status::Ok),
+        TAG_TIMEOUT => Ok(Status::Timeout),
+        tag => Err(CodecError::BadTag { what: "Status", tag }),
+    }
+}
+
+fn first_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}

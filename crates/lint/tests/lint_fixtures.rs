@@ -1,0 +1,133 @@
+//! Fixture suite for the four eden-lint rules: each rule has at least
+//! one known-good and one known-bad snippet with exact expected finding
+//! counts, plus a suppression fixture proving `eden-lint: allow(...)`
+//! comments cover (and count) findings. A final test runs the linter
+//! over the real workspace and requires zero unsuppressed findings —
+//! the acceptance bar ci.sh enforces.
+
+use std::path::Path;
+
+use eden_lint::{scan_source, scan_workspace, Finding, Rule};
+
+/// Loads a fixture and scans it under a virtual workspace path that
+/// puts it in the right rule scope.
+fn scan_fixture(fixture: &str, virtual_path: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    scan_source(virtual_path, &source)
+}
+
+fn count(findings: &[Finding], rule: Rule, suppressed: bool) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed == suppressed)
+        .count()
+}
+
+#[test]
+fn pool_discipline_flags_direct_spawns() {
+    let findings = scan_fixture("pool_bad.rs", "crates/core/src/worker.rs");
+    assert_eq!(
+        count(&findings, Rule::PoolDiscipline, false),
+        2,
+        "{findings:?}"
+    );
+    // Both the bare spawn and the Builder chain, at their spawn sites.
+    assert_eq!(findings[0].line, 4);
+    assert_eq!(findings[1].line, 12);
+}
+
+#[test]
+fn pool_discipline_ignores_comments_strings_and_tests() {
+    let findings = scan_fixture("pool_good.rs", "crates/core/src/worker.rs");
+    assert_eq!(findings.len(), 0, "{findings:?}");
+}
+
+#[test]
+fn pool_discipline_is_scoped_to_eden_core() {
+    // The same bad file outside crates/core is out of scope.
+    let findings = scan_fixture("pool_bad.rs", "crates/apps/src/worker.rs");
+    assert_eq!(count(&findings, Rule::PoolDiscipline, false), 0);
+    // And vproc.rs itself is the allowlisted implementation site.
+    let findings = scan_fixture("pool_bad.rs", "crates/core/src/vproc.rs");
+    assert_eq!(count(&findings, Rule::PoolDiscipline, false), 0);
+}
+
+#[test]
+fn capability_discipline_flags_unchecked_entry_points() {
+    let findings = scan_fixture("cap_bad.rs", "crates/core/src/node.rs");
+    assert_eq!(
+        count(&findings, Rule::CapabilityDiscipline, false),
+        2,
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("`replicate`")));
+    assert!(findings.iter().any(|f| f.message.contains("`persist`")));
+}
+
+#[test]
+fn capability_discipline_accepts_checks_and_delegation() {
+    let findings = scan_fixture("cap_good.rs", "crates/core/src/node.rs");
+    assert_eq!(findings.len(), 0, "{findings:?}");
+}
+
+#[test]
+fn wire_exhaustiveness_flags_wildcards_over_status_and_tags() {
+    let findings = scan_fixture("wire_bad.rs", "crates/wire/src/status.rs");
+    assert_eq!(
+        count(&findings, Rule::WireExhaustiveness, false),
+        2,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn wire_exhaustiveness_accepts_enumerated_and_named_arms() {
+    let findings = scan_fixture("wire_good.rs", "crates/wire/src/status.rs");
+    assert_eq!(findings.len(), 0, "{findings:?}");
+}
+
+#[test]
+fn panic_hygiene_flags_lock_and_channel_unwraps() {
+    let findings = scan_fixture("panic_bad.rs", "crates/core/src/x.rs");
+    assert_eq!(
+        count(&findings, Rule::PanicHygiene, false),
+        4,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_accepts_recovery_and_tests() {
+    let findings = scan_fixture("panic_good.rs", "crates/core/src/x.rs");
+    assert_eq!(findings.len(), 0, "{findings:?}");
+}
+
+#[test]
+fn suppressions_cover_and_count_each_rule() {
+    let findings = scan_fixture("suppressed.rs", "crates/core/src/node.rs");
+    for rule in Rule::ALL {
+        assert_eq!(count(&findings, rule, true), 1, "{rule}: {findings:?}");
+        assert_eq!(count(&findings, rule, false), 0, "{rule}: {findings:?}");
+    }
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = scan_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "walked {} files",
+        report.files_scanned
+    );
+    let open: Vec<_> = report.unsuppressed().collect();
+    assert!(open.is_empty(), "unsuppressed findings: {open:#?}");
+}

@@ -36,6 +36,8 @@
 //! configurable [`TraceSampling`] policy so tracing cost stays bounded
 //! under load.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod export;
 pub mod hist;

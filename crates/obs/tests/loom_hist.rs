@@ -1,0 +1,122 @@
+//! Loom models for the lock-free histogram: concurrent `record` against
+//! `snapshot` and `merge` must never lose a committed sample, corrupt a
+//! bucket, or let a snapshot's totals run ahead of the per-bucket
+//! counts' invariants. Compiled only under `RUSTFLAGS="--cfg loom"`;
+//! run with `scripts/ci.sh loom`.
+#![cfg(loom)]
+
+use eden_obs::{Histogram, HistogramSnapshot};
+use loom::sync::Arc;
+
+/// Concurrent recorders: after joining, every sample is present in the
+/// final snapshot with exact count/sum/min/max.
+#[test]
+fn model_concurrent_records_all_land() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..3u64)
+            .map(|t| {
+                let h = h.clone();
+                loom::thread::spawn(move || {
+                    for i in 0..32u64 {
+                        h.record(t * 1000 + i);
+                        loom::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3 * 32);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2031);
+        let expected_sum: u64 = (0..3u64)
+            .flat_map(|t| (0..32u64).map(move |i| t * 1000 + i))
+            .sum();
+        assert_eq!(s.sum, expected_sum);
+        assert_eq!(s.buckets().iter().sum::<u64>(), s.count);
+    });
+}
+
+/// A snapshot taken *while* recorders run may be mid-flight, but it must
+/// still be internally coherent enough to merge: bucket totals never
+/// exceed the final count, and merging racy snapshots with the final one
+/// never underflows or corrupts.
+#[test]
+fn model_snapshot_races_record_without_corruption() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new());
+        let writer = {
+            let h = h.clone();
+            loom::thread::spawn(move || {
+                for i in 1..=64u64 {
+                    h.record(i);
+                }
+            })
+        };
+        let reader = {
+            let h = h.clone();
+            loom::thread::spawn(move || {
+                let mut racy = Vec::new();
+                for _ in 0..8 {
+                    loom::thread::yield_now();
+                    racy.push(h.snapshot());
+                }
+                racy
+            })
+        };
+        let racy = reader.join().unwrap();
+        writer.join().unwrap();
+        let fin = h.snapshot();
+        assert_eq!(fin.count, 64);
+        for s in &racy {
+            assert!(s.count <= 64, "snapshot count ran ahead of the writer");
+            assert!(s.sum <= fin.sum);
+            assert!(s.buckets().iter().sum::<u64>() <= 64);
+            // Each racy snapshot merges cleanly (merge is pure addition,
+            // so coherence here is about no poisoned/torn values).
+            let mut m = HistogramSnapshot::empty();
+            m.merge(s);
+            assert_eq!(m.count, s.count);
+        }
+    });
+}
+
+/// Merging per-thread snapshots concurrently with ongoing recording on
+/// a third histogram is safe and exact once everything joins.
+#[test]
+fn model_merge_is_exact_after_join() {
+    loom::model(|| {
+        let a = Arc::new(Histogram::new());
+        let b = Arc::new(Histogram::new());
+        let ta = {
+            let a = a.clone();
+            loom::thread::spawn(move || {
+                for i in 0..40u64 {
+                    a.record(i * 3);
+                }
+            })
+        };
+        let tb = {
+            let b = b.clone();
+            loom::thread::spawn(move || {
+                for i in 0..25u64 {
+                    b.record(i * 7);
+                }
+            })
+        };
+        ta.join().unwrap();
+        tb.join().unwrap();
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 65);
+        assert_eq!(merged.min, 0);
+        assert_eq!(merged.max, 24 * 7);
+        assert_eq!(
+            merged.sum,
+            (0..40u64).map(|i| i * 3).sum::<u64>() + (0..25u64).map(|i| i * 7).sum::<u64>()
+        );
+    });
+}

@@ -24,6 +24,8 @@
 //! the store does not care). Versions are per-object, monotone, and
 //! assigned by the store at `put` time.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 pub mod disk;
 pub mod faulty;

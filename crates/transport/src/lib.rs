@@ -23,6 +23,8 @@
 //! sender. The kernel's request/reply and timeout machinery tolerates
 //! loss; nothing assumes reliability.
 
+#![forbid(unsafe_code)]
+
 pub mod latency;
 pub mod mesh;
 pub mod stats;

@@ -20,6 +20,8 @@
 //!   used: the codec is small enough to audit and keeps the reproduction
 //!   dependency-light.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod image;
 pub mod message;

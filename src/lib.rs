@@ -42,6 +42,8 @@
 //! cluster.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use eden_apps as apps;
 pub use eden_capability as capability;
 pub use eden_efs as efs;
