@@ -1,0 +1,27 @@
+//! E13 macro-benchmark: TCP small-frame throughput, seed per-frame
+//! sync sends vs the coalescing send pipeline (each iteration floods a
+//! 4-endpoint loopback cluster and waits for full delivery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_bench::exp_e13_transport::{baseline_throughput, pipeline_throughput};
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp_flood");
+    group.bench_function("seed_per_frame", |b| b.iter(baseline_throughput));
+    group.bench_function("pipeline_coalescing", |b| b.iter(pipeline_throughput));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_transport
+}
+criterion_main!(benches);

@@ -57,4 +57,7 @@ fn main() {
     if want("e12") {
         exp_e12_fanout::run().print();
     }
+    if want("e13") {
+        exp_e13_transport::run().print();
+    }
 }

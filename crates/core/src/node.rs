@@ -1086,6 +1086,10 @@ impl Node {
                         .obs
                         .recorder()
                         .record(KernelEvent::Retransmit { inv_id, dst: dst.0 });
+                    // Non-blocking even over TCP: the transport's send
+                    // pipeline enqueues to a per-peer writer, so a dead
+                    // or slow destination cannot stall this retransmit
+                    // slice (the frame sheds at the bounded queue).
                     let _ = self.inner.endpoint.send(request());
                 }
             }
@@ -1129,6 +1133,9 @@ impl Node {
             .queries
             .lock()
             .insert(query_id, collector.clone());
+        // Broadcast fans out as one enqueue per peer writer; an
+        // unreachable node sheds its copy without delaying the others,
+        // so the locate window below is pure answer-collection time.
         let _ = self.inner.endpoint.send(Frame::broadcast(
             self.inner.id,
             Message::WhereIs {

@@ -656,9 +656,13 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// L1: kernel threads come from the virtual-processor pool.
+/// L1: kernel threads come from the virtual-processor pool; transport
+/// threads are named (`eden-mesh-*`, `eden-tcp-*`) so flight-recorder
+/// dumps and leak hunts can attribute them.
 fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
-    if !rel_path.starts_with("crates/core/src/") || rel_path.ends_with("vproc.rs") {
+    let in_core = rel_path.starts_with("crates/core/src/") && !rel_path.ends_with("vproc.rs");
+    let in_transport = rel_path.starts_with("crates/transport/src/");
+    if !in_core && !in_transport {
         return;
     }
     let mut sites: Vec<usize> = word_occurrences(&model.code, "spawn")
@@ -683,27 +687,38 @@ fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) 
         if model.is_test_line(line) {
             continue;
         }
-        // In-lint allowlist: the kernel's one legitimate direct thread,
-        // the per-node receive loop (named "eden-recv-<id>").
-        if rel_path.ends_with("node.rs") {
-            let lo = model.line_starts[line.saturating_sub(4).max(1) - 1];
-            let hi = model
-                .line_starts
-                .get(line + 3)
-                .copied()
-                .unwrap_or(model.raw.len());
-            if model.raw[lo..hi].contains("eden-recv") {
-                continue;
-            }
+        // In-lint allowlists, checked in a window around the spawn:
+        // the kernel's one legitimate direct thread (the per-node
+        // receive loop, named "eden-recv-<id>"), and the transport's
+        // infrastructure threads, which must carry an "eden-mesh-*" or
+        // "eden-tcp-*" name (accept loops, readers, per-peer writers,
+        // the loopback delay pump).
+        let lo = model.line_starts[line.saturating_sub(4).max(1) - 1];
+        let hi = model
+            .line_starts
+            .get(line + 3)
+            .copied()
+            .unwrap_or(model.raw.len());
+        let window = &model.raw[lo..hi];
+        if rel_path.ends_with("node.rs") && window.contains("eden-recv") {
+            continue;
         }
+        if in_transport && (window.contains("eden-mesh-") || window.contains("eden-tcp-")) {
+            continue;
+        }
+        let message = if in_transport {
+            "direct thread spawn in eden-transport without an eden-mesh-*/eden-tcp-* \
+             thread name; transport threads must be named for attribution"
+        } else {
+            "direct thread spawn in eden-core; kernel work must go through \
+             VirtualProcessorPool::submit (allowlisted: vproc.rs workers, \
+             the eden-recv loop)"
+        };
         out.push(Finding {
             rule: Rule::PoolDiscipline,
             file: rel_path.to_string(),
             line,
-            message: "direct thread spawn in eden-core; kernel work must go through \
-                      VirtualProcessorPool::submit (allowlisted: vproc.rs workers, \
-                      the eden-recv loop)"
-                .to_string(),
+            message: message.to_string(),
             suppressed: false,
         });
     }
@@ -967,7 +982,12 @@ fn match_arms(body: &str) -> Vec<(String, usize)> {
 
 /// L4: no panicking accessors on locks or channel ends in kernel code.
 fn panic_hygiene(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
-    let scoped = ["crates/core/src", "crates/obs/src", "crates/wire/src"];
+    let scoped = [
+        "crates/core/src",
+        "crates/obs/src",
+        "crates/wire/src",
+        "crates/transport/src",
+    ];
     if !scoped.iter().any(|s| rel_path.starts_with(s)) {
         return;
     }

@@ -1,0 +1,23 @@
+// Fixture: transport threads must be named eden-mesh-* / eden-tcp-*.
+
+fn named_tcp_writer() {
+    let _ = std::thread::Builder::new()
+        .name(format!("eden-tcp-write-{}-{}", 0, 1))
+        .spawn(move || {});
+}
+
+fn named_mesh_pump() {
+    let _ = std::thread::Builder::new()
+        .name("eden-mesh-delay".into())
+        .spawn(move || {});
+}
+
+fn anonymous_spawn_is_flagged() {
+    let _ = std::thread::spawn(|| {});
+}
+
+fn unnamed_builder_is_flagged() {
+    let _ = std::thread::Builder::new()
+        .stack_size(1 << 20)
+        .spawn(move || {});
+}

@@ -57,6 +57,21 @@ fn pool_discipline_is_scoped_to_eden_core() {
 }
 
 #[test]
+fn pool_discipline_requires_named_transport_threads() {
+    let findings = scan_fixture("pool_transport.rs", "crates/transport/src/tcp.rs");
+    // The two named spawns pass; the anonymous spawn and the unnamed
+    // Builder chain are flagged.
+    assert_eq!(
+        count(&findings, Rule::PoolDiscipline, false),
+        2,
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("eden-mesh-*/eden-tcp-*")));
+}
+
+#[test]
 fn capability_discipline_flags_unchecked_entry_points() {
     let findings = scan_fixture("cap_bad.rs", "crates/core/src/node.rs");
     assert_eq!(
@@ -104,6 +119,18 @@ fn panic_hygiene_flags_lock_and_channel_unwraps() {
 fn panic_hygiene_accepts_recovery_and_tests() {
     let findings = scan_fixture("panic_good.rs", "crates/core/src/x.rs");
     assert_eq!(findings.len(), 0, "{findings:?}");
+}
+
+#[test]
+fn panic_hygiene_covers_the_transport_crate() {
+    // The send pipeline's writer threads live in eden-transport; the
+    // same lock/channel unwraps are banned there.
+    let findings = scan_fixture("panic_bad.rs", "crates/transport/src/writer.rs");
+    assert_eq!(
+        count(&findings, Rule::PanicHygiene, false),
+        4,
+        "{findings:?}"
+    );
 }
 
 #[test]

@@ -29,6 +29,7 @@ pub mod latency;
 pub mod mesh;
 pub mod stats;
 pub mod tcp;
+pub mod writer;
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +42,7 @@ pub use latency::LatencyModel;
 pub use mesh::{LoopbackMesh, MeshOptions};
 pub use stats::TransportStats;
 pub use tcp::{TcpMesh, TcpMeshConfig};
+pub use writer::TcpTuning;
 
 /// Errors surfaced by transports.
 #[derive(Debug, Clone, PartialEq, Eq)]

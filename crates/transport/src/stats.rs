@@ -18,8 +18,22 @@ pub struct TransportStats {
     pub bytes_sent: u64,
     /// Encoded payload bytes received.
     pub bytes_received: u64,
-    /// Frames dropped by the loss model or a partition.
+    /// Frames dropped: loss model, partition, dead peer, failed write,
+    /// or shed at a full send queue.
     pub frames_dropped: u64,
+    /// Of `frames_dropped`, frames shed because a per-peer send queue
+    /// was full (TCP pipeline backpressure).
+    pub frames_shed: u64,
+    /// Coalesced write batches issued (TCP pipeline; one syscall each).
+    pub batches_sent: u64,
+    /// Background dial attempts (TCP pipeline).
+    pub dials: u64,
+    /// Of `dials`, attempts that failed and went into backoff.
+    pub dial_failures: u64,
+    /// Frames sitting in per-peer send queues at snapshot time
+    /// (instantaneous level, not a counter; zero for non-queueing
+    /// transports).
+    pub queue_depth: u64,
 }
 
 /// Shared mutable counters behind a snapshot API.
@@ -30,6 +44,10 @@ pub struct StatsCell {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     frames_dropped: AtomicU64,
+    frames_shed: AtomicU64,
+    batches_sent: AtomicU64,
+    dials: AtomicU64,
+    dial_failures: AtomicU64,
 }
 
 impl StatsCell {
@@ -56,7 +74,32 @@ impl StatsCell {
         self.frames_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes a snapshot.
+    /// Records `n` dropped frames at once (a failed coalesced write).
+    pub fn record_drops(&self, n: u64) {
+        self.frames_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a frame shed at a full send queue (also counts as a drop).
+    pub fn record_shed(&self) {
+        self.frames_shed.fetch_add(1, Ordering::Relaxed);
+        self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced write batch.
+    pub fn record_batch(&self) {
+        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dial attempt and whether it failed.
+    pub fn record_dial(&self, failed: bool) {
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.dial_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a snapshot. `queue_depth` is filled by queueing transports
+    /// on top of this (it is a level, not a counter).
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
@@ -64,20 +107,32 @@ impl StatsCell {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_shed: self.frames_shed.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            dials: self.dials.load(Ordering::Relaxed),
+            dial_failures: self.dial_failures.load(Ordering::Relaxed),
+            queue_depth: 0,
         }
     }
 }
 
 impl TransportStats {
     /// The difference `self - earlier`, for measuring an interval.
+    /// Counter fields subtract (saturating); `queue_depth` is a level
+    /// and carries `self`'s value through unchanged.
     #[must_use]
     pub fn delta(&self, earlier: &TransportStats) -> TransportStats {
         TransportStats {
-            frames_sent: self.frames_sent - earlier.frames_sent,
-            frames_received: self.frames_received - earlier.frames_received,
-            bytes_sent: self.bytes_sent - earlier.bytes_sent,
-            bytes_received: self.bytes_received - earlier.bytes_received,
-            frames_dropped: self.frames_dropped - earlier.frames_dropped,
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            frames_received: self.frames_received.saturating_sub(earlier.frames_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            frames_dropped: self.frames_dropped.saturating_sub(earlier.frames_dropped),
+            frames_shed: self.frames_shed.saturating_sub(earlier.frames_shed),
+            batches_sent: self.batches_sent.saturating_sub(earlier.batches_sent),
+            dials: self.dials.saturating_sub(earlier.dials),
+            dial_failures: self.dial_failures.saturating_sub(earlier.dial_failures),
+            queue_depth: self.queue_depth,
         }
     }
 }
@@ -99,6 +154,22 @@ mod tests {
         assert_eq!(s.frames_received, 1);
         assert_eq!(s.bytes_received, 10);
         assert_eq!(s.frames_dropped, 1);
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate() {
+        let c = StatsCell::new_shared();
+        c.record_shed();
+        c.record_batch();
+        c.record_drops(3);
+        c.record_dial(false);
+        c.record_dial(true);
+        let s = c.snapshot();
+        assert_eq!(s.frames_shed, 1);
+        assert_eq!(s.frames_dropped, 4); // 1 shed + 3 write-failure drops
+        assert_eq!(s.batches_sent, 1);
+        assert_eq!(s.dials, 2);
+        assert_eq!(s.dial_failures, 1);
     }
 
     #[test]

@@ -2,29 +2,40 @@
 //!
 //! Each kernel process binds one [`TcpMesh`] endpoint and declares its
 //! peers' addresses. Frames travel length-prefixed over per-destination
-//! TCP connections established lazily (and re-established after
-//! failures); inbound connections are accepted by a listener thread and
-//! drained by one reader thread each. Broadcast is unicast to every
-//! configured peer — on a switched network that is what Ethernet
-//! broadcast degenerates to anyway.
+//! TCP connections; inbound connections are accepted by a listener
+//! thread and drained by one reader thread each. Broadcast is unicast
+//! to every configured peer — on a switched network that is what
+//! Ethernet broadcast degenerates to anyway.
+//!
+//! The send side is an asynchronous per-peer pipeline (see
+//! [`writer`](crate::writer)): `send()` is a non-blocking enqueue onto
+//! a bounded per-peer queue; a dedicated writer thread per destination
+//! coalesces pending frames into single-syscall batches and dials in
+//! the background with exponential backoff, so a cold or dead peer
+//! never stalls the caller.
 //!
 //! Delivery remains best-effort to match the [`Endpoint`] contract: a
-//! peer that is down simply does not receive; the kernel's timeout and
-//! retry machinery is responsible for coping, exactly as over the mesh.
+//! peer that is down simply does not receive (its frames shed at the
+//! bounded queue, counted as drops); the kernel's timeout and retry
+//! machinery is responsible for coping, exactly as over the mesh.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use eden_capability::NodeId;
+use eden_obs::ObsRegistry;
 use eden_wire::{Dest, Frame, WireDecode, WireEncode};
 use parking_lot::Mutex;
 
 use crate::stats::{StatsCell, TransportStats};
+use crate::writer::{SendPipeline, TcpTuning};
 use crate::{Endpoint, TransportError};
 
 /// Maximum accepted frame size; guards the length prefix on untrusted
@@ -41,64 +52,36 @@ pub struct TcpMeshConfig {
     pub listen: SocketAddr,
     /// Peer node ids and their listen addresses.
     pub peers: HashMap<NodeId, SocketAddr>,
+    /// Send-pipeline knobs (queue capacity, coalescing budget, dial
+    /// backoff); the defaults suit small-frame kernel traffic.
+    pub tuning: TcpTuning,
 }
 
-struct Conn {
-    stream: Mutex<TcpStream>,
+impl TcpMeshConfig {
+    /// A config with default tuning and no peers yet.
+    pub fn new(node: NodeId, listen: SocketAddr) -> Self {
+        TcpMeshConfig {
+            node,
+            listen,
+            peers: HashMap::new(),
+            tuning: TcpTuning::default(),
+        }
+    }
 }
 
 struct TcpInner {
     node: NodeId,
-    peers: Mutex<HashMap<NodeId, SocketAddr>>,
-    conns: Mutex<HashMap<NodeId, Arc<Conn>>>,
+    pipeline: Arc<SendPipeline>,
     rx_tx: Sender<Frame>,
     stats: Arc<StatsCell>,
     closed: AtomicBool,
-}
-
-impl TcpInner {
-    /// Returns an established connection to `dst`, dialing if needed.
-    fn connection(&self, dst: NodeId) -> Result<Arc<Conn>, TransportError> {
-        if let Some(c) = self.conns.lock().get(&dst) {
-            return Ok(c.clone());
-        }
-        let addr = self
-            .peers
-            .lock()
-            .get(&dst)
-            .copied()
-            .ok_or(TransportError::UnknownPeer(dst))?;
-        let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))
-            .map_err(|e| TransportError::Io(e.to_string()))?;
-        stream.set_nodelay(true).ok();
-        let conn = Arc::new(Conn {
-            stream: Mutex::new(stream),
-        });
-        self.conns.lock().insert(dst, conn.clone());
-        Ok(conn)
-    }
-
-    /// Writes one frame to `dst`; best-effort (a broken pipe drops the
-    /// connection so the next send redials, and counts a drop).
-    fn write_to(&self, dst: NodeId, payload: &[u8]) {
-        let conn = match self.connection(dst) {
-            Ok(c) => c,
-            Err(_) => {
-                self.stats.record_drop();
-                return;
-            }
-        };
-        let mut stream = conn.stream.lock();
-        let len = (payload.len() as u32).to_le_bytes();
-        let result = stream
-            .write_all(&len)
-            .and_then(|_| stream.write_all(payload));
-        drop(stream);
-        if result.is_err() {
-            self.conns.lock().remove(&dst);
-            self.stats.record_drop();
-        }
-    }
+    /// Inbound connections accepted so far (test observability for the
+    /// one-connection-per-peer invariant).
+    inbound_accepted: AtomicU64,
+    /// Handles to the live inbound streams, so shutdown can unblock the
+    /// reader threads parked in `read_exact`.
+    inbound_streams: Mutex<Vec<TcpStream>>,
+    reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A TCP-backed [`Endpoint`].
@@ -121,13 +104,18 @@ impl TcpMesh {
             .local_addr()
             .map_err(|e| TransportError::Io(e.to_string()))?;
         let (rx_tx, rx) = unbounded();
+        let stats = StatsCell::new_shared();
+        let pipeline =
+            SendPipeline::new(config.node, config.peers, config.tuning, Arc::clone(&stats));
         let inner = Arc::new(TcpInner {
             node: config.node,
-            peers: Mutex::new(config.peers),
-            conns: Mutex::new(HashMap::new()),
+            pipeline,
             rx_tx,
-            stats: StatsCell::new_shared(),
+            stats,
             closed: AtomicBool::new(false),
+            inbound_accepted: AtomicU64::new(0),
+            inbound_streams: Mutex::new(Vec::new()),
+            reader_threads: Mutex::new(Vec::new()),
         });
 
         let accept_inner = inner.clone();
@@ -140,11 +128,24 @@ impl TcpMesh {
                     }
                     let Ok(stream) = stream else { continue };
                     stream.set_nodelay(true).ok();
+                    accept_inner
+                        .inbound_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Keep a handle so shutdown can sever the stream and
+                    // unblock the reader; reap finished readers as we go
+                    // so long-lived endpoints don't accumulate handles.
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_inner.inbound_streams.lock().push(clone);
+                    }
                     let reader_inner = accept_inner.clone();
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name(format!("eden-tcp-read-{}", reader_inner.node))
-                        .spawn(move || reader_loop(reader_inner, stream))
-                        .expect("spawn reader");
+                        .spawn(move || reader_loop(&reader_inner, stream));
+                    if let Ok(handle) = spawned {
+                        let mut readers = accept_inner.reader_threads.lock();
+                        readers.retain(|h| !h.is_finished());
+                        readers.push(handle);
+                    }
                 }
             })
             .map_err(|e| TransportError::Io(e.to_string()))?;
@@ -164,18 +165,34 @@ impl TcpMesh {
 
     /// Registers (or updates) a peer after construction.
     pub fn add_peer(&self, node: NodeId, addr: SocketAddr) {
-        self.inner.peers.lock().insert(node, addr);
+        self.inner.pipeline.add_peer(node, addr);
+    }
+
+    /// Inbound connections accepted over this endpoint's lifetime.
+    /// One live peer dials at most once (its writer owns the
+    /// connection), so tests assert this stays at the peer count.
+    pub fn inbound_connections(&self) -> u64 {
+        self.inner.inbound_accepted.load(Ordering::Relaxed)
     }
 
     /// Binds `n` endpoints on ephemeral loopback ports, fully meshed —
     /// the in-process test harness for the TCP path.
     pub fn bind_local_cluster(n: usize) -> Result<Vec<TcpMesh>, TransportError> {
+        Self::bind_local_cluster_with(n, TcpTuning::default())
+    }
+
+    /// [`TcpMesh::bind_local_cluster`] with explicit pipeline tuning.
+    pub fn bind_local_cluster_with(
+        n: usize,
+        tuning: TcpTuning,
+    ) -> Result<Vec<TcpMesh>, TransportError> {
         let mut meshes = Vec::with_capacity(n);
         for i in 0..n {
             meshes.push(TcpMesh::bind(TcpMeshConfig {
                 node: NodeId(i as u16),
                 listen: "127.0.0.1:0".parse().expect("literal addr"),
                 peers: HashMap::new(),
+                tuning: tuning.clone(),
             })?);
         }
         let addrs: Vec<SocketAddr> = meshes.iter().map(|m| m.local_addr()).collect();
@@ -191,8 +208,11 @@ impl TcpMesh {
 }
 
 /// Reads length-prefixed frames from one inbound connection until EOF,
-/// error, or shutdown.
-fn reader_loop(inner: Arc<TcpInner>, mut stream: TcpStream) {
+/// error, or shutdown. Reads are buffered (syscalls amortized across
+/// the sender's coalesced batches) and frames decode zero-copy: blob
+/// fields slice the receive buffer instead of copying out of it.
+fn reader_loop(inner: &Arc<TcpInner>, stream: TcpStream) {
+    let mut stream = BufReader::with_capacity(64 << 10, stream);
     loop {
         if inner.closed.load(Ordering::Acquire) {
             return;
@@ -205,11 +225,12 @@ fn reader_loop(inner: Arc<TcpInner>, mut stream: TcpStream) {
         if len > MAX_FRAME_BYTES {
             return; // Hostile or corrupt peer: drop the connection.
         }
-        let mut payload = vec![0u8; len as usize];
+        let mut payload = BytesMut::zeroed(len as usize);
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
-        let Ok(frame) = Frame::decode_from_bytes(&payload) else {
+        let payload = payload.freeze();
+        let Ok(frame) = Frame::decode_shared(&payload) else {
             return; // Codec failure: the stream is unsynchronized; drop it.
         };
         inner.stats.record_recv(payload.len());
@@ -228,22 +249,17 @@ impl Endpoint for TcpMesh {
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
-        let payload = frame.encode_to_bytes();
+        thread_local! {
+            // Encode scratch: frames split off a reused allocation, so
+            // the steady state allocates no per-frame BytesMut.
+            static SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::new());
+        }
+        let payload: Bytes =
+            SCRATCH.with(|scratch| frame.encode_reusing(&mut scratch.borrow_mut()));
         self.inner.stats.record_send(payload.len());
         match frame.dst {
-            Dest::Node(dst) => {
-                let known = self.inner.peers.lock().contains_key(&dst);
-                if !known {
-                    return Err(TransportError::UnknownPeer(dst));
-                }
-                self.inner.write_to(dst, &payload);
-            }
-            Dest::Broadcast => {
-                let peers: Vec<NodeId> = self.inner.peers.lock().keys().copied().collect();
-                for p in peers {
-                    self.inner.write_to(p, &payload);
-                }
-            }
+            Dest::Node(dst) => self.inner.pipeline.enqueue_unicast(dst, payload)?,
+            Dest::Broadcast => self.inner.pipeline.broadcast(payload),
         }
         Ok(())
     }
@@ -261,19 +277,36 @@ impl Endpoint for TcpMesh {
     }
 
     fn peers(&self) -> Vec<NodeId> {
-        self.inner.peers.lock().keys().copied().collect()
+        self.inner.pipeline.peer_ids()
     }
 
     fn stats(&self) -> TransportStats {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        s.queue_depth = self.inner.pipeline.queue_depth() as u64;
+        s
+    }
+
+    fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        self.inner.pipeline.attach_obs(obs);
     }
 
     fn shutdown(&self) {
         self.inner.closed.store(true, Ordering::Release);
-        self.inner.conns.lock().clear();
-        // Poke the listener so the accept loop observes the closed flag.
+        // Drain and join the per-peer writers first (graceful flush)...
+        self.inner.pipeline.shutdown();
+        // ...then sever inbound streams so readers parked in
+        // `read_exact` wake up and exit,...
+        for stream in self.inner.inbound_streams.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // ...poke the listener so the accept loop observes the closed
+        // flag,...
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
         if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+        // ...and join the readers: drop(TcpMesh) leaves no live threads.
+        for h in self.inner.reader_threads.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -392,6 +425,28 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_batches_are_counted() {
+        let meshes = TcpMesh::bind_local_cluster(2).unwrap();
+        let (a, b) = (&meshes[0], &meshes[1]);
+        for i in 0..64 {
+            a.send(Frame::to(NodeId(0), NodeId(1), ping(i))).unwrap();
+        }
+        for _ in 0..64 {
+            b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        }
+        let s = a.stats();
+        assert_eq!(s.frames_sent, 64);
+        assert!(s.batches_sent >= 1, "batches must be counted");
+        assert!(
+            s.batches_sent <= 64,
+            "batches cannot exceed frames: {}",
+            s.batches_sent
+        );
+        assert_eq!(s.dials, 1, "one peer, one dial");
+        assert_eq!(s.queue_depth, 0, "queue drained after delivery");
+    }
+
+    #[test]
     fn shutdown_is_idempotent_and_closes_send() {
         let meshes = TcpMesh::bind_local_cluster(2).unwrap();
         meshes[0].shutdown();
@@ -412,17 +467,15 @@ mod reconnect_tests {
     fn sender_redials_after_the_peer_restarts() {
         // Endpoint A talks to B; B dies and a new endpoint rebinds the
         // same port; A's next sends reach the reincarnated B.
-        let a = TcpMesh::bind(TcpMeshConfig {
-            node: NodeId(0),
-            listen: "127.0.0.1:0".parse().unwrap(),
-            peers: HashMap::new(),
-        })
+        let a = TcpMesh::bind(TcpMeshConfig::new(
+            NodeId(0),
+            "127.0.0.1:0".parse().unwrap(),
+        ))
         .unwrap();
-        let b1 = TcpMesh::bind(TcpMeshConfig {
-            node: NodeId(1),
-            listen: "127.0.0.1:0".parse().unwrap(),
-            peers: HashMap::new(),
-        })
+        let b1 = TcpMesh::bind(TcpMeshConfig::new(
+            NodeId(1),
+            "127.0.0.1:0".parse().unwrap(),
+        ))
         .unwrap();
         let b_addr = b1.local_addr();
         a.add_peer(NodeId(1), b_addr);
@@ -434,12 +487,8 @@ mod reconnect_tests {
         // B restarts on the same address.
         b1.shutdown();
         std::thread::sleep(Duration::from_millis(50));
-        let b2 = TcpMesh::bind(TcpMeshConfig {
-            node: NodeId(1),
-            listen: b_addr,
-            peers: HashMap::new(),
-        })
-        .expect("rebind the released port");
+        let b2 =
+            TcpMesh::bind(TcpMeshConfig::new(NodeId(1), b_addr)).expect("rebind the released port");
 
         // A's first send may land on the dead connection (best-effort
         // drop); the redial then delivers. Retry a few times like the

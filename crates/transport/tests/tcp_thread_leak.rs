@@ -1,0 +1,58 @@
+//! Regression test for the seed's reader-thread leak: inbound reader
+//! threads used to park forever in `read_exact` after `shutdown()`, so
+//! every TcpMesh lifecycle leaked threads. Kept in its own test binary
+//! so no sibling tests spawn threads while we count ours.
+
+#![cfg(target_os = "linux")]
+
+use std::time::Duration;
+
+use eden_capability::NodeId;
+use eden_transport::{Endpoint, TcpMesh};
+use eden_wire::{Frame, Message};
+
+/// Live threads in this process, per the kernel.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("procfs")
+        .count()
+}
+
+#[test]
+fn shutdown_reaps_reader_and_writer_threads() {
+    let before = thread_count();
+    for round in 0..3u64 {
+        let meshes = TcpMesh::bind_local_cluster(2).expect("cluster");
+        let (a, b) = (&meshes[0], &meshes[1]);
+        // Traffic both ways, so both endpoints hold inbound readers
+        // (the threads that used to leak) and outbound writers.
+        a.send(Frame::to(
+            NodeId(0),
+            NodeId(1),
+            Message::Ping { token: round },
+        ))
+        .unwrap();
+        b.send(Frame::to(
+            NodeId(1),
+            NodeId(0),
+            Message::Ping { token: round },
+        ))
+        .unwrap();
+        a.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        assert!(
+            thread_count() > before,
+            "endpoints should be running accept/read/write threads"
+        );
+        drop(meshes); // Drop calls shutdown(), which joins every thread.
+    }
+    // Joined means gone immediately; allow a scheduler tick anyway for
+    // the kernel to retire the task entries.
+    std::thread::sleep(Duration::from_millis(50));
+    let after = thread_count();
+    assert!(
+        after <= before,
+        "thread leak: {before} threads before, {after} after three \
+         bind/shutdown cycles"
+    );
+}

@@ -164,14 +164,38 @@ impl Default for Writer {
 }
 
 /// A checked decoder over a byte slice.
+///
+/// Constructed with [`Reader::new`] over a plain slice, byte-string
+/// fields are copied out. Constructed with [`Reader::shared`] over a
+/// refcounted [`Bytes`] buffer, [`Reader::get_bytes`] returns slices of
+/// the backing buffer instead ([`Bytes::slice`]) — zero-copy, which is
+/// what the transport's receive path uses for blob-heavy frames.
 pub struct Reader<'a> {
     buf: &'a [u8],
+    /// The shared backing buffer in zero-copy mode; `pos` is the offset
+    /// of `buf[0]` within it.
+    backing: Option<&'a Bytes>,
+    pos: usize,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
+        Reader {
+            buf,
+            backing: None,
+            pos: 0,
+        }
+    }
+
+    /// Creates a zero-copy reader over a shared buffer: byte-string
+    /// fields alias `buf` rather than being copied.
+    pub fn shared(buf: &'a Bytes) -> Self {
+        Reader {
+            buf,
+            backing: Some(buf),
+            pos: 0,
+        }
     }
 
     /// Bytes not yet consumed.
@@ -185,6 +209,7 @@ impl<'a> Reader<'a> {
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
+        self.pos += n;
         Ok(head)
     }
 
@@ -240,13 +265,25 @@ impl<'a> Reader<'a> {
     pub fn get_str(&mut self) -> Result<String, CodecError> {
         let n = self.get_len()?;
         let raw = self.take(n)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+        // Validate before allocating: invalid input costs no copy, and
+        // valid input costs exactly the one copy a String must own.
+        core::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
     }
 
     /// Reads a length-prefixed byte string.
+    ///
+    /// In [`Reader::shared`] mode this is a refcounted slice of the
+    /// backing buffer; otherwise it is a fresh copy.
     pub fn get_bytes(&mut self) -> Result<Bytes, CodecError> {
         let n = self.get_len()?;
-        Ok(Bytes::copy_from_slice(self.take(n)?))
+        let start = self.pos;
+        let raw = self.take(n)?;
+        Ok(match self.backing {
+            Some(b) => b.slice(start..start + n),
+            None => Bytes::copy_from_slice(raw),
+        })
     }
 
     /// Reads an `Option` written by [`Writer::put_option`].
@@ -293,6 +330,22 @@ pub trait WireEncode {
         self.encode(&mut w);
         w.finish()
     }
+
+    /// Encodes `self` into `scratch`'s spare capacity and returns the
+    /// encoded value as a frozen split-off. The allocation stays with
+    /// `scratch` for the next value, so steady-state encoding (the
+    /// transport's per-frame hot path) allocates only when capacity
+    /// runs out rather than once per frame.
+    fn encode_reusing(&self, scratch: &mut BytesMut) -> Bytes {
+        let mut w = Writer {
+            buf: core::mem::take(scratch),
+        };
+        self.encode(&mut w);
+        let mut buf = w.buf;
+        let out = buf.split().freeze();
+        *scratch = buf;
+        out
+    }
 }
 
 /// Types that can be read back from a [`Reader`].
@@ -303,6 +356,15 @@ pub trait WireDecode: Sized {
     /// Decodes a value that must consume the entire buffer.
     fn decode_from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+
+    /// Zero-copy variant of [`WireDecode::decode_from_bytes`]: byte-string
+    /// fields become refcounted slices of `buf` instead of fresh copies.
+    fn decode_shared(buf: &Bytes) -> Result<Self, CodecError> {
+        let mut r = Reader::shared(buf);
         let v = Self::decode(&mut r)?;
         r.expect_end()?;
         Ok(v)
@@ -508,7 +570,60 @@ mod tests {
         assert_eq!(Capability::decode_from_bytes(&buf).unwrap(), cap);
     }
 
+    #[test]
+    fn shared_reader_slices_instead_of_copying() {
+        let mut w = Writer::new();
+        w.put_bytes(&[7u8; 64]);
+        let buf = w.finish();
+        let mut r = Reader::shared(&buf);
+        let blob = r.get_bytes().unwrap();
+        assert_eq!(&blob[..], &[7u8; 64]);
+        // Zero-copy: the blob aliases the backing buffer's allocation.
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(range.contains(&(blob.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn encode_reusing_round_trips_and_reuses_capacity() {
+        let mut scratch = BytesMut::with_capacity(4096);
+        for v in [42u64, 43, u64::MAX] {
+            let b = v.encode_reusing(&mut scratch);
+            assert_eq!(u64::decode_from_bytes(&b).unwrap(), v);
+            // Each encode splits its frame off and hands the scratch
+            // back empty but still holding its allocation, so the
+            // steady state never grows a fresh buffer from zero.
+            assert!(scratch.is_empty());
+            assert!(scratch.capacity() >= 4096);
+        }
+    }
+
     proptest! {
+        #[test]
+        fn shared_and_copying_decoders_agree(
+            blobs in proptest::collection::vec(
+                proptest::collection::vec(0u8.., 0..128), 0..8),
+            s in ".{0,64}",
+        ) {
+            let mut w = Writer::new();
+            w.put_str(&s);
+            w.put_u32(blobs.len() as u32);
+            for b in &blobs {
+                w.put_bytes(b);
+            }
+            let buf = w.finish();
+
+            let mut copying = Reader::new(&buf);
+            let mut shared = Reader::shared(&buf);
+            prop_assert_eq!(copying.get_str().unwrap(), shared.get_str().unwrap());
+            let n = copying.get_u32().unwrap();
+            prop_assert_eq!(n, shared.get_u32().unwrap());
+            for _ in 0..n {
+                prop_assert_eq!(copying.get_bytes().unwrap(), shared.get_bytes().unwrap());
+            }
+            copying.expect_end().unwrap();
+            shared.expect_end().unwrap();
+        }
+
         #[test]
         fn objname_round_trips(node in 0u16.., epoch in 0u32.., seq in 0u64..) {
             let n = ObjName::from_parts(NodeId(node), epoch, seq);

@@ -746,6 +746,37 @@ mod tests {
         }
 
         #[test]
+        fn shared_and_copying_frame_decoders_agree(
+            inv_id in 0u64..,
+            op in "[a-z]{1,12}",
+            payload in proptest::collection::vec(0u8.., 0..512),
+            garbage in proptest::collection::vec(0u8.., 0..256),
+        ) {
+            // The transport's receive path decodes zero-copy
+            // (`decode_shared` slices the inbound buffer); it must agree
+            // byte-for-byte with the copying decoder on valid frames...
+            let frame = Frame::to(NodeId(1), NodeId(2), Message::InvokeRequest {
+                inv_id,
+                target: Capability::mint(sample_name()),
+                operation: op,
+                args: vec![
+                    Value::Blob(bytes::Bytes::from(payload.clone())),
+                    Value::List(vec![Value::Blob(bytes::Bytes::from(payload))]),
+                ],
+                reply_to: NodeId(3),
+                hops: 2,
+            });
+            let buf = frame.encode_to_bytes();
+            let copied = Frame::decode_from_bytes(&buf).unwrap();
+            let shared = Frame::decode_shared(&buf).unwrap();
+            prop_assert_eq!(&copied, &shared);
+            prop_assert_eq!(&shared, &frame);
+            // ...and on garbage, fail or succeed identically.
+            let g = bytes::Bytes::from(garbage);
+            prop_assert_eq!(Frame::decode_from_bytes(&g), Frame::decode_shared(&g));
+        }
+
+        #[test]
         fn pre_trace_layout_still_decodes(
             inv_id in 0u64..,
             op in "[a-z]{1,12}",

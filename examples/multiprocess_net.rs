@@ -41,12 +41,9 @@ fn boot_node(id: u16, addrs: &[SocketAddr]) -> Node {
         .filter(|(i, _)| *i != id as usize)
         .map(|(i, a)| (NodeId(i as u16), *a))
         .collect();
-    let mesh = TcpMesh::bind(TcpMeshConfig {
-        node: NodeId(id),
-        listen: addrs[id as usize],
-        peers,
-    })
-    .expect("bind tcp mesh");
+    let mut config = TcpMeshConfig::new(NodeId(id), addrs[id as usize]);
+    config.peers = peers;
+    let mesh = TcpMesh::bind(config).expect("bind tcp mesh");
     let registry = Arc::new(TypeRegistry::new());
     registry.register(Arc::new(CounterType)).expect("register");
     Node::new(

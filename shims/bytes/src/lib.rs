@@ -207,6 +207,13 @@ impl BytesMut {
         }
     }
 
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0; len],
+        }
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -215,6 +222,11 @@ impl BytesMut {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
     }
 
     /// Reserves room for at least `additional` more bytes.
@@ -232,6 +244,18 @@ impl BytesMut {
         self.inner.clear()
     }
 
+    /// Splits off and returns the current contents, leaving `self`
+    /// empty but with its spare capacity intact — the encode-scratch
+    /// reuse pattern (`real` bytes splits the shared buffer; here the
+    /// contents move into an exact-sized allocation instead).
+    pub fn split(&mut self) -> BytesMut {
+        // `split_off(0)` moves the contents into an exact-sized vector
+        // and leaves `self` empty with its original capacity.
+        BytesMut {
+            inner: self.inner.split_off(0),
+        }
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.inner)
@@ -242,6 +266,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.inner
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
     }
 }
 
@@ -342,5 +372,24 @@ mod tests {
         assert_eq!(b.len(), 13);
         assert_eq!(b[0], 7);
         assert_eq!(u32::from_le_bytes(b[1..5].try_into().unwrap()), 0xdead_beef);
+    }
+
+    #[test]
+    fn split_keeps_scratch_capacity() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"hello");
+        let split = m.split();
+        assert_eq!(&split[..], b"hello");
+        assert!(m.is_empty());
+        assert!(m.capacity() >= 64);
+        assert_eq!(split.freeze(), Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn zeroed_is_mutable() {
+        let mut m = BytesMut::zeroed(4);
+        assert_eq!(&m[..], &[0, 0, 0, 0]);
+        m[2] = 9;
+        assert_eq!(m.freeze(), Bytes::from(vec![0u8, 0, 9, 0]));
     }
 }

@@ -1,15 +1,18 @@
 //! In-tree shim for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel` is provided, backed by `std::sync::mpsc`.
-//! The receiver is wrapped in a mutex so it is `Sync` like crossbeam's
-//! (endpoints share one receiver across kernel threads via `&self`).
+//! Only `crossbeam::channel` is provided, backed by `std::sync::mpsc`
+//! (`sync_channel` for the bounded flavour). The receiver is wrapped in
+//! a mutex so it is `Sync` like crossbeam's (endpoints share one
+//! receiver across kernel threads via `&self`). A shared depth counter
+//! backs crossbeam's `len`/`is_empty`, which `std::sync::mpsc` lacks.
 
 #![forbid(unsafe_code)]
 
 pub mod channel {
     use std::fmt;
+    use std::sync::atomic::{AtomicIsize, Ordering};
     use std::sync::mpsc;
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex};
     use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the channel is disconnected.
@@ -39,6 +42,25 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`], carrying the rejected
+    /// message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -60,53 +82,131 @@ pub mod channel {
         }
     }
 
-    /// The sending half of an unbounded channel.
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    ///
+    /// The shared `depth` counter backs `len`/`is_empty`. It is signed:
+    /// a receive's decrement can race ahead of the matching send's
+    /// increment, and the transient negative must not saturate (which
+    /// would drift the counter upward permanently); reads clamp to 0.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Tx<T>,
+        depth: Arc<AtomicIsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 inner: self.inner.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; errors if every receiver is gone.
+        /// Enqueues a message, blocking on a full bounded channel;
+        /// errors if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let sent = match &self.inner {
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            };
+            if sent.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            sent
+        }
+
+        /// Non-blocking enqueue: a full bounded channel rejects the
+        /// message instead of waiting for space.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let sent = match &self.inner {
+                Tx::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            };
+            if sent.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            sent
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed).max(0) as usize
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         inner: Mutex<mpsc::Receiver<T>>,
+        depth: Arc<AtomicIsize>,
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or the channel disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.lock().recv().map_err(|_| RecvError)
+            let got = self.lock().recv().map_err(|_| RecvError);
+            self.note_taken(got.is_ok());
+            got
         }
 
         /// Blocks with a deadline.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.lock().recv_timeout(timeout).map_err(|e| match e {
+            let got = self.lock().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            });
+            self.note_taken(got.is_ok());
+            got
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.lock().try_recv().map_err(|e| match e {
+            let got = self.lock().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            });
+            self.note_taken(got.is_ok());
+            got
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed).max(0) as usize
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn note_taken(&self, took: bool) {
+            if took {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
         }
 
         fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
@@ -114,15 +214,30 @@ pub mod channel {
         }
     }
 
+    fn wrap<T>(tx: Tx<T>, rx: mpsc::Receiver<T>) -> (Sender<T>, Receiver<T>) {
+        let depth = Arc::new(AtomicIsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                depth: Arc::clone(&depth),
+            },
+            Receiver {
+                inner: Mutex::new(rx),
+                depth,
+            },
+        )
+    }
+
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (
-            Sender { inner: tx },
-            Receiver {
-                inner: Mutex::new(rx),
-            },
-        )
+        wrap(Tx::Unbounded(tx), rx)
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        wrap(Tx::Bounded(tx), rx)
     }
 
     #[cfg(test)]
@@ -145,6 +260,24 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn bounded_sheds_when_full() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.len(), 1);
+            assert!(!rx.is_empty());
+            assert_eq!(tx.try_send(4), Ok(()));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(4));
+            assert!(rx.is_empty());
+            drop(rx);
+            assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
         }
     }
 }
