@@ -34,7 +34,7 @@ pub use calendar::{CalendarType, MeetingScheduler};
 pub use counter::CounterType;
 pub use hierarchy::{AuditedQueueType, NamedQueueType, ResourceType};
 pub use mail::{MailClient, MailboxType};
-pub use monitor::{ClusterMetrics, MonitorClient, MonitorType};
+pub use monitor::{ClusterMembership, ClusterMetrics, MemberRow, MonitorClient, MonitorType};
 pub use policy::PolicyObjectType;
 pub use queue::SharedQueueType;
 

@@ -20,6 +20,7 @@
 //! | `scrape_metrics` | scrape | READ | per-node + cluster-merged metrics |
 //! | `scrape_trace [u64]` | scrape | READ | span records (optionally one trace) |
 //! | `scrape_events [u64]` | scrape | READ | merged flight-recorder stream |
+//! | `scrape_membership` | scrape | READ | each node's gossip membership view |
 //!
 //! Scrape replies put per-node payloads first, any merged view second,
 //! and a list of unreachable node ids last, so a partial cluster still
@@ -58,6 +59,7 @@ impl TypeManager for MonitorType {
             .op("scrape_metrics", "scrape", Rights::READ)
             .op("scrape_trace", "scrape", Rights::READ)
             .op("scrape_events", "scrape", Rights::READ)
+            .op("scrape_membership", "scrape", Rights::READ)
     }
 
     /// Initial arguments: one `Value::Cap` per node to watch.
@@ -149,6 +151,26 @@ impl TypeManager for MonitorType {
                     .collect();
                 Ok(vec![Value::List(merged), Value::List(down)])
             }
+            "scrape_membership" => {
+                let mut per_node = Vec::new();
+                let mut down = Vec::new();
+                for (id, cap) in watched(ctx) {
+                    match ctx.invoke(cap, "get_membership", &[]) {
+                        Ok(reply) => {
+                            let rows = match reply.into_iter().next() {
+                                Some(rows @ Value::List(_)) => rows,
+                                _ => return Err(OpError::app(1, "malformed membership payload")),
+                            };
+                            let mut view = std::collections::BTreeMap::new();
+                            view.insert("observer".to_string(), Value::U64(u64::from(id.0)));
+                            view.insert("members".to_string(), rows);
+                            per_node.push(Value::Map(view));
+                        }
+                        Err(_) => down.push(Value::U64(u64::from(id.0))),
+                    }
+                }
+                Ok(vec![Value::List(per_node), Value::List(down)])
+            }
             other => Err(OpError::no_such_op(other)),
         }
     }
@@ -182,6 +204,29 @@ pub struct ClusterMetrics {
     pub per_node: Vec<NodeMetrics>,
     /// The bucket-wise merged cluster view (labelled `cluster`).
     pub merged: NodeMetrics,
+    /// Node ids that could not be scraped.
+    pub down: Vec<u16>,
+}
+
+/// One node's belief about one cluster member, as gossip sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberRow {
+    /// The member this row describes.
+    pub node: u16,
+    /// The believed status label: `alive`, `suspect` or `dead`.
+    pub status: String,
+    /// The member's incarnation number at that belief.
+    pub incarnation: u64,
+}
+
+/// A cluster membership scrape: every reachable node's gossip view
+/// (keyed by the observing node) and the nodes that did not answer.
+/// Views can disagree — that disagreement is exactly what the scrape
+/// is for (watching a suspicion propagate or a refutation land).
+#[derive(Debug, Clone)]
+pub struct ClusterMembership {
+    /// `(observer, that observer's view)` per node that answered.
+    pub per_node: Vec<(u16, Vec<MemberRow>)>,
     /// Node ids that could not be scraped.
     pub down: Vec<u16>,
 }
@@ -297,6 +342,21 @@ impl MonitorClient {
         }
     }
 
+    /// Scrapes every watched node's gossip membership view.
+    pub fn scrape_membership(&self) -> eden_kernel::Result<ClusterMembership> {
+        let reply = self.node.invoke(self.monitor, "scrape_membership", &[])?;
+        let per_node = match reply.first() {
+            Some(Value::List(views)) => views
+                .iter()
+                .map(decode_membership_view)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| malformed("membership views"))?,
+            _ => return Err(malformed("membership views")),
+        };
+        let down = decode_down(reply.get(1))?;
+        Ok(ClusterMembership { per_node, down })
+    }
+
     /// JSONL export of a fresh event scrape.
     pub fn events_jsonl(&self) -> eden_kernel::Result<String> {
         let events = self.scrape_events()?;
@@ -312,6 +372,26 @@ fn malformed(what: &str) -> EdenError {
         code: 1,
         message: format!("malformed monitor reply: {what}"),
     })
+}
+
+/// Decodes one `{observer, members}` view map from a membership scrape.
+fn decode_membership_view(v: &Value) -> Option<(u16, Vec<MemberRow>)> {
+    let view = v.as_map()?;
+    let observer = view.get("observer")?.as_u64()? as u16;
+    let members = view
+        .get("members")?
+        .as_list()?
+        .iter()
+        .map(|row| {
+            let row = row.as_map()?;
+            Some(MemberRow {
+                node: row.get("node")?.as_u64()? as u16,
+                status: row.get("status")?.as_str()?.to_string(),
+                incarnation: row.get("incarnation")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some((observer, members))
 }
 
 fn decode_down(v: Option<&Value>) -> eden_kernel::Result<Vec<u16>> {

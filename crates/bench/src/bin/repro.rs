@@ -60,4 +60,7 @@ fn main() {
     if want("e13") {
         exp_e13_transport::run().print();
     }
+    if want("e14") {
+        exp_e14_directory::run().print();
+    }
 }

@@ -17,6 +17,7 @@ pub mod exp_e10_failover;
 pub mod exp_e11_ablation;
 pub mod exp_e12_fanout;
 pub mod exp_e13_transport;
+pub mod exp_e14_directory;
 pub mod exp_e1_latency;
 pub mod exp_e2_classes;
 pub mod exp_e3_checkpoint;

@@ -73,6 +73,7 @@ pub mod behavior;
 pub mod cluster;
 pub mod ctx;
 pub mod error;
+pub mod lru;
 pub mod metrics;
 pub mod node;
 pub mod object;
@@ -86,6 +87,7 @@ pub mod waiter;
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use ctx::OpCtx;
 pub use error::{EdenError, Result};
+pub use lru::LruMap;
 pub use metrics::KernelMetrics;
 pub use node::{
     node_object_cap, node_object_name, InvocationHandle, Node, NodeConfig, ObjectInfo,

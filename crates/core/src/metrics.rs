@@ -108,6 +108,18 @@ metrics! {
     invocation_processes => bump_process,
     /// Invocations that waited in a class queue before dispatch.
     class_queued => bump_class_queued,
+    /// Locate queries sent to an object's directory home node.
+    directory_queries => bump_dir_query,
+    /// Directory answers that named a usable holder.
+    directory_hits => bump_dir_hit,
+    /// Holder registrations sent to (or applied at) a home node.
+    directory_registrations => bump_dir_register,
+    /// Directory queries answered from the local shard.
+    directory_answers_served => bump_dir_served,
+    /// Peers this node's gossip declared dead.
+    gossip_deaths => bump_gossip_dead,
+    /// Location hints evicted by the cache's LRU cap.
+    location_cache_evictions => bump_cache_eviction,
 }
 
 #[cfg(test)]

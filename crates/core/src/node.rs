@@ -37,16 +37,19 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eden_capability::{Capability, NameGenerator, NodeId, ObjName, Rights};
+use eden_directory::{DirOutput, DirectoryService, GossipConfig, MemberEvent};
 use eden_obs::{now_ns, KernelEvent, ObsRegistry, TraceCtx, TraceSampling};
 use eden_store::CheckpointStore;
 use eden_transport::Endpoint;
 use eden_wire::{
-    Frame, HeldState, Message, ObjectImage, Reader, Status, Value, WireDecode, WireEncode, Writer,
+    DirRegisterKind, DirState, Frame, HeldState, MemberStatus, Message, ObjectImage, Reader,
+    Status, Value, WireDecode, WireEncode, Writer,
 };
 use parking_lot::{Mutex, RwLock};
 
 use crate::ctx::OpCtx;
 use crate::error::{EdenError, Result};
+use crate::lru::LruMap;
 use crate::metrics::{KernelMetrics, MetricsCell};
 pub use crate::object::ReliabilityLevel;
 use crate::object::{
@@ -110,6 +113,28 @@ pub struct NodeConfig {
     /// with [`Status::Overloaded`] instead of queueing without limit —
     /// the backpressure contract a fan-out client must handle.
     pub vproc_queue_cap: usize,
+    /// Enables the sharded location directory and its gossip membership:
+    /// each object name hashes to a *home* node that tracks the current
+    /// holder, so a locate miss costs one round trip to the home instead
+    /// of a broadcast plus the locate window. Off reproduces the seed
+    /// kernel exactly (broadcast `WhereIs` is the only search).
+    pub enable_directory: bool,
+    /// Compatibility switch: when the directory cannot name a live
+    /// holder, fall back to the seed's broadcast search. Disabling it
+    /// makes misses cheap but surrenders the broadcast safety net
+    /// (directory state is a hint, not ground truth).
+    pub enable_broadcast_fallback: bool,
+    /// Bound on the location hint cache; past it the least recently used
+    /// hint is evicted (counted in `location_cache_evictions`).
+    pub location_cache_cap: usize,
+    /// Gossip protocol period: one direct liveness probe per period.
+    pub gossip_interval: Duration,
+    /// Budget for a probed peer to ack (directly or via relays) before
+    /// it becomes a suspect.
+    pub gossip_probe_timeout: Duration,
+    /// How long a suspect may stay unrefuted before gossip declares it
+    /// dead and the directory withholds its registrations.
+    pub gossip_suspect_timeout: Duration,
 }
 
 impl Default for NodeConfig {
@@ -128,6 +153,12 @@ impl Default for NodeConfig {
             trace_sampling: TraceSampling::Always,
             vproc_workers: 0,
             vproc_queue_cap: 1024,
+            enable_directory: true,
+            enable_broadcast_fallback: true,
+            location_cache_cap: 4096,
+            gossip_interval: Duration::from_millis(100),
+            gossip_probe_timeout: Duration::from_millis(200),
+            gossip_suspect_timeout: Duration::from_millis(600),
         }
     }
 }
@@ -157,6 +188,7 @@ pub(crate) enum ReplyMsg {
     CkptAck(bool, u64),
     CkptData(Option<ObjectImage>),
     Replica(Option<ObjectImage>),
+    DirAnswer(Option<NodeId>, DirState),
     Pong,
 }
 
@@ -187,8 +219,9 @@ impl ServedRequests {
 }
 
 struct LocationService {
-    /// Last known holder of an object (hints; may be stale).
-    cache: RwLock<HashMap<ObjName, NodeId>>,
+    /// Last known holder of an object (hints; may be stale). Bounded by
+    /// [`NodeConfig::location_cache_cap`] with LRU eviction.
+    cache: Mutex<LruMap<ObjName, NodeId>>,
     /// Where objects this node moved away now live.
     forwards: RwLock<HashMap<ObjName, NodeId>>,
     /// Outstanding broadcast queries.
@@ -204,6 +237,11 @@ pub(crate) struct NodeInner {
     destroyed: Mutex<HashSet<ObjName>>,
     served: Mutex<ServedRequests>,
     location: LocationService,
+    /// The sharded location directory and gossip membership (`None`
+    /// reproduces the seed kernel exactly). The service is a pure state
+    /// machine: the receive loop ticks it and feeds it frames; no thread
+    /// of its own.
+    directory: Option<Mutex<DirectoryService>>,
     pending: Mutex<HashMap<u64, Arc<Waiter<ReplyMsg>>>>,
     store: Arc<dyn CheckpointStore>,
     endpoint: Arc<dyn Endpoint>,
@@ -292,6 +330,23 @@ impl Node {
         } else {
             config.vproc_workers
         };
+        let directory = if config.enable_directory {
+            let gossip = GossipConfig {
+                probe_interval: config.gossip_interval,
+                probe_timeout: config.gossip_probe_timeout,
+                suspect_timeout: config.gossip_suspect_timeout,
+                ..GossipConfig::default()
+            };
+            Some(Mutex::new(DirectoryService::new(
+                id,
+                &endpoint.peers(),
+                gossip,
+                Instant::now(),
+            )))
+        } else {
+            None
+        };
+        let cache_cap = config.location_cache_cap;
         let inner = Arc::new(NodeInner {
             id,
             gate: EdenSemaphore::new(config.virtual_processors.max(1) as u64),
@@ -303,10 +358,11 @@ impl Node {
             destroyed: Mutex::new(HashSet::new()),
             served: Mutex::new(ServedRequests::default()),
             location: LocationService {
-                cache: RwLock::new(HashMap::new()),
+                cache: Mutex::new(LruMap::new(cache_cap)),
                 forwards: RwLock::new(HashMap::new()),
                 queries: Mutex::new(HashMap::new()),
             },
+            directory,
             pending: Mutex::new(HashMap::new()),
             store,
             endpoint,
@@ -384,6 +440,215 @@ impl Node {
         self.inner.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    // ================= Location directory =================
+
+    /// The cached location hint for `name`, refreshed as most recently
+    /// used.
+    pub fn location_hint(&self, name: ObjName) -> Option<NodeId> {
+        self.inner.location.cache.lock().get(&name).copied()
+    }
+
+    /// Number of live location hints (bounded by
+    /// [`NodeConfig::location_cache_cap`]).
+    pub fn location_cache_len(&self) -> usize {
+        self.inner.location.cache.lock().len()
+    }
+
+    fn cache_insert(&self, name: ObjName, holder: NodeId) {
+        let evicted = self.inner.location.cache.lock().insert(name, holder);
+        for _ in 0..evicted {
+            self.inner.metrics.bump_cache_eviction();
+        }
+    }
+
+    /// The gossip membership view: every known node with its believed
+    /// status and incarnation, self included. Self-only when the
+    /// directory is disabled.
+    pub fn membership(&self) -> Vec<(NodeId, MemberStatus, u64)> {
+        match &self.inner.directory {
+            Some(dir) => dir.lock().snapshot(),
+            None => vec![(self.inner.id, MemberStatus::Alive, 0)],
+        }
+    }
+
+    /// The directory home node for `name` on this node's current ring,
+    /// if the directory is enabled.
+    pub fn directory_home(&self, name: ObjName) -> Option<NodeId> {
+        self.inner
+            .directory
+            .as_ref()
+            .and_then(|d| d.lock().home(name))
+    }
+
+    /// Number of directory entries homed on this node's shard.
+    pub fn directory_shard_len(&self) -> usize {
+        self.inner
+            .directory
+            .as_ref()
+            .map(|d| d.lock().shard_len())
+            .unwrap_or(0)
+    }
+
+    /// Whether gossip currently believes `node` is dead. Used to skip
+    /// doomed candidate probes; safe because the broadcast fallback (or
+    /// the directory itself) still finds the object if gossip is wrong.
+    fn peer_is_dead(&self, node: NodeId) -> bool {
+        match &self.inner.directory {
+            Some(dir) => dir.lock().status_of(node) == MemberStatus::Dead,
+            None => false,
+        }
+    }
+
+    /// Sends the frames a directory/membership step produced and applies
+    /// its liveness events to kernel state.
+    fn apply_dir_output(&self, out: DirOutput) {
+        for (dst, msg) in out.msgs {
+            let _ = self.inner.endpoint.send(Frame::to(self.inner.id, dst, msg));
+        }
+        for event in out.events {
+            match event {
+                MemberEvent::Alive(node) => {
+                    self.inner
+                        .obs
+                        .recorder()
+                        .record(KernelEvent::MemberAlive { node: node.0 });
+                }
+                MemberEvent::Suspect(node) => {
+                    self.inner
+                        .obs
+                        .recorder()
+                        .record(KernelEvent::MemberSuspect { node: node.0 });
+                }
+                MemberEvent::Dead(node) => {
+                    self.inner.metrics.bump_gossip_dead();
+                    self.inner
+                        .obs
+                        .recorder()
+                        .record(KernelEvent::MemberDead { node: node.0 });
+                    // Hints pointing at a dead node are now worthless.
+                    self.inner
+                        .location
+                        .cache
+                        .lock()
+                        .retain(|_, holder| *holder != node);
+                    // Broadcasts in flight will never hear from it: rule
+                    // it out so their collectors can complete early.
+                    for collector in self.inner.location.queries.lock().values() {
+                        collector.note_unreachable();
+                    }
+                }
+            }
+        }
+        if out.topology_changed {
+            self.reregister_local_objects();
+        }
+    }
+
+    /// Re-registers every locally active object after a ring change so
+    /// its directory entry migrates to the new home node. Checkpoint-only
+    /// registrations are not re-announced (the store has no enumeration);
+    /// until the holder's next checkpoint a re-homed entry simply lacks
+    /// its checksite fallback and a miss rides the broadcast instead.
+    fn reregister_local_objects(&self) {
+        let names: Vec<ObjName> = self
+            .inner
+            .objects
+            .read()
+            .iter()
+            .filter(|(_, slot)| !slot.is_replica())
+            .map(|(name, _)| *name)
+            .collect();
+        for name in names {
+            self.dir_register(name, self.inner.id, DirRegisterKind::Active);
+        }
+    }
+
+    /// Registers (or drops) a holder fact at the object's directory home.
+    /// Fire-and-forget: the directory stores hints, not truth (§4.3), so
+    /// a lost registration merely degrades a later locate to the
+    /// broadcast fallback.
+    fn dir_register(&self, name: ObjName, holder: NodeId, kind: DirRegisterKind) {
+        let Some(dir) = &self.inner.directory else {
+            return;
+        };
+        self.inner.metrics.bump_dir_register();
+        let forward = dir
+            .lock()
+            .handle_register(self.inner.id, name, holder, kind);
+        let home = forward
+            .as_ref()
+            .map(|(dst, _)| *dst)
+            .unwrap_or(self.inner.id);
+        self.inner
+            .obs
+            .recorder()
+            .record(KernelEvent::DirectoryRegister {
+                obj: name.to_u128(),
+                home: home.0,
+            });
+        if let Some((dst, msg)) = forward {
+            let _ = self.inner.endpoint.send(Frame::to(self.inner.id, dst, msg));
+        }
+    }
+
+    /// Resolves `name` through the sharded directory: one `DirQuery` to
+    /// the object's home node (or a local shard lookup when this node is
+    /// the home). Returns the registered holder on a hit; `None` on a
+    /// miss, a withheld (suspect) answer, or an unreachable home.
+    pub fn directory_locate(&self, name: ObjName) -> Option<NodeId> {
+        let deadline = Instant::now() + self.inner.config.locate_window;
+        self.directory_locate_before(name, deadline)
+    }
+
+    fn directory_locate_before(&self, name: ObjName, deadline: Instant) -> Option<NodeId> {
+        let dir = self.inner.directory.as_ref()?;
+        let home = dir.lock().home(name)?;
+        self.inner.metrics.bump_dir_query();
+        self.inner
+            .obs
+            .recorder()
+            .record(KernelEvent::DirectoryQuery {
+                obj: name.to_u128(),
+                home: home.0,
+            });
+        let hit = if home == self.inner.id {
+            let (holder, state) = dir.lock().answer_query(name);
+            (state == DirState::Hit).then_some(holder).flatten()
+        } else {
+            let query_id = self.fresh_id();
+            let waiter = Arc::new(Waiter::new());
+            self.inner.pending.lock().insert(query_id, waiter.clone());
+            let _ = self.inner.endpoint.send(Frame::to(
+                self.inner.id,
+                home,
+                Message::DirQuery {
+                    query_id,
+                    name,
+                    reply_to: self.inner.id,
+                },
+            ));
+            let budget = self
+                .inner
+                .config
+                .locate_window
+                .min(deadline.saturating_duration_since(Instant::now()));
+            let result = self.inner.vprocs.blocking(|| waiter.wait(budget));
+            self.inner.pending.lock().remove(&query_id);
+            match result {
+                Some(ReplyMsg::DirAnswer(holder, state)) => {
+                    (state == DirState::Hit).then_some(holder).flatten()
+                }
+                // Home unreachable or the answer was lost: treat as a
+                // miss and let the caller fall back.
+                _ => None,
+            }
+        };
+        if hit.is_some() {
+            self.inner.metrics.bump_dir_hit();
+        }
+        hit
+    }
+
     // ================= Object creation =================
 
     /// Creates a new object of `type_name` on this node; `args` go to the
@@ -412,7 +677,10 @@ impl Node {
         let cap = Capability::mint(name);
         let ctx = OpCtx::new(self, &slot, cap, self.inner.id, "<initialize>");
         match manager.initialize(&ctx, args) {
-            Ok(()) => Ok(cap),
+            Ok(()) => {
+                self.dir_register(name, self.inner.id, DirRegisterKind::Active);
+                Ok(cap)
+            }
             Err(e) => {
                 self.inner.objects.write().remove(&name);
                 Err(EdenError::Invoke(e.into_status()))
@@ -553,7 +821,7 @@ impl Node {
             candidates.push((fwd, false));
         }
         if self.inner.config.enable_location_cache {
-            if let Some(&hint) = self.inner.location.cache.read().get(&name) {
+            if let Some(hint) = self.inner.location.cache.lock().get(&name).copied() {
                 candidates.push((hint, true));
             }
         }
@@ -569,6 +837,12 @@ impl Node {
             if !peers.contains(&candidate) {
                 continue;
             }
+            // Gossip already declared this candidate dead: skip the
+            // doomed probe and its whole try budget. The directory (and
+            // the broadcast fallback) find the survivor.
+            if self.peer_is_dead(candidate) {
+                continue;
+            }
             let Some(budget) = self.try_budget(deadline) else {
                 return (Status::Timeout, Vec::new());
             };
@@ -579,7 +853,7 @@ impl Node {
             match status {
                 Status::NoSuchObject | Status::Timeout => {
                     if from_cache {
-                        self.inner.location.cache.write().remove(&name);
+                        self.inner.location.cache.lock().remove(&name);
                     }
                     continue;
                 }
@@ -599,10 +873,54 @@ impl Node {
                     // Cache the node that *answered*: after a forwarding
                     // chain that is the object's real home.
                     if self.inner.config.enable_location_cache {
-                        self.inner.location.cache.write().insert(name, from);
+                        self.cache_insert(name, from);
                     }
                     return (status, results);
                 }
+            }
+        }
+
+        // Directory lookup: one message to the object's home node names
+        // the registered holder, where the seed paid a broadcast plus
+        // the locate window.
+        if self.inner.directory.is_some() {
+            if let Some(holder) = self.directory_locate_before(name, deadline) {
+                if holder != self.inner.id
+                    && peers.contains(&holder)
+                    && !self.peer_is_dead(holder)
+                    && tried.insert(holder)
+                {
+                    let Some(budget) = self.try_budget(deadline) else {
+                        return (Status::Timeout, Vec::new());
+                    };
+                    let (status, results, from) =
+                        self.remote_invoke(holder, cap, op, args, budget, ctx);
+                    match status {
+                        // A stale registration (the holder moved or
+                        // crashed since it registered): fall through to
+                        // the broadcast safety net.
+                        Status::NoSuchObject | Status::Timeout => {}
+                        Status::Ok
+                        | Status::NoSuchOperation(_)
+                        | Status::RightsViolation { .. }
+                        | Status::ObjectCrashed
+                        | Status::Frozen
+                        | Status::TypeError(_)
+                        | Status::NodeUnreachable
+                        | Status::Destroyed
+                        | Status::AppError { .. }
+                        | Status::Overloaded => {
+                            if self.inner.config.enable_location_cache {
+                                self.cache_insert(name, from);
+                            }
+                            return (status, results);
+                        }
+                    }
+                }
+            }
+            if !self.inner.config.enable_broadcast_fallback {
+                // Directory-only mode (experiments): a miss is final.
+                return (Status::NoSuchObject, Vec::new());
             }
         }
 
@@ -644,7 +962,7 @@ impl Node {
                 | Status::AppError { .. }
                 | Status::Overloaded => {
                     if self.inner.config.enable_location_cache {
-                        self.inner.location.cache.write().insert(name, from);
+                        self.cache_insert(name, from);
                     }
                     return (status, results);
                 }
@@ -702,6 +1020,23 @@ impl Node {
                         &events,
                     )],
                 )
+            }
+            // This node's gossip membership view: one map per known node
+            // with its believed status and incarnation (self-only when
+            // the directory is disabled).
+            "get_membership" => {
+                let rows = self
+                    .membership()
+                    .into_iter()
+                    .map(|(node, status, incarnation)| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("node".to_string(), Value::U64(node.0 as u64));
+                        m.insert("status".to_string(), Value::Str(status.label().to_string()));
+                        m.insert("incarnation".to_string(), Value::U64(incarnation));
+                        Value::Map(m)
+                    })
+                    .collect();
+                (Status::Ok, vec![Value::List(rows)])
             }
             other => (Status::NoSuchOperation(other.to_string()), Vec::new()),
         }
@@ -1127,7 +1462,23 @@ impl Node {
                 obj: name.to_u128(),
             });
         let query_id = self.fresh_id();
-        let collector = Arc::new(QueryCollector::new());
+        // With the membership view, the wait can also end once every
+        // live peer has answered (negative answers and gossip deaths
+        // count), instead of always sleeping out the locate window.
+        // When gossip believes *no* peer is live, keep the seed's
+        // full-window wait: the verdict may be false (lossy network) and
+        // a "dead" peer's answer is then the only way to find the object.
+        let expected = self
+            .inner
+            .directory
+            .as_ref()
+            .map(|dir| dir.lock().expected_responders())
+            .unwrap_or(0);
+        let collector = if expected > 0 {
+            Arc::new(QueryCollector::with_expected(expected))
+        } else {
+            Arc::new(QueryCollector::new())
+        };
         self.inner
             .location
             .queries
@@ -1207,6 +1558,7 @@ impl Node {
     fn put_checkpoint(&self, site: NodeId, name: ObjName, image: &ObjectImage) -> Result<u64> {
         if site == self.inner.id {
             let version = self.inner.store.put(name, &image.encode_to_bytes())?;
+            self.dir_register(name, self.inner.id, DirRegisterKind::Checkpoint);
             return Ok(version);
         }
         let req_id = self.fresh_id();
@@ -1326,6 +1678,9 @@ impl Node {
         });
         slot.short.teardown();
         self.inner.objects.write().remove(&slot.name);
+        // Retract the holder registration before any reincarnation below
+        // re-registers it (per-peer FIFO delivery keeps the order).
+        self.dir_register(slot.name, self.inner.id, DirRegisterKind::Drop);
         let queued = self.drain_queue(&mut slot.coord.lock());
         if queued.is_empty() {
             return;
@@ -1349,6 +1704,7 @@ impl Node {
         slot.short.teardown();
         self.inner.objects.write().remove(&slot.name);
         self.inner.destroyed.lock().insert(slot.name);
+        self.dir_register(slot.name, self.inner.id, DirRegisterKind::Drop);
         let _ = self.inner.store.delete(slot.name);
         let cs = slot.checksite();
         if cs.node != self.inner.id {
@@ -1440,6 +1796,7 @@ impl Node {
                         obj: slot.name.to_u128(),
                         version: slot.checkpoint_version(),
                     });
+                self.dir_register(slot.name, self.inner.id, DirRegisterKind::Active);
                 let mut coord = slot.coord.lock();
                 coord.status = ObjStatus::Active;
                 self.pump(&slot, &mut coord);
@@ -1545,7 +1902,7 @@ impl Node {
                 slot.short.teardown();
                 self.inner.objects.write().remove(&slot.name);
                 self.inner.location.forwards.write().insert(slot.name, dst);
-                self.inner.location.cache.write().insert(slot.name, dst);
+                self.cache_insert(slot.name, dst);
                 let queued = self.drain_queue(&mut slot.coord.lock());
                 for pending in queued {
                     match pending.sink {
@@ -1675,6 +2032,7 @@ impl Node {
                 // If we had previously moved this object away, the old
                 // forwarding entry is now wrong.
                 self.inner.location.forwards.write().remove(&name);
+                self.dir_register(name, self.inner.id, DirRegisterKind::Active);
                 let _ = self.inner.endpoint.send(Frame::to(
                     self.inner.id,
                     src,
@@ -1731,7 +2089,7 @@ impl Node {
             };
         }
         // Find the holder.
-        let mut holder = self.inner.location.cache.read().get(&name).copied();
+        let mut holder = self.inner.location.cache.lock().get(&name).copied();
         if holder.is_none() {
             let peers = self.inner.endpoint.peers();
             let birth = name.birth_node();
@@ -1915,9 +2273,29 @@ impl Node {
     // ================= The receive loop =================
 
     fn recv_loop(&self) {
+        // Gossip rides the receive loop (no thread of its own): the
+        // state machine's timers are checked between frames, at most
+        // every half protocol period and at least every recv timeout.
+        let tick_every = (self.inner.config.gossip_interval / 2)
+            .clamp(Duration::from_millis(5), Duration::from_millis(50));
+        let mut next_gossip = Instant::now();
         loop {
             if self.inner.shutdown.load(Ordering::Acquire) {
                 return;
+            }
+            if self.inner.directory.is_some() {
+                let now = Instant::now();
+                if now >= next_gossip {
+                    let out = self
+                        .inner
+                        .directory
+                        .as_ref()
+                        .map(|dir| dir.lock().tick(now));
+                    if let Some(out) = out {
+                        self.apply_dir_output(out);
+                    }
+                    next_gossip = now + tick_every;
+                }
             }
             match self.inner.endpoint.recv_timeout(Duration::from_millis(50)) {
                 Ok(Some(frame)) => self.handle_frame(frame),
@@ -1980,6 +2358,15 @@ impl Node {
                 } else {
                     None
                 };
+                // With the directory on, a miss is still an *answer*
+                // (`NotHeld`): the querier's collector can then complete
+                // as soon as every live peer has spoken instead of
+                // sleeping out the locate window.
+                let state = match state {
+                    Some(s) => Some(s),
+                    None if self.inner.directory.is_some() => Some(HeldState::NotHeld),
+                    None => None,
+                };
                 if let Some(state) = state {
                     let _ = self.inner.endpoint.send(Frame::to(
                         self.inner.id,
@@ -1998,11 +2385,15 @@ impl Node {
                 state,
             } => {
                 if state == HeldState::Active {
-                    self.inner.location.cache.write().insert(name, src);
+                    self.cache_insert(name, src);
                 }
                 let collector = self.inner.location.queries.lock().get(&query_id).cloned();
                 if let Some(c) = collector {
-                    c.add(LocationAnswer { holder: src, state });
+                    if state == HeldState::NotHeld {
+                        c.add_negative();
+                    } else {
+                        c.add(LocationAnswer { holder: src, state });
+                    }
                 }
             }
             Message::MoveTransfer {
@@ -2137,6 +2528,83 @@ impl Node {
                 ));
             }
             Message::Pong { token } => self.complete_pending(token, ReplyMsg::Pong),
+            Message::GossipPing {
+                seq,
+                reply_to,
+                updates,
+            } => {
+                if let Some(dir) = &self.inner.directory {
+                    let out = dir
+                        .lock()
+                        .handle_ping(src, seq, reply_to, &updates, Instant::now());
+                    self.apply_dir_output(out);
+                }
+            }
+            Message::GossipAck { seq, updates } => {
+                if let Some(dir) = &self.inner.directory {
+                    let out = dir.lock().handle_ack(src, seq, &updates, Instant::now());
+                    self.apply_dir_output(out);
+                }
+            }
+            Message::GossipPingReq {
+                seq,
+                target,
+                reply_to,
+                updates,
+            } => {
+                if let Some(dir) = &self.inner.directory {
+                    let out = dir.lock().handle_ping_req(
+                        src,
+                        seq,
+                        target,
+                        reply_to,
+                        &updates,
+                        Instant::now(),
+                    );
+                    self.apply_dir_output(out);
+                }
+            }
+            Message::DirRegister { name, holder, kind } => {
+                if let Some(dir) = &self.inner.directory {
+                    // This node may no longer be the name's home (the
+                    // registrant's ring was stale): forward one hop.
+                    let forward = dir.lock().handle_register(src, name, holder, kind);
+                    if let Some((dst, msg)) = forward {
+                        let _ = self.inner.endpoint.send(Frame::to(self.inner.id, dst, msg));
+                    }
+                }
+            }
+            Message::DirQuery {
+                query_id,
+                name,
+                reply_to,
+            } => {
+                let (holder, state) = match &self.inner.directory {
+                    Some(dir) => {
+                        self.inner.metrics.bump_dir_served();
+                        dir.lock().answer_query(name)
+                    }
+                    // Directory disabled here: answer a definitive miss
+                    // so the querier falls back instead of waiting.
+                    None => (None, DirState::Miss),
+                };
+                let _ = self.inner.endpoint.send(Frame::to(
+                    self.inner.id,
+                    reply_to,
+                    Message::DirAnswer {
+                        query_id,
+                        name,
+                        holder,
+                        state,
+                    },
+                ));
+            }
+            Message::DirAnswer {
+                query_id,
+                holder,
+                state,
+                ..
+            } => self.complete_pending(query_id, ReplyMsg::DirAnswer(holder, state)),
         }
     }
 

@@ -81,41 +81,92 @@ pub struct LocationAnswer {
 /// The waiter returns early as soon as an *active* holder answers (the
 /// common case); otherwise it collects until the deadline so the caller
 /// can pick the best passive/replica holder.
+///
+/// With an *expected responder count* (directory mode), the wait also
+/// ends as soon as every live peer has answered — counting negative
+/// (`NotHeld`) answers and peers that gossip declares dead — so a miss
+/// costs one round trip instead of the full locate window.
 pub struct QueryCollector {
-    answers: Mutex<Vec<LocationAnswer>>,
+    state: Mutex<CollectorState>,
     cv: Condvar,
 }
 
+struct CollectorState {
+    answers: Vec<LocationAnswer>,
+    /// Peers still expected to answer; `None` disables early return on
+    /// a complete count (the seed broadcast behavior).
+    outstanding: Option<usize>,
+}
+
 impl QueryCollector {
-    /// An empty collector.
+    /// A collector that waits out its deadline unless an active holder
+    /// answers (seed behavior; no responder accounting).
     pub fn new() -> Self {
         QueryCollector {
-            answers: Mutex::new(Vec::new()),
+            state: Mutex::new(CollectorState {
+                answers: Vec::new(),
+                outstanding: None,
+            }),
             cv: Condvar::new(),
         }
     }
 
-    /// Records one answer.
+    /// A collector that additionally completes once `expected` peers have
+    /// answered or been ruled out.
+    pub fn with_expected(expected: usize) -> Self {
+        QueryCollector {
+            state: Mutex::new(CollectorState {
+                answers: Vec::new(),
+                outstanding: Some(expected),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records one positive answer.
     pub fn add(&self, answer: LocationAnswer) {
-        let mut answers = self.answers.lock();
-        answers.push(answer);
+        let mut state = self.state.lock();
+        state.answers.push(answer);
+        if let Some(n) = state.outstanding.as_mut() {
+            *n = n.saturating_sub(1);
+        }
         self.cv.notify_all();
     }
 
-    /// Waits until an active holder answers or `timeout` elapses, then
-    /// returns everything collected.
+    /// Records a negative (`NotHeld`) answer: the peer responded but does
+    /// not hold the object.
+    pub fn add_negative(&self) {
+        let mut state = self.state.lock();
+        if let Some(n) = state.outstanding.as_mut() {
+            *n = n.saturating_sub(1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Rules a peer out without an answer (gossip declared it dead while
+    /// the query was pending).
+    pub fn note_unreachable(&self) {
+        self.add_negative();
+    }
+
+    /// Waits until an active holder answers, every expected peer has
+    /// responded or been ruled out, or `timeout` elapses; returns
+    /// everything collected.
     pub fn wait(&self, timeout: Duration) -> Vec<LocationAnswer> {
         let deadline = Instant::now() + timeout;
-        let mut answers = self.answers.lock();
+        let mut state = self.state.lock();
         loop {
-            if answers.iter().any(|a| a.state == HeldState::Active) {
-                return answers.clone();
+            if state.answers.iter().any(|a| a.state == HeldState::Active) {
+                return state.answers.clone();
+            }
+            if state.outstanding == Some(0) {
+                return state.answers.clone();
             }
             let now = Instant::now();
             if now >= deadline {
-                return answers.clone();
+                return state.answers.clone();
             }
-            self.cv.wait_for(&mut answers, deadline - now);
+            self.cv.wait_for(&mut state, deadline - now);
         }
     }
 }
@@ -201,5 +252,50 @@ mod tests {
         let answers = c.wait(Duration::from_millis(20));
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].state, HeldState::Passive);
+    }
+
+    #[test]
+    fn collector_completes_early_once_every_peer_responds() {
+        let c = QueryCollector::with_expected(3);
+        c.add_negative();
+        c.add(LocationAnswer {
+            holder: NodeId(2),
+            state: HeldState::Passive,
+        });
+        c.add_negative();
+        let start = Instant::now();
+        let answers = c.wait(Duration::from_secs(5));
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "all expected peers answered; the wait must not sleep out the window"
+        );
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].state, HeldState::Passive);
+    }
+
+    #[test]
+    fn collector_completes_when_gossip_rules_out_the_last_peer() {
+        let c = Arc::new(QueryCollector::with_expected(2));
+        c.add_negative();
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            c2.note_unreachable();
+        });
+        let start = Instant::now();
+        let answers = c.wait(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_millis(500));
+        assert!(answers.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn seed_collector_still_waits_out_the_window() {
+        let c = QueryCollector::new();
+        c.add_negative(); // no accounting without an expected count
+        let start = Instant::now();
+        let answers = c.wait(Duration::from_millis(30));
+        assert!(start.elapsed() >= Duration::from_millis(28));
+        assert!(answers.is_empty());
     }
 }

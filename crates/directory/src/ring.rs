@@ -1,0 +1,143 @@
+//! The consistent-hash ring that assigns every object name a *home node*.
+//!
+//! Each non-dead member contributes a fixed number of virtual points; an
+//! object's home is the owner of the first point clockwise from the hash
+//! of its name. S1 names already embed the birth node, so the hash input
+//! carries the paper's birth-node hint and names born on different nodes
+//! spread independently. Virtual points keep the shard sizes within a
+//! small factor of each other and limit how many entries re-home when the
+//! membership changes.
+
+use eden_capability::{NodeId, ObjName};
+
+/// Virtual points per member. 32 keeps the max/min shard ratio under ~2
+/// for the cluster sizes E14 exercises while the ring stays tiny.
+const VNODES: usize = 32;
+
+/// splitmix64: a fast, well-distributed 64-bit mixer (public domain).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn point_for(node: NodeId, vnode: usize) -> u64 {
+    mix64((u64::from(node.0) << 32) ^ vnode as u64 ^ 0x0ede_4d1e_c0de_0001)
+}
+
+fn hash_name(name: ObjName) -> u64 {
+    let raw = name.to_u128();
+    mix64((raw >> 64) as u64 ^ raw as u64)
+}
+
+/// A consistent-hash ring over the current non-dead membership.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(point, owner)` sorted by point.
+    points: Vec<(u64, NodeId)>,
+}
+
+impl HashRing {
+    /// Builds the ring for a member set (order-insensitive).
+    pub fn new(members: &[NodeId]) -> Self {
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for &node in members {
+            for vnode in 0..VNODES {
+                points.push((point_for(node, vnode), node));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The home node of `name`: the owner of the first virtual point at or
+    /// after the name's hash, wrapping at the top. `None` on an empty ring.
+    pub fn home(&self, name: ObjName) -> Option<NodeId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_name(name);
+        let idx = self.points.partition_point(|(p, _)| *p < h);
+        let (_, owner) = self.points[idx % self.points.len()];
+        Some(owner)
+    }
+
+    /// How many members contribute points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::NameGenerator;
+
+    fn names(n: usize) -> Vec<ObjName> {
+        let mut out = Vec::new();
+        for node in 0..4u16 {
+            let gen = NameGenerator::with_epoch(NodeId(node), 1);
+            for _ in 0..n / 4 {
+                out.push(gen.next_name());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_name_has_a_home_and_assignment_is_stable() {
+        let members: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let ring = HashRing::new(&members);
+        let again = HashRing::new(&members);
+        for name in names(400) {
+            let home = ring.home(name).unwrap();
+            assert!(members.contains(&home));
+            assert_eq!(again.home(name), Some(home));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_members() {
+        let members: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let ring = HashRing::new(&members);
+        let mut counts = std::collections::HashMap::new();
+        for name in names(4000) {
+            *counts.entry(ring.home(name).unwrap()).or_insert(0usize) += 1;
+        }
+        // Every member homes something, and nobody homes the majority.
+        assert_eq!(counts.len(), members.len());
+        assert!(counts.values().all(|&c| c < 2000));
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_own_entries() {
+        let members: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let full = HashRing::new(&members);
+        let shrunk = HashRing::new(&members[..7]);
+        let mut moved = 0usize;
+        let all = names(2000);
+        for &name in &all {
+            let before = full.home(name).unwrap();
+            let after = shrunk.home(name).unwrap();
+            if before != NodeId(7) {
+                // Entries homed away from the removed member must not move.
+                assert_eq!(before, after);
+            } else {
+                moved += 1;
+            }
+        }
+        // The removed member owned roughly 1/8 of the space.
+        assert!(moved > 0 && moved < all.len() / 4);
+    }
+
+    #[test]
+    fn empty_ring_has_no_home() {
+        let ring = HashRing::new(&[]);
+        assert!(ring.is_empty());
+        assert_eq!(
+            ring.home(NameGenerator::with_epoch(NodeId(0), 1).next_name()),
+            None
+        );
+    }
+}

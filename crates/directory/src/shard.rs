@@ -1,0 +1,214 @@
+//! One node's shard of the location directory.
+//!
+//! The shard maps object names homed here to their registered holder plus
+//! any checkpoint sites. Registrations are *hints* in Lampson's sense: the
+//! fast path trusts them, the invocation itself verifies them (a wrong
+//! holder answers `NoSuchObject` and the querier falls back to the
+//! broadcast), so the shard never needs distributed agreement.
+
+use std::collections::HashMap;
+
+use eden_capability::{NodeId, ObjName};
+use eden_wire::{DirState, MemberStatus};
+
+/// What the shard records for one object.
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    /// The node running the object's active form, if registered.
+    pub holder: Option<NodeId>,
+    /// Nodes that have stored a checkpoint (failover candidates).
+    pub checksites: Vec<NodeId>,
+}
+
+/// The directory entries homed at this node.
+#[derive(Debug, Default)]
+pub struct DirectoryShard {
+    entries: HashMap<ObjName, DirEntry>,
+}
+
+impl DirectoryShard {
+    /// Records `holder` as the active site of `name` (last write wins —
+    /// moves and reincarnations simply overwrite).
+    pub fn register_active(&mut self, name: ObjName, holder: NodeId) {
+        self.entries.entry(name).or_default().holder = Some(holder);
+    }
+
+    /// Records that `site` stores a checkpoint of `name`.
+    pub fn register_checkpoint(&mut self, name: ObjName, site: NodeId) {
+        let entry = self.entries.entry(name).or_default();
+        if !entry.checksites.contains(&site) {
+            entry.checksites.push(site);
+        }
+    }
+
+    /// Clears the active registration if it still names `holder` (crash or
+    /// destruction; a newer registration by another node is preserved).
+    pub fn drop_active(&mut self, name: ObjName, holder: NodeId) {
+        if let Some(entry) = self.entries.get_mut(&name) {
+            if entry.holder == Some(holder) {
+                entry.holder = None;
+            }
+            if entry.holder.is_none() && entry.checksites.is_empty() {
+                self.entries.remove(&name);
+            }
+        }
+    }
+
+    /// Answers a locate query given the current liveness view. A suspected
+    /// holder is withheld (`Suspect`) until refuted or confirmed dead; a
+    /// dead holder falls back to the first live checksite, whose passive
+    /// copy the querier can activate.
+    pub fn lookup(
+        &self,
+        name: ObjName,
+        status_of: impl Fn(NodeId) -> MemberStatus,
+    ) -> (Option<NodeId>, DirState) {
+        let Some(entry) = self.entries.get(&name) else {
+            return (None, DirState::Miss);
+        };
+        if let Some(holder) = entry.holder {
+            match status_of(holder) {
+                MemberStatus::Alive => return (Some(holder), DirState::Hit),
+                MemberStatus::Suspect => return (None, DirState::Suspect),
+                MemberStatus::Dead => {}
+            }
+        }
+        let mut any_suspect = false;
+        for &site in &entry.checksites {
+            match status_of(site) {
+                MemberStatus::Alive => return (Some(site), DirState::Hit),
+                MemberStatus::Suspect => any_suspect = true,
+                MemberStatus::Dead => {}
+            }
+        }
+        if any_suspect {
+            (None, DirState::Suspect)
+        } else {
+            (None, DirState::Miss)
+        }
+    }
+
+    /// Drops registrations that point only at `dead` (its holder slot is
+    /// cleared; checkpoint sites are pruned).
+    pub fn purge_dead(&mut self, dead: NodeId) {
+        self.entries.retain(|_, entry| {
+            if entry.holder == Some(dead) {
+                entry.holder = None;
+            }
+            entry.checksites.retain(|&s| s != dead);
+            entry.holder.is_some() || !entry.checksites.is_empty()
+        });
+    }
+
+    /// Extracts every entry whose home is no longer this node (ring
+    /// change); the caller forwards them to their new homes.
+    pub fn evict_rehomed(
+        &mut self,
+        still_home: impl Fn(ObjName) -> bool,
+    ) -> Vec<(ObjName, DirEntry)> {
+        let moving: Vec<ObjName> = self
+            .entries
+            .keys()
+            .copied()
+            .filter(|name| !still_home(*name))
+            .collect();
+        moving
+            .into_iter()
+            .filter_map(|name| self.entries.remove(&name).map(|e| (name, e)))
+            .collect()
+    }
+
+    /// Number of entries homed here.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are homed here.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_capability::NameGenerator;
+
+    fn name() -> ObjName {
+        NameGenerator::with_epoch(NodeId(1), 1).next_name()
+    }
+
+    fn alive(_: NodeId) -> MemberStatus {
+        MemberStatus::Alive
+    }
+
+    #[test]
+    fn active_registration_wins_and_moves_overwrite() {
+        let n = name();
+        let mut shard = DirectoryShard::default();
+        assert_eq!(shard.lookup(n, alive), (None, DirState::Miss));
+        shard.register_active(n, NodeId(1));
+        assert_eq!(shard.lookup(n, alive), (Some(NodeId(1)), DirState::Hit));
+        shard.register_active(n, NodeId(2));
+        assert_eq!(shard.lookup(n, alive), (Some(NodeId(2)), DirState::Hit));
+    }
+
+    #[test]
+    fn suspect_holder_is_withheld_until_resolved() {
+        let n = name();
+        let mut shard = DirectoryShard::default();
+        shard.register_active(n, NodeId(2));
+        let suspecting = |node: NodeId| {
+            if node == NodeId(2) {
+                MemberStatus::Suspect
+            } else {
+                MemberStatus::Alive
+            }
+        };
+        assert_eq!(shard.lookup(n, suspecting), (None, DirState::Suspect));
+    }
+
+    #[test]
+    fn dead_holder_falls_back_to_a_live_checksite() {
+        let n = name();
+        let mut shard = DirectoryShard::default();
+        shard.register_active(n, NodeId(2));
+        shard.register_checkpoint(n, NodeId(3));
+        let dead2 = |node: NodeId| {
+            if node == NodeId(2) {
+                MemberStatus::Dead
+            } else {
+                MemberStatus::Alive
+            }
+        };
+        assert_eq!(shard.lookup(n, dead2), (Some(NodeId(3)), DirState::Hit));
+        shard.purge_dead(NodeId(2));
+        assert_eq!(shard.lookup(n, alive), (Some(NodeId(3)), DirState::Hit));
+    }
+
+    #[test]
+    fn drop_only_clears_a_matching_holder() {
+        let n = name();
+        let mut shard = DirectoryShard::default();
+        shard.register_active(n, NodeId(2));
+        shard.drop_active(n, NodeId(9)); // stale drop from an old holder
+        assert_eq!(shard.lookup(n, alive), (Some(NodeId(2)), DirState::Hit));
+        shard.drop_active(n, NodeId(2));
+        assert_eq!(shard.lookup(n, alive), (None, DirState::Miss));
+        assert!(shard.is_empty());
+    }
+
+    #[test]
+    fn rehoming_extracts_only_foreign_entries() {
+        let gen = NameGenerator::with_epoch(NodeId(0), 2);
+        let keep = gen.next_name();
+        let evict = gen.next_name();
+        let mut shard = DirectoryShard::default();
+        shard.register_active(keep, NodeId(1));
+        shard.register_active(evict, NodeId(2));
+        let out = shard.evict_rehomed(|n| n == keep);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, evict);
+        assert_eq!(shard.len(), 1);
+    }
+}

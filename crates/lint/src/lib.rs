@@ -855,9 +855,12 @@ fn capability_param(params: &str) -> Option<String> {
     None
 }
 
-/// L3: matches over wire `Status`/`TAG_*` enums are exhaustive.
+/// L3: matches over wire `Status`/`TAG_*`/directory enums are exhaustive.
 fn wire_exhaustiveness(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
-    if !(rel_path.starts_with("crates/wire/src") || rel_path.starts_with("crates/core/src")) {
+    if !(rel_path.starts_with("crates/wire/src")
+        || rel_path.starts_with("crates/core/src")
+        || rel_path.starts_with("crates/directory/src"))
+    {
         return;
     }
     let code = &model.code;
@@ -886,9 +889,13 @@ fn wire_exhaustiveness(rel_path: &str, model: &SourceModel, out: &mut Vec<Findin
             continue;
         };
         let arms = match_arms(&code[open + 1..close]);
-        let is_wire_match = arms
-            .iter()
-            .any(|(pat, _)| pat.contains("Status::") || pat.contains("TAG_"));
+        let is_wire_match = arms.iter().any(|(pat, _)| {
+            // "Status::" also covers "MemberStatus::".
+            pat.contains("Status::")
+                || pat.contains("TAG_")
+                || pat.contains("DirState::")
+                || pat.contains("DirRegisterKind::")
+        });
         if !is_wire_match {
             continue;
         }
@@ -987,6 +994,7 @@ fn panic_hygiene(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
         "crates/obs/src",
         "crates/wire/src",
         "crates/transport/src",
+        "crates/directory/src",
     ];
     if !scoped.iter().any(|s| rel_path.starts_with(s)) {
         return;

@@ -100,6 +100,21 @@ fn wire_exhaustiveness_flags_wildcards_over_status_and_tags() {
 }
 
 #[test]
+fn wire_exhaustiveness_covers_directory_enums() {
+    // DirState/DirRegisterKind matches in the directory crate are wire
+    // matches too: both wildcard arms are flagged.
+    let findings = scan_fixture("wire_dir_bad.rs", "crates/directory/src/shard.rs");
+    assert_eq!(
+        count(&findings, Rule::WireExhaustiveness, false),
+        2,
+        "{findings:?}"
+    );
+    // The same file outside the scoped crates is ignored.
+    let findings = scan_fixture("wire_dir_bad.rs", "crates/apps/src/shard.rs");
+    assert_eq!(count(&findings, Rule::WireExhaustiveness, false), 0);
+}
+
+#[test]
 fn wire_exhaustiveness_accepts_enumerated_and_named_arms() {
     let findings = scan_fixture("wire_good.rs", "crates/wire/src/status.rs");
     assert_eq!(findings.len(), 0, "{findings:?}");

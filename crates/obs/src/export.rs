@@ -287,6 +287,26 @@ pub fn event_jsonl_line(node: u16, e: &FlightEvent) -> String {
             kind("where_is");
             out.push_str(&format!(",\"obj\":\"{obj:#x}\""));
         }
+        KernelEvent::DirectoryQuery { obj, home } => {
+            kind("dir_query");
+            out.push_str(&format!(",\"obj\":\"{obj:#x}\",\"home\":{home}"));
+        }
+        KernelEvent::DirectoryRegister { obj, home } => {
+            kind("dir_register");
+            out.push_str(&format!(",\"obj\":\"{obj:#x}\",\"home\":{home}"));
+        }
+        KernelEvent::MemberSuspect { node } => {
+            kind("member_suspect");
+            out.push_str(&format!(",\"member\":{node}"));
+        }
+        KernelEvent::MemberDead { node } => {
+            kind("member_dead");
+            out.push_str(&format!(",\"member\":{node}"));
+        }
+        KernelEvent::MemberAlive { node } => {
+            kind("member_alive");
+            out.push_str(&format!(",\"member\":{node}"));
+        }
         KernelEvent::NodeShutdown => kind("shutdown"),
     }
     out.push('}');
@@ -368,6 +388,23 @@ pub fn parse_jsonl_line(line: &str) -> Option<(u16, FlightEvent)> {
         "remote_timeout" => KernelEvent::RemoteTimeout { dst: dst()? },
         "where_is" => KernelEvent::WhereIsBroadcast {
             obj: parse_obj(line)?,
+        },
+        "dir_query" => KernelEvent::DirectoryQuery {
+            obj: parse_obj(line)?,
+            home: json_field(line, "home")?.parse().ok()?,
+        },
+        "dir_register" => KernelEvent::DirectoryRegister {
+            obj: parse_obj(line)?,
+            home: json_field(line, "home")?.parse().ok()?,
+        },
+        "member_suspect" => KernelEvent::MemberSuspect {
+            node: json_field(line, "member")?.parse().ok()?,
+        },
+        "member_dead" => KernelEvent::MemberDead {
+            node: json_field(line, "member")?.parse().ok()?,
+        },
+        "member_alive" => KernelEvent::MemberAlive {
+            node: json_field(line, "member")?.parse().ok()?,
         },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,

@@ -37,6 +37,18 @@ pub enum KernelEvent {
     RemoteTimeout { dst: u16 },
     /// This node broadcast a `WhereIs` location search.
     WhereIsBroadcast { obj: u128 },
+    /// This node asked (or consulted itself as) an object's directory
+    /// home node for the registered holder.
+    DirectoryQuery { obj: u128, home: u16 },
+    /// This node registered a holder fact at an object's directory home.
+    DirectoryRegister { obj: u128, home: u16 },
+    /// Gossip began suspecting a peer (unrefuted probe timeout).
+    MemberSuspect { node: u16 },
+    /// Gossip declared a peer dead; its registrations and hints are
+    /// purged until it refutes.
+    MemberDead { node: u16 },
+    /// A peer believed suspect or dead proved alive again.
+    MemberAlive { node: u16 },
     /// This node shut down.
     NodeShutdown,
 }
@@ -71,6 +83,15 @@ impl fmt::Display for KernelEvent {
             KernelEvent::WhereIsBroadcast { obj } => {
                 write!(f, "where-is broadcast obj={:#x}", short(obj))
             }
+            KernelEvent::DirectoryQuery { obj, home } => {
+                write!(f, "dir-query obj={:#x} home node {home}", short(obj))
+            }
+            KernelEvent::DirectoryRegister { obj, home } => {
+                write!(f, "dir-register obj={:#x} home node {home}", short(obj))
+            }
+            KernelEvent::MemberSuspect { node } => write!(f, "member-suspect node {node}"),
+            KernelEvent::MemberDead { node } => write!(f, "member-dead node {node}"),
+            KernelEvent::MemberAlive { node } => write!(f, "member-alive node {node}"),
             KernelEvent::NodeShutdown => write!(f, "node shutdown"),
         }
     }

@@ -31,6 +31,8 @@ pub mod value;
 
 pub use codec::{CodecError, Reader, WireDecode, WireEncode, Writer};
 pub use image::ObjectImage;
-pub use message::{Dest, Frame, HeldState, Message};
+pub use message::{
+    Dest, DirRegisterKind, DirState, Frame, HeldState, MemberStatus, MemberUpdate, Message,
+};
 pub use status::Status;
 pub use value::Value;

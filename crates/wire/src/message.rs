@@ -41,6 +41,74 @@ pub enum HeldState {
     Passive,
     /// The replying node holds a frozen replica.
     FrozenReplica,
+    /// The replying node does not hold the object at all. Negative answers
+    /// let the querier's collector count down the locate window instead of
+    /// always sleeping it out (every peer answered → nobody has it).
+    NotHeld,
+}
+
+/// Liveness of a cluster member as disseminated by the gossip protocol
+/// (eden-directory). Precedence at equal incarnation: `Dead` > `Suspect` >
+/// `Alive`; a higher incarnation always wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemberStatus {
+    /// The member answered a recent probe (directly or indirectly).
+    Alive,
+    /// Probes are timing out; the member may be partitioned or dead.
+    Suspect,
+    /// The suspicion timeout expired without a refutation.
+    Dead,
+}
+
+impl MemberStatus {
+    /// A stable short label for scrapes and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemberStatus::Alive => "alive",
+            MemberStatus::Suspect => "suspect",
+            MemberStatus::Dead => "dead",
+        }
+    }
+}
+
+/// One piggybacked membership rumor: `node` is believed to be `status` at
+/// `incarnation`. Rides on every gossip frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberUpdate {
+    /// The member the rumor is about.
+    pub node: NodeId,
+    /// The member's incarnation number (only the member itself bumps it,
+    /// to refute a false suspicion).
+    pub incarnation: u64,
+    /// The rumored liveness.
+    pub status: MemberStatus,
+}
+
+/// What the home node knows about an object, reported in
+/// [`Message::DirAnswer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// A registration exists and its holder looks reachable.
+    Hit,
+    /// No registration for the object.
+    Miss,
+    /// A registration exists but its holder is currently suspected; the
+    /// directory withholds it until the suspicion is refuted or confirmed.
+    Suspect,
+}
+
+/// What a [`Message::DirRegister`] is recording at the home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirRegisterKind {
+    /// `holder` runs the object's active form (create / move-in /
+    /// reincarnation / passive activation).
+    Active,
+    /// `holder` stores a checkpoint (failover fallback when the active
+    /// holder dies).
+    Checkpoint,
+    /// Remove the active registration if it still names `holder`
+    /// (crash / destroy).
+    Drop,
 }
 
 /// One kernel-to-kernel protocol message.
@@ -188,6 +256,68 @@ pub enum Message {
         /// Matches the ping.
         token: u64,
     },
+    /// SWIM direct probe (eden-directory membership). The target answers
+    /// [`Message::GossipAck`] to `reply_to`, which may be a third node when
+    /// the ping was relayed by a [`Message::GossipPingReq`].
+    GossipPing {
+        /// Correlates the ack with the prober's pending probe.
+        seq: u64,
+        /// Node the ack should go to (the original prober).
+        reply_to: NodeId,
+        /// Piggybacked membership rumors.
+        updates: Vec<MemberUpdate>,
+    },
+    /// SWIM probe acknowledgement.
+    GossipAck {
+        /// Matches the probe.
+        seq: u64,
+        /// Piggybacked membership rumors.
+        updates: Vec<MemberUpdate>,
+    },
+    /// SWIM indirect probe: asks the receiver to ping `target` on behalf
+    /// of `reply_to` (the prober whose direct ping timed out).
+    GossipPingReq {
+        /// Correlates the eventual ack with the prober's pending probe.
+        seq: u64,
+        /// The member to probe.
+        target: NodeId,
+        /// The original prober; the target acks straight back to it.
+        reply_to: NodeId,
+        /// Piggybacked membership rumors.
+        updates: Vec<MemberUpdate>,
+    },
+    /// Record at the object's home node who holds it. Fire-and-forget:
+    /// registrations are hints (a lost one degrades a later locate to the
+    /// broadcast fallback, never to a wrong answer).
+    DirRegister {
+        /// The object being registered.
+        name: ObjName,
+        /// The holding (or dropping) node.
+        holder: NodeId,
+        /// What is being recorded.
+        kind: DirRegisterKind,
+    },
+    /// Ask an object's home node who holds it — the O(1) replacement for
+    /// the broadcast [`Message::WhereIs`].
+    DirQuery {
+        /// Correlates the [`Message::DirAnswer`].
+        query_id: u64,
+        /// The object being located.
+        name: ObjName,
+        /// Node to reply to.
+        reply_to: NodeId,
+    },
+    /// The home node's answer to a [`Message::DirQuery`].
+    DirAnswer {
+        /// Matches the query.
+        query_id: u64,
+        /// The object.
+        name: ObjName,
+        /// The registered holder, when `state` is `Hit`.
+        holder: Option<NodeId>,
+        /// What the directory knows.
+        state: DirState,
+    },
 }
 
 impl Message {
@@ -209,7 +339,22 @@ impl Message {
             Message::CheckpointDelete { .. } => "checkpoint-delete",
             Message::Ping { .. } => "ping",
             Message::Pong { .. } => "pong",
+            Message::GossipPing { .. } => "gossip-ping",
+            Message::GossipAck { .. } => "gossip-ack",
+            Message::GossipPingReq { .. } => "gossip-ping-req",
+            Message::DirRegister { .. } => "dir-register",
+            Message::DirQuery { .. } => "dir-query",
+            Message::DirAnswer { .. } => "dir-answer",
         }
+    }
+
+    /// True for the membership-protocol frames (probes, acks, rumors) that
+    /// ride the mesh continuously in the background.
+    pub fn is_gossip(&self) -> bool {
+        matches!(
+            self,
+            Message::GossipPing { .. } | Message::GossipAck { .. } | Message::GossipPingReq { .. }
+        )
     }
 }
 
@@ -270,6 +415,12 @@ const TAG_CHECKPOINT_DATA: u8 = 11;
 const TAG_CHECKPOINT_DELETE: u8 = 14;
 const TAG_PING: u8 = 12;
 const TAG_PONG: u8 = 13;
+const TAG_GOSSIP_PING: u8 = 15;
+const TAG_GOSSIP_ACK: u8 = 16;
+const TAG_GOSSIP_PING_REQ: u8 = 17;
+const TAG_DIR_REGISTER: u8 = 18;
+const TAG_DIR_QUERY: u8 = 19;
+const TAG_DIR_ANSWER: u8 = 20;
 
 impl WireEncode for HeldState {
     fn encode(&self, w: &mut Writer) {
@@ -277,6 +428,7 @@ impl WireEncode for HeldState {
             HeldState::Active => 0,
             HeldState::Passive => 1,
             HeldState::FrozenReplica => 2,
+            HeldState::NotHeld => 3,
         });
     }
 }
@@ -287,8 +439,99 @@ impl WireDecode for HeldState {
             0 => Ok(HeldState::Active),
             1 => Ok(HeldState::Passive),
             2 => Ok(HeldState::FrozenReplica),
+            3 => Ok(HeldState::NotHeld),
             tag => Err(CodecError::BadTag {
                 what: "HeldState",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for MemberStatus {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            MemberStatus::Alive => 0,
+            MemberStatus::Suspect => 1,
+            MemberStatus::Dead => 2,
+        });
+    }
+}
+
+impl WireDecode for MemberStatus {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(MemberStatus::Alive),
+            1 => Ok(MemberStatus::Suspect),
+            2 => Ok(MemberStatus::Dead),
+            tag => Err(CodecError::BadTag {
+                what: "MemberStatus",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for MemberUpdate {
+    fn encode(&self, w: &mut Writer) {
+        self.node.encode(w);
+        w.put_u64(self.incarnation);
+        self.status.encode(w);
+    }
+}
+
+impl WireDecode for MemberUpdate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MemberUpdate {
+            node: NodeId::decode(r)?,
+            incarnation: r.get_u64()?,
+            status: MemberStatus::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for DirState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DirState::Hit => 0,
+            DirState::Miss => 1,
+            DirState::Suspect => 2,
+        });
+    }
+}
+
+impl WireDecode for DirState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(DirState::Hit),
+            1 => Ok(DirState::Miss),
+            2 => Ok(DirState::Suspect),
+            tag => Err(CodecError::BadTag {
+                what: "DirState",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for DirRegisterKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DirRegisterKind::Active => 0,
+            DirRegisterKind::Checkpoint => 1,
+            DirRegisterKind::Drop => 2,
+        });
+    }
+}
+
+impl WireDecode for DirRegisterKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(DirRegisterKind::Active),
+            1 => Ok(DirRegisterKind::Checkpoint),
+            2 => Ok(DirRegisterKind::Drop),
+            tag => Err(CodecError::BadTag {
+                what: "DirRegisterKind",
                 tag,
             }),
         }
@@ -446,6 +689,61 @@ impl WireEncode for Message {
                 w.put_u8(TAG_PONG);
                 w.put_u64(*token);
             }
+            Message::GossipPing {
+                seq,
+                reply_to,
+                updates,
+            } => {
+                w.put_u8(TAG_GOSSIP_PING);
+                w.put_u64(*seq);
+                reply_to.encode(w);
+                w.put_seq(updates);
+            }
+            Message::GossipAck { seq, updates } => {
+                w.put_u8(TAG_GOSSIP_ACK);
+                w.put_u64(*seq);
+                w.put_seq(updates);
+            }
+            Message::GossipPingReq {
+                seq,
+                target,
+                reply_to,
+                updates,
+            } => {
+                w.put_u8(TAG_GOSSIP_PING_REQ);
+                w.put_u64(*seq);
+                target.encode(w);
+                reply_to.encode(w);
+                w.put_seq(updates);
+            }
+            Message::DirRegister { name, holder, kind } => {
+                w.put_u8(TAG_DIR_REGISTER);
+                name.encode(w);
+                holder.encode(w);
+                kind.encode(w);
+            }
+            Message::DirQuery {
+                query_id,
+                name,
+                reply_to,
+            } => {
+                w.put_u8(TAG_DIR_QUERY);
+                w.put_u64(*query_id);
+                name.encode(w);
+                reply_to.encode(w);
+            }
+            Message::DirAnswer {
+                query_id,
+                name,
+                holder,
+                state,
+            } => {
+                w.put_u8(TAG_DIR_ANSWER);
+                w.put_u64(*query_id);
+                name.encode(w);
+                w.put_option(holder);
+                state.encode(w);
+            }
         }
     }
 }
@@ -528,6 +826,37 @@ impl WireDecode for Message {
             }),
             TAG_PONG => Ok(Message::Pong {
                 token: r.get_u64()?,
+            }),
+            TAG_GOSSIP_PING => Ok(Message::GossipPing {
+                seq: r.get_u64()?,
+                reply_to: NodeId::decode(r)?,
+                updates: r.get_seq()?,
+            }),
+            TAG_GOSSIP_ACK => Ok(Message::GossipAck {
+                seq: r.get_u64()?,
+                updates: r.get_seq()?,
+            }),
+            TAG_GOSSIP_PING_REQ => Ok(Message::GossipPingReq {
+                seq: r.get_u64()?,
+                target: NodeId::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+                updates: r.get_seq()?,
+            }),
+            TAG_DIR_REGISTER => Ok(Message::DirRegister {
+                name: ObjName::decode(r)?,
+                holder: NodeId::decode(r)?,
+                kind: DirRegisterKind::decode(r)?,
+            }),
+            TAG_DIR_QUERY => Ok(Message::DirQuery {
+                query_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                reply_to: NodeId::decode(r)?,
+            }),
+            TAG_DIR_ANSWER => Ok(Message::DirAnswer {
+                query_id: r.get_u64()?,
+                name: ObjName::decode(r)?,
+                holder: r.get_option()?,
+                state: DirState::decode(r)?,
             }),
             tag => Err(CodecError::BadTag {
                 what: "Message",
@@ -682,6 +1011,52 @@ mod tests {
             },
             Message::Ping { token: 7 },
             Message::Pong { token: 7 },
+            Message::GossipPing {
+                seq: 9,
+                reply_to: NodeId(2),
+                updates: vec![MemberUpdate {
+                    node: NodeId(4),
+                    incarnation: 3,
+                    status: MemberStatus::Suspect,
+                }],
+            },
+            Message::GossipAck {
+                seq: 9,
+                updates: vec![
+                    MemberUpdate {
+                        node: NodeId(4),
+                        incarnation: 4,
+                        status: MemberStatus::Alive,
+                    },
+                    MemberUpdate {
+                        node: NodeId(1),
+                        incarnation: 0,
+                        status: MemberStatus::Dead,
+                    },
+                ],
+            },
+            Message::GossipPingReq {
+                seq: 10,
+                target: NodeId(4),
+                reply_to: NodeId(0),
+                updates: vec![],
+            },
+            Message::DirRegister {
+                name,
+                holder: NodeId(5),
+                kind: DirRegisterKind::Active,
+            },
+            Message::DirQuery {
+                query_id: 11,
+                name,
+                reply_to: NodeId(6),
+            },
+            Message::DirAnswer {
+                query_id: 11,
+                name,
+                holder: Some(NodeId(5)),
+                state: DirState::Hit,
+            },
         ]
     }
 
@@ -692,6 +1067,49 @@ mod tests {
             let buf = frame.encode_to_bytes();
             let back = Frame::decode_from_bytes(&buf).unwrap();
             assert_eq!(back, frame, "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn directory_edge_cases_round_trip() {
+        let name = sample_name();
+        for msg in [
+            Message::HereIs {
+                query_id: 21,
+                name,
+                state: HeldState::NotHeld,
+            },
+            Message::DirAnswer {
+                query_id: 22,
+                name,
+                holder: None,
+                state: DirState::Miss,
+            },
+            Message::DirAnswer {
+                query_id: 23,
+                name,
+                holder: None,
+                state: DirState::Suspect,
+            },
+            Message::DirRegister {
+                name,
+                holder: NodeId(3),
+                kind: DirRegisterKind::Drop,
+            },
+            Message::DirRegister {
+                name,
+                holder: NodeId(2),
+                kind: DirRegisterKind::Checkpoint,
+            },
+        ] {
+            let frame = Frame::to(NodeId(0), NodeId(1), msg.clone());
+            let buf = frame.encode_to_bytes();
+            assert_eq!(
+                Frame::decode_from_bytes(&buf).unwrap(),
+                frame,
+                "variant {}",
+                msg.label()
+            );
         }
     }
 

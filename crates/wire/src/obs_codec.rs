@@ -212,6 +212,28 @@ pub fn event_to_value(node: u16, e: &FlightEvent) -> Value {
             field("kind", Value::Str("where_is".into()));
             field("obj", u128_to_value(*obj));
         }
+        KernelEvent::DirectoryQuery { obj, home } => {
+            field("kind", Value::Str("dir_query".into()));
+            field("obj", u128_to_value(*obj));
+            field("home", Value::U64(*home as u64));
+        }
+        KernelEvent::DirectoryRegister { obj, home } => {
+            field("kind", Value::Str("dir_register".into()));
+            field("obj", u128_to_value(*obj));
+            field("home", Value::U64(*home as u64));
+        }
+        KernelEvent::MemberSuspect { node } => {
+            field("kind", Value::Str("member_suspect".into()));
+            field("member", Value::U64(*node as u64));
+        }
+        KernelEvent::MemberDead { node } => {
+            field("kind", Value::Str("member_dead".into()));
+            field("member", Value::U64(*node as u64));
+        }
+        KernelEvent::MemberAlive { node } => {
+            field("kind", Value::Str("member_alive".into()));
+            field("member", Value::U64(*node as u64));
+        }
         KernelEvent::NodeShutdown => field("kind", Value::Str("shutdown".into())),
     }
     Value::Map(m)
@@ -251,6 +273,23 @@ pub fn event_from_value(v: &Value) -> Option<(u16, FlightEvent)> {
         },
         "remote_timeout" => KernelEvent::RemoteTimeout { dst: dst()? },
         "where_is" => KernelEvent::WhereIsBroadcast { obj: obj()? },
+        "dir_query" => KernelEvent::DirectoryQuery {
+            obj: obj()?,
+            home: m.get("home")?.as_u64()? as u16,
+        },
+        "dir_register" => KernelEvent::DirectoryRegister {
+            obj: obj()?,
+            home: m.get("home")?.as_u64()? as u16,
+        },
+        "member_suspect" => KernelEvent::MemberSuspect {
+            node: m.get("member")?.as_u64()? as u16,
+        },
+        "member_dead" => KernelEvent::MemberDead {
+            node: m.get("member")?.as_u64()? as u16,
+        },
+        "member_alive" => KernelEvent::MemberAlive {
+            node: m.get("member")?.as_u64()? as u16,
+        },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,
     };
@@ -331,6 +370,11 @@ mod tests {
             KernelEvent::Retransmit { inv_id: 99, dst: 0 },
             KernelEvent::RemoteTimeout { dst: 1 },
             KernelEvent::WhereIsBroadcast { obj: 4 },
+            KernelEvent::DirectoryQuery { obj: 5, home: 2 },
+            KernelEvent::DirectoryRegister { obj: 5, home: 3 },
+            KernelEvent::MemberSuspect { node: 4 },
+            KernelEvent::MemberDead { node: 4 },
+            KernelEvent::MemberAlive { node: 4 },
             KernelEvent::NodeShutdown,
         ];
         let events: Vec<FlightEvent> = kinds

@@ -50,6 +50,22 @@ impl Shell {
         Value::Str(token.to_string())
     }
 
+    /// The lazily created monitor for `target` (`all` or a node index).
+    fn monitor_for(&mut self, target: &str) -> Result<&MonitorClient, String> {
+        if !self.monitors.contains_key(target) {
+            let ids: Vec<NodeId> = if target == "all" {
+                (0..NODES).map(|i| NodeId(i as u16)).collect()
+            } else {
+                let n: u16 = target.parse().map_err(|_| format!("bad node '{target}'"))?;
+                vec![NodeId(n)]
+            };
+            let client =
+                MonitorClient::create(self.cluster.node(0), &ids).map_err(|e| e.to_string())?;
+            self.monitors.insert(target.to_string(), client);
+        }
+        Ok(&self.monitors[target])
+    }
+
     fn exec(&mut self, line: &str) -> Result<String, String> {
         let mut parts = line.split_whitespace();
         let Some(cmd) = parts.next() else {
@@ -71,6 +87,8 @@ commands:
   metrics <node>                     counters, gauges and latency histograms
   vprocs <node>                      virtual-processor pool status
   trace <node> [n]                   last n flight-recorder events (default 16)
+  members [node]                     gossip membership: one node's view, or
+                                     every node's view via a monitor scrape
   export <node|all> <prom|trace|events> [path]
                                      write telemetry through a monitor object:
                                      Prometheus text / Chrome-trace JSON / JSONL
@@ -251,6 +269,42 @@ commands:
                     Ok(dump.trim_end().to_string())
                 }
             }
+            "members" => match args.first() {
+                Some(t) => {
+                    let n: usize = t
+                        .parse()
+                        .ok()
+                        .filter(|n| *n < NODES)
+                        .ok_or(format!("members [node]  (0..{})", NODES - 1))?;
+                    let mut out = format!("node {n} gossip view:\n");
+                    for (node, status, incarnation) in self.cluster.node(n).membership() {
+                        out.push_str(&format!(
+                            "  node {:<4} {:<8} incarnation {incarnation}\n",
+                            node.0,
+                            status.label(),
+                        ));
+                    }
+                    Ok(out.trim_end().to_string())
+                }
+                None => {
+                    let monitor = self.monitor_for("all")?;
+                    let scrape = monitor.scrape_membership().map_err(|e| e.to_string())?;
+                    let mut out = String::new();
+                    for (observer, members) in &scrape.per_node {
+                        out.push_str(&format!("node {observer} sees:\n"));
+                        for m in members {
+                            out.push_str(&format!(
+                                "  node {:<4} {:<8} incarnation {}\n",
+                                m.node, m.status, m.incarnation
+                            ));
+                        }
+                    }
+                    if !scrape.down.is_empty() {
+                        out.push_str(&format!("unreachable: {:?}\n", scrape.down));
+                    }
+                    Ok(out.trim_end().to_string())
+                }
+            },
             "export" => {
                 let usage = "export <node|all> <prom|trace|events> [path]";
                 let target = *args.first().ok_or(usage)?;
@@ -264,19 +318,7 @@ commands:
                 if !matches!(format, "prom" | "trace" | "events") {
                     return Err(format!("unknown format '{format}' ({usage})"));
                 }
-                let monitor = match self.monitors.get(target) {
-                    Some(m) => m,
-                    None => {
-                        let ids: Vec<NodeId> = if target == "all" {
-                            (0..NODES).map(|i| NodeId(i as u16)).collect()
-                        } else {
-                            vec![NodeId(target.parse::<u16>().unwrap())]
-                        };
-                        let client = MonitorClient::create(self.cluster.node(0), &ids)
-                            .map_err(|e| e.to_string())?;
-                        self.monitors.entry(target.to_string()).or_insert(client)
-                    }
-                };
+                let monitor = self.monitor_for(target)?;
                 let (text, default_path) = match format {
                     "prom" => (
                         monitor.prometheus().map_err(|e| e.to_string())?,
