@@ -21,6 +21,7 @@
 //! | `scrape_trace [u64]` | scrape | READ | span records (optionally one trace) |
 //! | `scrape_events [u64]` | scrape | READ | merged flight-recorder stream |
 //! | `scrape_membership` | scrape | READ | each node's gossip membership view |
+//! | `scrape_watchdog` | scrape | READ | each node's stall count + snapshot |
 //!
 //! Scrape replies put per-node payloads first, any merged view second,
 //! and a list of unreachable node ids last, so a partial cluster still
@@ -33,7 +34,7 @@ use eden_kernel::{
     node_object_cap, Cluster, EdenError, Node, OpCtx, OpError, OpResult, TypeManager, TypeSpec,
 };
 use eden_obs::export::{self, NodeMetrics};
-use eden_obs::{FlightEvent, SpanRecord};
+use eden_obs::{critical_path, CriticalPath, FlightEvent, SpanRecord};
 use eden_wire::{obs_codec, Status, Value};
 
 /// The monitor type manager (type name `"monitor"`).
@@ -60,6 +61,7 @@ impl TypeManager for MonitorType {
             .op("scrape_trace", "scrape", Rights::READ)
             .op("scrape_events", "scrape", Rights::READ)
             .op("scrape_membership", "scrape", Rights::READ)
+            .op("scrape_watchdog", "scrape", Rights::READ)
     }
 
     /// Initial arguments: one `Value::Cap` per node to watch.
@@ -171,6 +173,26 @@ impl TypeManager for MonitorType {
                 }
                 Ok(vec![Value::List(per_node), Value::List(down)])
             }
+            "scrape_watchdog" => {
+                let mut per_node = Vec::new();
+                let mut down = Vec::new();
+                for (id, cap) in watched(ctx) {
+                    match ctx.invoke(cap, "get_watchdog", &[]) {
+                        Ok(reply) => {
+                            let state = match reply.into_iter().next() {
+                                Some(state @ Value::Map(_)) => state,
+                                _ => return Err(OpError::app(1, "malformed watchdog payload")),
+                            };
+                            let mut row = std::collections::BTreeMap::new();
+                            row.insert("node".to_string(), Value::U64(u64::from(id.0)));
+                            row.insert("state".to_string(), state);
+                            per_node.push(Value::Map(row));
+                        }
+                        Err(_) => down.push(Value::U64(u64::from(id.0))),
+                    }
+                }
+                Ok(vec![Value::List(per_node), Value::List(down)])
+            }
             other => Err(OpError::no_such_op(other)),
         }
     }
@@ -227,6 +249,27 @@ pub struct MemberRow {
 pub struct ClusterMembership {
     /// `(observer, that observer's view)` per node that answered.
     pub per_node: Vec<(u16, Vec<MemberRow>)>,
+    /// Node ids that could not be scraped.
+    pub down: Vec<u16>,
+}
+
+/// One node's watchdog state as the monitor sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogRow {
+    /// The reporting node.
+    pub node: u16,
+    /// Cumulative stall findings since boot (`watchdog.stalls`).
+    pub stalls: u64,
+    /// The most recent diagnostic snapshot; empty if never stalled.
+    pub snapshot: String,
+}
+
+/// A cluster watchdog scrape: every reachable node's stall state and
+/// the nodes that did not answer.
+#[derive(Debug, Clone)]
+pub struct ClusterWatchdog {
+    /// One row per node that answered, in node-id order.
+    pub per_node: Vec<WatchdogRow>,
     /// Node ids that could not be scraped.
     pub down: Vec<u16>,
 }
@@ -330,6 +373,30 @@ impl MonitorClient {
         Ok(export::chrome_trace_json(&self.scrape_spans(trace_id)?))
     }
 
+    /// Stitches one trace's spans — scraped from every watched node —
+    /// into its cross-node critical-path breakdown (local queue wait
+    /// vs. transport queue vs. wire vs. remote queue vs. execute).
+    /// `None` when no node holds a root span for `trace_id`.
+    pub fn critical_path(&self, trace_id: u64) -> eden_kernel::Result<Option<CriticalPath>> {
+        let spans = self.scrape_spans(Some(trace_id))?;
+        Ok(critical_path(&spans, trace_id))
+    }
+
+    /// Scrapes every watched node's stall-watchdog state.
+    pub fn scrape_watchdog(&self) -> eden_kernel::Result<ClusterWatchdog> {
+        let reply = self.node.invoke(self.monitor, "scrape_watchdog", &[])?;
+        let per_node = match reply.first() {
+            Some(Value::List(rows)) => rows
+                .iter()
+                .map(decode_watchdog_row)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| malformed("watchdog rows"))?,
+            _ => return Err(malformed("watchdog rows")),
+        };
+        let down = decode_down(reply.get(1))?;
+        Ok(ClusterWatchdog { per_node, down })
+    }
+
     /// Scrapes the merged flight-recorder stream, totally ordered by
     /// the process-global sequence number.
     pub fn scrape_events(&self) -> eden_kernel::Result<Vec<(u16, FlightEvent)>> {
@@ -392,6 +459,17 @@ fn decode_membership_view(v: &Value) -> Option<(u16, Vec<MemberRow>)> {
         })
         .collect::<Option<Vec<_>>>()?;
     Some((observer, members))
+}
+
+/// Decodes one `{node, state: {stalls, snapshot}}` watchdog row.
+fn decode_watchdog_row(v: &Value) -> Option<WatchdogRow> {
+    let row = v.as_map()?;
+    let state = row.get("state")?.as_map()?;
+    Some(WatchdogRow {
+        node: row.get("node")?.as_u64()? as u16,
+        stalls: state.get("stalls")?.as_u64()?,
+        snapshot: state.get("snapshot")?.as_str()?.to_string(),
+    })
 }
 
 fn decode_down(v: Option<&Value>) -> eden_kernel::Result<Vec<u16>> {

@@ -5,8 +5,26 @@
 //! recorder entries. At those costs the kernel can trace and measure
 //! every invocation unconditionally.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, Criterion};
-use eden_obs::{now_ns, Histogram, KernelEvent, ObsRegistry, TraceSampling};
+use eden_obs::trace::stage;
+use eden_obs::{now_ns, Histogram, KernelEvent, ObsRegistry, TraceCtx, TraceSampling};
+
+/// The per-frame queue-span work a traced hand-off pays: one
+/// retroactive staged span ([enqueue, dequeue] residency), exactly what
+/// the vproc pool and the transport writer record at dequeue time.
+fn queue_span(obs: &ObsRegistry, parent: TraceCtx, start: u64) {
+    obs.record_span_staged("vproc-wait", stage::VPROC_QUEUE, parent, start, now_ns());
+}
+
+/// The untraced path through the same hand-off: the frame carries no
+/// [`TraceCtx`], so the only cost is testing the `Option`.
+fn queue_span_untraced(obs: &ObsRegistry, trace: Option<TraceCtx>, start: u64) {
+    if let Some(ctx) = trace {
+        queue_span(obs, ctx, start);
+    }
+}
 
 fn bench_obs(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
@@ -48,6 +66,40 @@ fn bench_obs(c: &mut Criterion) {
             }
         })
     });
+
+    // Queue-residency spans, the tentpole cost of critical-path
+    // attribution: traced frames pay one staged-span record per
+    // hand-off, untraced frames pay one branch.
+    let traced = ObsRegistry::new(0);
+    let root = traced.root_span("bench");
+    let parent = root.ctx();
+    let start = now_ns();
+    group.bench_function("queue_span_record", |b| {
+        b.iter(|| queue_span(&traced, parent, start))
+    });
+    group.bench_function("queue_span_untraced", |b| {
+        b.iter(|| queue_span_untraced(&traced, None, start))
+    });
+
+    // The acceptance bar, asserted rather than eyeballed: with sampling
+    // off (no TraceCtx on the frame) the queue-span path must stay
+    // under 1 µs per event — it is a branch, so this passes with three
+    // orders of magnitude to spare unless someone pessimizes it.
+    let checked = Instant::now();
+    const EVENTS: u32 = 100_000;
+    for _ in 0..EVENTS {
+        queue_span_untraced(
+            std::hint::black_box(&traced),
+            std::hint::black_box(None),
+            start,
+        );
+    }
+    let per_event = checked.elapsed() / EVENTS;
+    assert!(
+        per_event < std::time::Duration::from_micros(1),
+        "sampled-off queue-span path costs {per_event:?} per event (bar: <1µs)"
+    );
+    root.finish();
 
     group.bench_function("flight_recorder_record", |b| {
         b.iter(|| {

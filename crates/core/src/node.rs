@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use eden_capability::{Capability, NameGenerator, NodeId, ObjName, Rights};
 use eden_directory::{DirOutput, DirectoryService, GossipConfig, MemberEvent};
-use eden_obs::{now_ns, KernelEvent, ObsRegistry, TraceCtx, TraceSampling};
+use eden_obs::{now_ns, stage, KernelEvent, ObsRegistry, TraceCtx, TraceSampling};
 use eden_store::CheckpointStore;
 use eden_transport::Endpoint;
 use eden_wire::{
@@ -135,6 +135,20 @@ pub struct NodeConfig {
     /// How long a suspect may stay unrefuted before gossip declares it
     /// dead and the directory withholds its registrations.
     pub gossip_suspect_timeout: Duration,
+    /// Runs the per-node stall watchdog thread (`eden-watchdog-<id>`),
+    /// which probes the virtual-processor pool, the transport's writer
+    /// queues and the in-flight remote invocations, and dumps a
+    /// structured diagnostic snapshot to the flight recorder when
+    /// something exceeds its deadline.
+    pub enable_watchdog: bool,
+    /// How often the watchdog probes.
+    pub watchdog_interval: Duration,
+    /// Age past which a busy virtual processor, a head-of-queue task or
+    /// a non-draining writer queue counts as stalled.
+    pub watchdog_stall_deadline: Duration,
+    /// Age past which an in-flight remote invocation is reported as a
+    /// `slow-invocation` flight-recorder event.
+    pub slow_invocation_budget: Duration,
 }
 
 impl Default for NodeConfig {
@@ -159,6 +173,10 @@ impl Default for NodeConfig {
             gossip_interval: Duration::from_millis(100),
             gossip_probe_timeout: Duration::from_millis(200),
             gossip_suspect_timeout: Duration::from_millis(600),
+            enable_watchdog: true,
+            watchdog_interval: Duration::from_millis(50),
+            watchdog_stall_deadline: Duration::from_secs(1),
+            slow_invocation_budget: Duration::from_secs(2),
         }
     }
 }
@@ -253,6 +271,14 @@ pub(crate) struct NodeInner {
     obs: Arc<ObsRegistry>,
     last_move_rejection: Mutex<Option<String>>,
     recv_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Remote invocations currently awaiting a reply:
+    /// `inv_id -> (start_ns, trace_id)`. The watchdog walks this to
+    /// report invocations past [`NodeConfig::slow_invocation_budget`].
+    inflight: Mutex<HashMap<u64, (u64, u64)>>,
+    /// The most recent watchdog diagnostic snapshot, if any stall has
+    /// ever been detected on this node (scraped via `get_watchdog`).
+    watchdog_snapshot: Mutex<Option<String>>,
+    watchdog_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// One Eden kernel instance. Cheap to clone (shared interior).
@@ -372,6 +398,9 @@ impl Node {
             obs,
             last_move_rejection: Mutex::new(None),
             recv_thread: Mutex::new(None),
+            inflight: Mutex::new(HashMap::new()),
+            watchdog_snapshot: Mutex::new(None),
+            watchdog_thread: Mutex::new(None),
         });
         let node = Node { inner };
         let recv_node = node.clone();
@@ -380,6 +409,14 @@ impl Node {
             .spawn(move || recv_node.recv_loop())
             .expect("spawn receive loop");
         *node.inner.recv_thread.lock() = Some(handle);
+        if node.inner.config.enable_watchdog {
+            let dog = node.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("eden-watchdog-{id}"))
+                .spawn(move || dog.watchdog_loop())
+                .expect("spawn watchdog");
+            *node.inner.watchdog_thread.lock() = Some(handle);
+        }
         node
     }
 
@@ -597,12 +634,18 @@ impl Node {
     /// miss, a withheld (suspect) answer, or an unreachable home.
     pub fn directory_locate(&self, name: ObjName) -> Option<NodeId> {
         let deadline = Instant::now() + self.inner.config.locate_window;
-        self.directory_locate_before(name, deadline)
+        self.directory_locate_before(name, deadline, None)
     }
 
-    fn directory_locate_before(&self, name: ObjName, deadline: Instant) -> Option<NodeId> {
+    fn directory_locate_before(
+        &self,
+        name: ObjName,
+        deadline: Instant,
+        trace: Option<TraceCtx>,
+    ) -> Option<NodeId> {
         let dir = self.inner.directory.as_ref()?;
         let home = dir.lock().home(name)?;
+        let query_start = now_ns();
         self.inner.metrics.bump_dir_query();
         self.inner
             .obs
@@ -645,6 +688,17 @@ impl Node {
         };
         if hit.is_some() {
             self.inner.metrics.bump_dir_hit();
+        }
+        if let Some(t) = trace {
+            // Retroactive: covers the shard lookup or the DirQuery RTT,
+            // so the critical-path report can price directory time.
+            self.inner.obs.record_span_staged(
+                "dir-query",
+                stage::DIRECTORY,
+                t,
+                query_start,
+                now_ns(),
+            );
         }
         hit
     }
@@ -814,6 +868,7 @@ impl Node {
         }
 
         // Remote: try hints in order, then broadcast.
+        let hint_start = now_ns();
         let peers = self.inner.endpoint.peers();
         let mut tried = HashSet::new();
         let mut candidates: Vec<(NodeId, bool)> = Vec::new(); // (node, from_cache)
@@ -828,6 +883,18 @@ impl Node {
         let birth = name.birth_node();
         if birth != self.inner.id && peers.contains(&birth) {
             candidates.push((birth, false));
+        }
+        if let Some(t) = ctx {
+            // Hint assembly (forwarding table + LRU cache + birth hint):
+            // usually nanoseconds, but visible in the report when lock
+            // contention makes it otherwise.
+            self.inner.obs.record_span_staged(
+                "hint-probe",
+                stage::DIRECTORY,
+                t,
+                hint_start,
+                now_ns(),
+            );
         }
 
         for (candidate, from_cache) in candidates {
@@ -884,7 +951,7 @@ impl Node {
         // the registered holder, where the seed paid a broadcast plus
         // the locate window.
         if self.inner.directory.is_some() {
-            if let Some(holder) = self.directory_locate_before(name, deadline) {
+            if let Some(holder) = self.directory_locate_before(name, deadline, ctx) {
                 if holder != self.inner.id
                     && peers.contains(&holder)
                     && !self.peer_is_dead(holder)
@@ -928,7 +995,19 @@ impl Node {
         if Instant::now() >= deadline {
             return (Status::Timeout, Vec::new());
         }
+        let where_is_start = now_ns();
         let answers = self.locate_broadcast(name);
+        if let Some(t) = ctx {
+            // The seed's safety net: a WhereIs broadcast plus the locate
+            // window. When this dominates a trace, the directory missed.
+            self.inner.obs.record_span_staged(
+                "where-is",
+                stage::DIRECTORY,
+                t,
+                where_is_start,
+                now_ns(),
+            );
+        }
         let mut ordered: Vec<NodeId> = Vec::new();
         for want in [
             HeldState::Active,
@@ -1037,6 +1116,27 @@ impl Node {
                     })
                     .collect();
                 (Status::Ok, vec![Value::List(rows)])
+            }
+            // Stall-watchdog state: the cumulative stall count and the
+            // most recent diagnostic snapshot (empty string when the
+            // node has never stalled).
+            "get_watchdog" => {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert(
+                    "stalls".to_string(),
+                    Value::U64(obs.counter("watchdog.stalls").get()),
+                );
+                m.insert(
+                    "snapshot".to_string(),
+                    Value::Str(
+                        self.inner
+                            .watchdog_snapshot
+                            .lock()
+                            .clone()
+                            .unwrap_or_default(),
+                    ),
+                );
+                (Status::Ok, vec![Value::Map(m)])
             }
             other => (Status::NoSuchOperation(other.to_string()), Vec::new()),
         }
@@ -1198,10 +1298,29 @@ impl Node {
                 let task_slot = slot.clone();
                 let sink = pending.sink.clone();
                 let trace = pending.trace;
+                // Close the coordinator-residency gap retroactively:
+                // `dispatch` covers enqueue → this dispatch decision.
+                // The invocation's remaining spans (the pool's
+                // `vproc-wait`, then `execute`) parent on it, so the
+                // three intervals tile the queue time without overlap.
+                let mut pending = pending;
+                let dispatch_ctx = trace.map(|t| {
+                    self.inner.obs.record_span_staged(
+                        "dispatch",
+                        stage::DISPATCH,
+                        t,
+                        pending.enqueue_ns,
+                        now_ns(),
+                    )
+                });
+                pending.trace = dispatch_ctx;
                 if self
                     .inner
                     .vprocs
-                    .submit(move || node.run_invocation(task_slot, pending))
+                    .submit_traced(
+                        move || node.run_invocation(task_slot, pending),
+                        dispatch_ctx,
+                    )
                     .is_ok()
                 {
                     self.inner.metrics.bump_process();
@@ -1230,15 +1349,14 @@ impl Node {
 
     /// The body of one invocation process.
     fn run_invocation(&self, slot: Arc<ObjectSlot>, pending: PendingInvocation) {
-        // Close the trace's queue-wait gap retroactively (`dispatch`
-        // runs from coordinator acceptance to here), then time the
-        // execution itself under a child span.
+        // `pending.trace` was rewritten at dispatch (see `pump`) to the
+        // `dispatch` span's context; queue residency in the pool was
+        // already recorded by the pool itself as `vproc-wait`. All that
+        // remains here is timing the execution.
         let exec_span = pending.trace.map(|t| {
-            let dispatch_ctx =
-                self.inner
-                    .obs
-                    .record_span("dispatch", t, pending.enqueue_ns, now_ns());
-            self.inner.obs.child_span("execute", dispatch_ctx)
+            self.inner
+                .obs
+                .child_span_staged("execute", stage::EXECUTE, t)
         });
         // Take a virtual processor for the duration of execution.
         self.inner.gate.p();
@@ -1372,6 +1490,10 @@ impl Node {
         let inv_id = self.fresh_id();
         let waiter = Arc::new(Waiter::new());
         self.inner.pending.lock().insert(inv_id, waiter.clone());
+        self.inner
+            .inflight
+            .lock()
+            .insert(inv_id, (start_ns, send_ctx.map_or(0, |c| c.trace_id)));
         let request = || {
             let mut frame = Frame::to(
                 self.inner.id,
@@ -1393,6 +1515,7 @@ impl Node {
         let sent = self.inner.endpoint.send(request());
         if sent.is_err() {
             self.inner.pending.lock().remove(&inv_id);
+            self.inner.inflight.lock().remove(&inv_id);
             return (Status::NodeUnreachable, Vec::new(), dst);
         }
         // Wait in retransmission-sized slices: an unanswered request is
@@ -1430,6 +1553,7 @@ impl Node {
             }
         });
         self.inner.pending.lock().remove(&inv_id);
+        self.inner.inflight.lock().remove(&inv_id);
         if let Some(s) = span {
             s.finish();
         }
@@ -2258,6 +2382,9 @@ impl Node {
             return;
         }
         self.inner.obs.recorder().record(KernelEvent::NodeShutdown);
+        if let Some(h) = self.inner.watchdog_thread.lock().take() {
+            let _ = h.join();
+        }
         self.inner.endpoint.shutdown();
         if let Some(h) = self.inner.recv_thread.lock().take() {
             let _ = h.join();
@@ -2268,6 +2395,168 @@ impl Node {
             slot.short.teardown();
         }
         self.inner.vprocs.shutdown();
+    }
+
+    // ================= The stall watchdog =================
+
+    /// The body of the `eden-watchdog-<id>` thread: every
+    /// [`NodeConfig::watchdog_interval`] it probes the three places an
+    /// invocation can silently wedge — the virtual-processor pool (a
+    /// busy worker or an un-dequeued head-of-queue task past the stall
+    /// deadline), the transport's per-peer writer queues (non-draining
+    /// past the same deadline), and the in-flight remote invocations
+    /// (older than the slow-invocation budget). Each finding becomes a
+    /// typed flight-recorder event plus a bump of `watchdog.stalls`,
+    /// and the batch is rendered into a diagnostic snapshot scrapeable
+    /// via the node object's `get_watchdog` operation.
+    fn watchdog_loop(&self) {
+        let interval = self.inner.config.watchdog_interval;
+        let deadline_ns = self.inner.config.watchdog_stall_deadline.as_nanos() as u64;
+        let budget_ns = self.inner.config.slow_invocation_budget.as_nanos() as u64;
+        // Per-finding report times, so a persistent stall re-reports
+        // once per deadline period instead of once per probe tick.
+        let mut last_report: HashMap<(u8, u64), u64> = HashMap::new();
+        loop {
+            // Sleep in small slices so shutdown joins promptly even
+            // with a long probe interval.
+            let mut slept = Duration::ZERO;
+            while slept < interval {
+                if self.inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let nap = (interval - slept).min(Duration::from_millis(10));
+                std::thread::sleep(nap);
+                slept += nap;
+            }
+            let now = now_ns();
+            let mut due = |key: (u8, u64)| match last_report.get(&key) {
+                Some(&t) if now.saturating_sub(t) < deadline_ns => false,
+                _ => {
+                    last_report.insert(key, now);
+                    true
+                }
+            };
+            let mut stalls: Vec<KernelEvent> = Vec::new();
+            let probe = self.inner.vprocs.stall_probe();
+            if let Some((wid, age)) = probe.busiest {
+                if age >= deadline_ns && due((0, wid as u64)) {
+                    stalls.push(KernelEvent::VprocStall {
+                        worker: wid,
+                        age_ms: age / 1_000_000,
+                        queued: probe.queued as u64,
+                    });
+                }
+            }
+            if probe.oldest_wait_ns >= deadline_ns && due((1, 0)) {
+                // `u16::MAX` is the reserved "no particular worker"
+                // marker: the queue head itself is not being picked up.
+                stalls.push(KernelEvent::VprocStall {
+                    worker: u16::MAX,
+                    age_ms: probe.oldest_wait_ns / 1_000_000,
+                    queued: probe.queued as u64,
+                });
+            }
+            for (dst, age, queued) in self.inner.endpoint.writer_probe() {
+                if age >= deadline_ns && due((2, dst.0 as u64)) {
+                    stalls.push(KernelEvent::WriterStall {
+                        dst: dst.0,
+                        age_ms: age / 1_000_000,
+                        queued,
+                    });
+                }
+            }
+            {
+                let inflight = self.inner.inflight.lock();
+                for (&inv_id, &(start_ns, trace)) in inflight.iter() {
+                    let age = now.saturating_sub(start_ns);
+                    if age >= budget_ns && due((3, inv_id)) {
+                        stalls.push(KernelEvent::SlowInvocation {
+                            inv_id,
+                            age_ms: age / 1_000_000,
+                            trace,
+                        });
+                    }
+                }
+            }
+            if stalls.is_empty() {
+                continue;
+            }
+            self.inner
+                .obs
+                .counter("watchdog.stalls")
+                .add(stalls.len() as u64);
+            for e in &stalls {
+                self.inner.obs.recorder().record(*e);
+            }
+            *self.inner.watchdog_snapshot.lock() = Some(self.watchdog_snapshot_text(&stalls));
+        }
+    }
+
+    /// Renders one watchdog finding batch plus the node state needed to
+    /// interpret it: thread names, pool and writer-queue depths, the
+    /// oldest in-flight invocation, the oldest retained span, and the
+    /// gossip membership view.
+    fn watchdog_snapshot_text(&self, stalls: &[KernelEvent]) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let id = self.inner.id;
+        let _ = writeln!(s, "watchdog snapshot node={id} at_ns={}", now_ns());
+        for e in stalls {
+            let _ = writeln!(s, "  stall: {e}");
+        }
+        let v = self.inner.vprocs.stats();
+        let _ = writeln!(
+            s,
+            "  threads: eden-recv-{id} eden-watchdog-{id} eden-vproc-{id}-[0..{}]",
+            v.live
+        );
+        let _ = writeln!(
+            s,
+            "  vprocs: queued={} live={} blocked={} executed={} rejected={}",
+            v.queued, v.live, v.blocked, v.executed, v.rejected
+        );
+        for (dst, age, queued) in self.inner.endpoint.writer_probe() {
+            let _ = writeln!(
+                s,
+                "  writer-queue dst={dst}: {queued} frames, idle {} ms",
+                age / 1_000_000
+            );
+        }
+        {
+            let inflight = self.inner.inflight.lock();
+            let oldest = inflight.iter().min_by_key(|(_, &(start, _))| start);
+            let _ = write!(s, "  inflight: {}", inflight.len());
+            if let Some((inv_id, &(start, trace))) = oldest {
+                let _ = write!(
+                    s,
+                    ", oldest inv={inv_id} age={} ms trace={trace:#x}",
+                    now_ns().saturating_sub(start) / 1_000_000
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if let Some(span) = self
+            .inner
+            .obs
+            .traces()
+            .spans()
+            .into_iter()
+            .min_by_key(|r| r.start_ns)
+        {
+            let _ = writeln!(
+                s,
+                "  oldest-span: {} trace={:#x} start_ns={}",
+                span.name, span.trace_id, span.start_ns
+            );
+        }
+        for (node, status, incarnation) in self.membership() {
+            let _ = writeln!(
+                s,
+                "  member node={node} status={} incarnation={incarnation}",
+                status.label()
+            );
+        }
+        s
     }
 
     // ================= The receive loop =================

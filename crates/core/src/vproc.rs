@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eden_capability::NodeId;
-use eden_obs::{now_ns, Counter, Gauge, Histogram, ObsRegistry};
+use eden_obs::{now_ns, stage, Counter, Gauge, Histogram, ObsRegistry, TraceCtx};
 
 use crate::sync::shim::{self, Condvar, Mutex};
 
@@ -52,6 +52,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Task {
     job: Job,
     enqueued_ns: u64,
+    /// Trace context of the invocation this task belongs to. `None` for
+    /// untraced (sampled-out or internal) tasks, which then pay zero
+    /// span cost at dequeue — not even an allocation.
+    trace: Option<TraceCtx>,
 }
 
 struct State {
@@ -62,6 +66,10 @@ struct State {
     idle: usize,
     /// Workers inside a [`VirtualProcessorPool::blocking`] scope.
     blocked: usize,
+    /// Per-worker busy-since timestamps (worker id → ns), maintained
+    /// around task execution so the stall watchdog can spot a worker
+    /// wedged in one task past the deadline.
+    busy_since: std::collections::BTreeMap<u16, u64>,
     stop: bool,
 }
 
@@ -72,6 +80,9 @@ struct Shared {
     /// Target number of unblocked workers (the configured pool size).
     workers: usize,
     queue_cap: usize,
+    /// Registry the queue-residency spans of traced tasks are recorded
+    /// into at dequeue.
+    obs: Arc<ObsRegistry>,
     busy: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     task_wait: Arc<Histogram>,
@@ -89,6 +100,19 @@ pub enum SubmitError {
     Overloaded,
     /// The pool has been shut down.
     Closed,
+}
+
+/// What the stall watchdog sees in one [`VirtualProcessorPool::
+/// stall_probe`]: queue backlog and the longest-running in-flight task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VprocProbe {
+    /// Tasks waiting in the queue.
+    pub queued: usize,
+    /// Age of the oldest queued task in nanoseconds (0 when empty).
+    pub oldest_wait_ns: u64,
+    /// Longest-running in-flight task as `(worker id, busy ns)`;
+    /// `None` when every worker is idle or blocked.
+    pub busiest: Option<(u16, u64)>,
 }
 
 /// A point-in-time snapshot of one node's pool (see
@@ -129,7 +153,7 @@ impl VirtualProcessorPool {
     /// bounded at `queue_cap`. Pressure metrics are registered in `obs`
     /// (`vproc.busy`, `vproc.queue_depth`, `vproc.task_wait`, …), so
     /// the Monitor object and the Prometheus export see them.
-    pub fn new(node: NodeId, workers: usize, queue_cap: usize, obs: &ObsRegistry) -> Self {
+    pub fn new(node: NodeId, workers: usize, queue_cap: usize, obs: &Arc<ObsRegistry>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -137,12 +161,14 @@ impl VirtualProcessorPool {
                 live: workers,
                 idle: 0,
                 blocked: 0,
+                busy_since: std::collections::BTreeMap::new(),
                 stop: false,
             }),
             cv: Condvar::new(),
             node,
             workers,
             queue_cap: queue_cap.max(1),
+            obs: Arc::clone(obs),
             busy: obs.gauge("vproc.busy"),
             queue_depth: obs.gauge("vproc.queue_depth"),
             task_wait: obs.histogram("vproc.task_wait"),
@@ -160,7 +186,7 @@ impl VirtualProcessorPool {
             let shared = pool.shared.clone();
             let handle = shim::thread::Builder::new()
                 .name(format!("eden-vproc-{node}-{i}"))
-                .spawn(move || worker_loop(shared, false))
+                .spawn(move || worker_loop(shared, false, i as u16))
                 .expect("spawn virtual-processor worker");
             base.push(handle);
         }
@@ -175,6 +201,19 @@ impl VirtualProcessorPool {
     /// `Status::Overloaded` reply) and [`SubmitError::Closed`] after
     /// shutdown.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        self.submit_traced(job, None)
+    }
+
+    /// [`submit`](Self::submit) for a task belonging to a traced
+    /// invocation: at dequeue the worker records a retroactive
+    /// `vproc-wait` span (stage `vproc-queue`) covering the task's whole
+    /// queue residency, parented on `trace`. Untraced tasks (`None`)
+    /// skip all span work.
+    pub fn submit_traced(
+        &self,
+        job: impl FnOnce() + Send + 'static,
+        trace: Option<TraceCtx>,
+    ) -> Result<(), SubmitError> {
         let spawn_spare = {
             let mut st = self.shared.state.lock();
             if st.stop {
@@ -187,6 +226,7 @@ impl VirtualProcessorPool {
             st.queue.push_back(Task {
                 job: Box::new(job),
                 enqueued_ns: now_ns(),
+                trace,
             });
             self.shared.queue_depth.inc();
             self.reserve_spare(&mut st)
@@ -247,12 +287,37 @@ impl VirtualProcessorPool {
         self.shared.spares.inc();
         let n = self.shared.spares.get();
         let shared = self.shared.clone();
+        // Spare ids live above the base range so a probe can tell them
+        // apart; u16::MAX is reserved for the queue-age pseudo-worker.
+        let wid = (self.shared.workers as u64 + n).min(u16::MAX as u64 - 1) as u16;
         let spawned = shim::thread::Builder::new()
             .name(format!("eden-vproc-{}-s{n}", self.shared.node))
-            .spawn(move || worker_loop(shared, true));
+            .spawn(move || worker_loop(shared, true, wid));
         if spawned.is_err() {
             // Could not create the thread: release the reserved slot.
             self.shared.state.lock().live -= 1;
+        }
+    }
+
+    /// One stall-watchdog probe: queue backlog with the oldest task's
+    /// residency, and the longest-running in-flight task, ages computed
+    /// at probe time. Cheap — one lock acquisition, no allocation
+    /// beyond the map walk.
+    pub fn stall_probe(&self) -> VprocProbe {
+        let now = now_ns();
+        let st = self.shared.state.lock();
+        VprocProbe {
+            queued: st.queue.len(),
+            oldest_wait_ns: st
+                .queue
+                .front()
+                .map(|t| now.saturating_sub(t.enqueued_ns))
+                .unwrap_or(0),
+            busiest: st
+                .busy_since
+                .iter()
+                .map(|(&wid, &since)| (wid, now.saturating_sub(since)))
+                .max_by_key(|&(_, age)| age),
         }
     }
 
@@ -298,12 +363,13 @@ impl VirtualProcessorPool {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, spare: bool) {
+fn worker_loop(shared: Arc<Shared>, spare: bool, wid: u16) {
     WORKER_OF.with(|c| c.set(Arc::as_ptr(&shared) as usize));
     loop {
+        let dequeued_ns;
         let task = {
             let mut st = shared.state.lock();
-            loop {
+            let task = loop {
                 if let Some(task) = st.queue.pop_front() {
                     break Some(task);
                 }
@@ -316,13 +382,29 @@ fn worker_loop(shared: Arc<Shared>, spare: bool) {
                 st.idle += 1;
                 shared.cv.wait(&mut st);
                 st.idle -= 1;
+            };
+            dequeued_ns = now_ns();
+            if task.is_some() {
+                st.busy_since.insert(wid, dequeued_ns);
             }
+            task
         };
         let Some(task) = task else { break };
         shared.queue_depth.dec();
         shared
             .task_wait
-            .record(now_ns().saturating_sub(task.enqueued_ns));
+            .record(dequeued_ns.saturating_sub(task.enqueued_ns));
+        // Queue residency becomes a retroactive critical-path span —
+        // only for traced tasks; sampled-out work does no span work.
+        if let Some(trace) = task.trace {
+            shared.obs.record_span_staged(
+                "vproc-wait",
+                stage::VPROC_QUEUE,
+                trace,
+                task.enqueued_ns,
+                dequeued_ns,
+            );
+        }
         shared.busy.inc();
         // Panic isolation: one panicking task must not kill its worker.
         // (Operation panics are already caught in `run_invocation`; this
@@ -333,8 +415,11 @@ fn worker_loop(shared: Arc<Shared>, spare: bool) {
         if outcome.is_err() {
             shared.panicked.inc();
         }
+        shared.state.lock().busy_since.remove(&wid);
     }
-    shared.state.lock().live -= 1;
+    let mut st = shared.state.lock();
+    st.busy_since.remove(&wid);
+    st.live -= 1;
 }
 
 #[cfg(test)]
@@ -343,7 +428,7 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn pool(workers: usize, cap: usize) -> VirtualProcessorPool {
-        let obs = ObsRegistry::new(0);
+        let obs = Arc::new(ObsRegistry::new(0));
         VirtualProcessorPool::new(NodeId(0), workers, cap, &obs)
     }
 
@@ -457,6 +542,58 @@ mod tests {
         assert_eq!(unblocker.load(Ordering::SeqCst), 1, "spare never ran");
         assert!(p.stats().spares_spawned >= 1);
         p.shutdown();
+    }
+
+    #[test]
+    fn traced_task_records_queue_residency_span() {
+        let obs = Arc::new(ObsRegistry::new(7));
+        let p = VirtualProcessorPool::new(NodeId(7), 1, 64, &obs);
+        let root = obs.root_span("invoke");
+        let ctx = root.ctx();
+        p.submit_traced(|| {}, Some(ctx)).unwrap();
+        // An untraced task must add nothing.
+        p.submit(|| {}).unwrap();
+        p.shutdown();
+        root.finish();
+        let spans = obs.traces().spans_for(ctx.trace_id);
+        let waits: Vec<_> = spans.iter().filter(|s| s.name == "vproc-wait").collect();
+        assert_eq!(waits.len(), 1, "spans: {spans:?}");
+        assert_eq!(waits[0].stage, stage::VPROC_QUEUE);
+        assert_eq!(waits[0].parent_span, ctx.span_id);
+        assert!(waits[0].end_ns >= waits[0].start_ns);
+    }
+
+    #[test]
+    fn stall_probe_sees_backlog_and_busy_worker() {
+        let p = pool(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = gate.clone();
+        p.submit(move || {
+            let mut open = g.0.lock();
+            while !*open {
+                g.1.wait(&mut open);
+            }
+        })
+        .unwrap();
+        // Wait for the worker to take the wedge, then queue one more.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while p.stats().queued > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        p.submit(|| {}).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let probe = p.stall_probe();
+        assert_eq!(probe.queued, 1);
+        assert!(probe.oldest_wait_ns > 0, "queued task must age");
+        let (wid, busy_ns) = probe.busiest.expect("wedged worker visible");
+        assert_eq!(wid, 0);
+        assert!(busy_ns > 0);
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        p.shutdown();
+        let after = p.stall_probe();
+        assert_eq!(after.queued, 0);
+        assert!(after.busiest.is_none(), "probe after drain: {after:?}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use eden_obs::ObsRegistry;
 use loom::sync::{Arc, Condvar, Mutex};
 
 fn pool(workers: usize, cap: usize) -> VirtualProcessorPool {
-    let obs = ObsRegistry::new(0);
+    let obs = std::sync::Arc::new(ObsRegistry::new(0));
     VirtualProcessorPool::new(NodeId(0), workers, cap, &obs)
 }
 

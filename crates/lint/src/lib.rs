@@ -8,12 +8,13 @@
 //! appears. Following Lampson's advice to make such invariants
 //! *checkable* rather than conventional, this crate parses the whole
 //! workspace (a purpose-built lexer — the build image has no network
-//! access for `syn`) and enforces four rules:
+//! access for `syn`) and enforces five rules:
 //!
 //! * **L1 `pool-discipline`** — no `thread::spawn` /
 //!   `thread::Builder::…spawn` in `eden-core` outside `vproc.rs` and
-//!   the allowlisted `eden-recv` receive loop in `node.rs`. Everything
-//!   else must go through [`VirtualProcessorPool`].
+//!   the allowlisted `eden-recv` receive loop and `eden-watchdog`
+//!   stall watchdog in `node.rs`. Everything else must go through
+//!   [`VirtualProcessorPool`].
 //! * **L2 `capability-discipline`** — every *public* kernel entry point
 //!   in `node.rs` / `object.rs` that accepts a `Capability` must either
 //!   call a rights check (`permits` / `check_rights` / `require_rights`)
@@ -28,6 +29,12 @@
 //! * **L4 `panic-hygiene`** — no `.unwrap()` / `.expect(…)` directly on
 //!   lock acquisitions or channel ends (`lock`, `read`, `write`, `recv`,
 //!   `send`, `join`, …) in non-test kernel code.
+//! * **L5 `metric-discipline`** — telemetry flows through the obs
+//!   registry: no ad-hoc metric-named atomic counters (`AtomicU64`
+//!   fields or statics called `*_count`, `*_sent`, `*_total`, …) in
+//!   `eden-core` or `eden-transport`. The one sanctioned cell is the
+//!   transport's `stats.rs`, which implements the public
+//!   `Endpoint::stats()` contract rather than duplicating the registry.
 //!
 //! Findings can be suppressed with a `// eden-lint: allow(<rule>)`
 //! comment on the offending line or on the line directly above it;
@@ -45,7 +52,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::path::Path;
 
-/// The four invariants eden-lint enforces.
+/// The five invariants eden-lint enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// L1: kernel work flows through the virtual-processor pool.
@@ -57,15 +64,18 @@ pub enum Rule {
     WireExhaustiveness,
     /// L4: no `unwrap`/`expect` on locks or channel ends in kernel code.
     PanicHygiene,
+    /// L5: metrics go through the obs registry, not ad-hoc atomics.
+    MetricDiscipline,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::PoolDiscipline,
         Rule::CapabilityDiscipline,
         Rule::WireExhaustiveness,
         Rule::PanicHygiene,
+        Rule::MetricDiscipline,
     ];
 
     /// The stable kebab-case name used in reports and suppressions.
@@ -75,6 +85,7 @@ impl Rule {
             Rule::CapabilityDiscipline => "capability-discipline",
             Rule::WireExhaustiveness => "wire-exhaustiveness",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::MetricDiscipline => "metric-discipline",
         }
     }
 
@@ -645,6 +656,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     capability_discipline(rel_path, &model, &mut findings);
     wire_exhaustiveness(rel_path, &model, &mut findings);
     panic_hygiene(rel_path, &model, &mut findings);
+    metric_discipline(rel_path, &model, &mut findings);
 
     let suppressions = collect_suppressions(&model);
     for f in &mut findings {
@@ -688,11 +700,12 @@ fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) 
             continue;
         }
         // In-lint allowlists, checked in a window around the spawn:
-        // the kernel's one legitimate direct thread (the per-node
-        // receive loop, named "eden-recv-<id>"), and the transport's
-        // infrastructure threads, which must carry an "eden-mesh-*" or
-        // "eden-tcp-*" name (accept loops, readers, per-peer writers,
-        // the loopback delay pump).
+        // the kernel's two legitimate direct threads (the per-node
+        // receive loop, named "eden-recv-<id>", and the stall watchdog,
+        // named "eden-watchdog-<id>" — both must stay off the pool they
+        // observe), and the transport's infrastructure threads, which
+        // must carry an "eden-mesh-*" or "eden-tcp-*" name (accept
+        // loops, readers, per-peer writers, the loopback delay pump).
         let lo = model.line_starts[line.saturating_sub(4).max(1) - 1];
         let hi = model
             .line_starts
@@ -700,7 +713,9 @@ fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) 
             .copied()
             .unwrap_or(model.raw.len());
         let window = &model.raw[lo..hi];
-        if rel_path.ends_with("node.rs") && window.contains("eden-recv") {
+        if rel_path.ends_with("node.rs")
+            && (window.contains("eden-recv") || window.contains("eden-watchdog"))
+        {
             continue;
         }
         if in_transport && (window.contains("eden-mesh-") || window.contains("eden-tcp-")) {
@@ -712,7 +727,7 @@ fn pool_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) 
         } else {
             "direct thread spawn in eden-core; kernel work must go through \
              VirtualProcessorPool::submit (allowlisted: vproc.rs workers, \
-             the eden-recv loop)"
+             the eden-recv loop, the eden-watchdog thread)"
         };
         out.push(Finding {
             rule: Rule::PoolDiscipline,
@@ -1064,6 +1079,108 @@ fn panic_hygiene(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
             suppressed: false,
         });
     }
+}
+
+/// L5: telemetry flows through the obs registry. An atomic integer
+/// field or static with a metric-shaped name (`*_count`, `*_sent`,
+/// `*_total`, …) in kernel or transport code is a parallel metrics
+/// system: it is invisible to Prometheus export, metric merging, and
+/// the monitor, and it skips the registry's naming discipline. The one
+/// sanctioned cell is `crates/transport/src/stats.rs`, which implements
+/// the public `Endpoint::stats()` contract.
+fn metric_discipline(rel_path: &str, model: &SourceModel, out: &mut Vec<Finding>) {
+    let scoped =
+        rel_path.starts_with("crates/core/src/") || rel_path.starts_with("crates/transport/src/");
+    if !scoped || rel_path == "crates/transport/src/stats.rs" {
+        return;
+    }
+    const TYPES: [&str; 4] = ["AtomicU64", "AtomicU32", "AtomicUsize", "AtomicI64"];
+    let code = &model.code;
+    let mut seen_lines: HashSet<usize> = HashSet::new();
+    for ty in TYPES {
+        for at in word_occurrences(code, ty) {
+            let line = model.line_of(at);
+            if model.is_test_line(line) || !seen_lines.insert(line) {
+                continue;
+            }
+            let Some(name) = declared_name(model.code_line(line)) else {
+                continue;
+            };
+            if !is_metric_name(&name) {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::MetricDiscipline,
+                file: rel_path.to_string(),
+                line,
+                message: format!(
+                    "ad-hoc atomic metric `{name}` in kernel/transport code; counters, \
+                     gauges and histograms must go through the obs registry \
+                     (ObsRegistry::counter/gauge/histogram) so they export, merge and \
+                     scrape like every other metric"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// The declared name on a `name: Type` line — a struct field, a
+/// struct-literal initializer, or a (possibly `pub`) `static` item.
+/// Returns `None` for lines that are not declarations (method chains,
+/// imports, locals).
+fn declared_name(line_code: &str) -> Option<String> {
+    let mut t = line_code.trim_start();
+    for prefix in ["pub ", "static ", "mut "] {
+        loop {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                t = rest.trim_start();
+            } else if prefix == "pub " && t.starts_with("pub(") {
+                t = t.split_once(')')?.1.trim_start();
+            } else {
+                break;
+            }
+        }
+    }
+    let (name, _) = t.split_once(':')?;
+    let name = name.trim_end();
+    (!name.is_empty() && name.bytes().all(is_ident_char)).then(|| name.to_string())
+}
+
+/// Whether an identifier reads as a metric: exactly one of the metric
+/// words, or carrying one as an underscore-separated component.
+fn is_metric_name(name: &str) -> bool {
+    const METRIC_WORDS: [&str; 22] = [
+        "count",
+        "counts",
+        "counter",
+        "counters",
+        "total",
+        "totals",
+        "hits",
+        "misses",
+        "dropped",
+        "drops",
+        "shed",
+        "sent",
+        "received",
+        "failures",
+        "retries",
+        "stalls",
+        "errors",
+        "rejected",
+        "executed",
+        "evictions",
+        "broadcasts",
+        "latency",
+    ];
+    let lname = name.to_ascii_lowercase();
+    METRIC_WORDS.iter().any(|w| {
+        lname == *w
+            || lname.starts_with(&format!("{w}_"))
+            || lname.ends_with(&format!("_{w}"))
+            || lname.contains(&format!("_{w}_"))
+    })
 }
 
 // ================= Workspace walking =================

@@ -1,0 +1,12 @@
+// Fixture: ad-hoc atomic metrics (scanned as crates/core/src/telemetry.rs).
+// Three violations: two metric-named atomic fields (one behind an Arc
+// wrapper) and a metric-named atomic static.
+
+use std::sync::atomic::AtomicU64;
+
+struct Telemetry {
+    invoke_count: AtomicU64,
+    bytes_sent: Arc<std::sync::atomic::AtomicU64>,
+}
+
+pub static RETRY_TOTAL: AtomicU64 = AtomicU64::new(0);

@@ -24,3 +24,8 @@ fn retryable(status: &Status) -> bool {
 fn peek(state: &Mutex<u64>) -> u64 {
     *state.lock().unwrap() // eden-lint: allow(panic-hygiene)
 }
+
+struct Telemetry {
+    // eden-lint: allow(metric-discipline)
+    frames_sent: AtomicU64,
+}

@@ -1,4 +1,4 @@
-//! Fixture suite for the four eden-lint rules: each rule has at least
+//! Fixture suite for the five eden-lint rules: each rule has at least
 //! one known-good and one known-bad snippet with exact expected finding
 //! counts, plus a suppression fixture proving `eden-lint: allow(...)`
 //! comments cover (and count) findings. A final test runs the linter
@@ -146,6 +146,37 @@ fn panic_hygiene_covers_the_transport_crate() {
         4,
         "{findings:?}"
     );
+}
+
+#[test]
+fn metric_discipline_flags_adhoc_atomic_counters() {
+    let findings = scan_fixture("metric_bad.rs", "crates/core/src/telemetry.rs");
+    assert_eq!(
+        count(&findings, Rule::MetricDiscipline, false),
+        3,
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`invoke_count`")));
+    assert!(findings.iter().any(|f| f.message.contains("`bytes_sent`")));
+    assert!(findings.iter().any(|f| f.message.contains("`RETRY_TOTAL`")));
+    // The transport crate is in scope too.
+    let findings = scan_fixture("metric_bad.rs", "crates/transport/src/telemetry.rs");
+    assert_eq!(count(&findings, Rule::MetricDiscipline, false), 3);
+}
+
+#[test]
+fn metric_discipline_accepts_structural_atomics_and_the_stats_cell() {
+    let findings = scan_fixture("metric_good.rs", "crates/core/src/telemetry.rs");
+    assert_eq!(findings.len(), 0, "{findings:?}");
+    // stats.rs implements the public Endpoint::stats() contract: it is
+    // the one sanctioned ad-hoc cell.
+    let findings = scan_fixture("metric_bad.rs", "crates/transport/src/stats.rs");
+    assert_eq!(count(&findings, Rule::MetricDiscipline, false), 0);
+    // Crates outside kernel/transport are out of scope.
+    let findings = scan_fixture("metric_bad.rs", "crates/obs/src/metric.rs");
+    assert_eq!(count(&findings, Rule::MetricDiscipline, false), 0);
 }
 
 #[test]

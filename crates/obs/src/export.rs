@@ -229,13 +229,14 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"cat\":\"eden\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
              \"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":\"{:#x}\",\"span_id\":\"{:#x}\",\
-             \"parent_span\":\"{:#x}\"}}}}",
+             \"parent_span\":\"{:#x}\",\"stage\":\"{}\"}}}}",
             json_escape(s.name),
             s.node,
             s.trace_id & 0xffff_ffff,
             s.trace_id,
             s.span_id,
             s.parent_span,
+            json_escape(s.stage),
         ));
     }
     out.push_str("]}");
@@ -306,6 +307,36 @@ pub fn event_jsonl_line(node: u16, e: &FlightEvent) -> String {
         KernelEvent::MemberAlive { node } => {
             kind("member_alive");
             out.push_str(&format!(",\"member\":{node}"));
+        }
+        KernelEvent::VprocStall {
+            worker,
+            age_ms,
+            queued,
+        } => {
+            kind("vproc_stall");
+            out.push_str(&format!(
+                ",\"worker\":{worker},\"age_ms\":{age_ms},\"queued\":{queued}"
+            ));
+        }
+        KernelEvent::WriterStall {
+            dst,
+            age_ms,
+            queued,
+        } => {
+            kind("writer_stall");
+            out.push_str(&format!(
+                ",\"dst\":{dst},\"age_ms\":{age_ms},\"queued\":{queued}"
+            ));
+        }
+        KernelEvent::SlowInvocation {
+            inv_id,
+            age_ms,
+            trace,
+        } => {
+            kind("slow_invocation");
+            out.push_str(&format!(
+                ",\"inv_id\":{inv_id},\"age_ms\":{age_ms},\"trace\":\"{trace:#x}\""
+            ));
         }
         KernelEvent::NodeShutdown => kind("shutdown"),
     }
@@ -405,6 +436,25 @@ pub fn parse_jsonl_line(line: &str) -> Option<(u16, FlightEvent)> {
         },
         "member_alive" => KernelEvent::MemberAlive {
             node: json_field(line, "member")?.parse().ok()?,
+        },
+        "vproc_stall" => KernelEvent::VprocStall {
+            worker: json_field(line, "worker")?.parse().ok()?,
+            age_ms: json_field(line, "age_ms")?.parse().ok()?,
+            queued: json_field(line, "queued")?.parse().ok()?,
+        },
+        "writer_stall" => KernelEvent::WriterStall {
+            dst: dst()?,
+            age_ms: json_field(line, "age_ms")?.parse().ok()?,
+            queued: json_field(line, "queued")?.parse().ok()?,
+        },
+        "slow_invocation" => KernelEvent::SlowInvocation {
+            inv_id: json_field(line, "inv_id")?.parse().ok()?,
+            age_ms: json_field(line, "age_ms")?.parse().ok()?,
+            trace: u64::from_str_radix(
+                json_field(line, "trace")?.strip_prefix("0x").unwrap_or("x"),
+                16,
+            )
+            .ok()?,
         },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,
@@ -608,6 +658,7 @@ mod tests {
                 parent_span: 0,
                 node: 0,
                 name: "invoke",
+                stage: crate::trace::stage::NONE,
                 start_ns: 1_000,
                 end_ns: 9_000,
             },
@@ -617,6 +668,7 @@ mod tests {
                 parent_span: 1,
                 node: 1,
                 name: "execute",
+                stage: crate::trace::stage::EXECUTE,
                 start_ns: 2_000,
                 end_ns: 8_000,
             },
@@ -625,6 +677,10 @@ mod tests {
         validate_json(&json).expect("valid JSON");
         assert_eq!(json.matches("\"ph\":\"X\"").count(), spans.len());
         assert!(json.contains("\"name\":\"invoke\""));
+        assert!(
+            json.contains("\"stage\":\"execute\""),
+            "stage tag in: {json}"
+        );
         assert!(json.contains("\"dur\":8.000"), "µs duration in: {json}");
         // Empty input is still a valid document.
         validate_json(&chrome_trace_json(&[])).expect("empty trace valid");
@@ -644,6 +700,21 @@ mod tests {
             KernelEvent::Retransmit { inv_id: 42, dst: 1 },
             KernelEvent::RemoteTimeout { dst: 5 },
             KernelEvent::WhereIsBroadcast { obj: u128::MAX },
+            KernelEvent::VprocStall {
+                worker: u16::MAX,
+                age_ms: 1500,
+                queued: 12,
+            },
+            KernelEvent::WriterStall {
+                dst: 4,
+                age_ms: 333,
+                queued: 64,
+            },
+            KernelEvent::SlowInvocation {
+                inv_id: 99,
+                age_ms: 2000,
+                trace: 0x0001_0000_0000_0001,
+            },
             KernelEvent::NodeShutdown,
         ];
         for (i, event) in events.into_iter().enumerate() {

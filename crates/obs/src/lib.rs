@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod critpath;
 pub mod export;
 pub mod hist;
 pub mod metric;
@@ -47,6 +48,7 @@ pub mod registry;
 pub mod trace;
 
 pub use clock::now_ns;
+pub use critpath::{critical_path, CriticalPath, STAGE_ORDER};
 pub use export::{
     chrome_trace_json, events_jsonl, merge_metrics, parse_jsonl_line, parse_prometheus_line,
     prometheus_text, validate_json, NodeMetrics, PromSample,
@@ -55,4 +57,4 @@ pub use hist::{merge_snapshot_maps, Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
 pub use recorder::{FlightEvent, FlightRecorder, KernelEvent};
 pub use registry::{ObsRegistry, SpanGuard, TraceSampling};
-pub use trace::{intern_name, render_trace, SpanRecord, TraceCollector, TraceCtx};
+pub use trace::{intern_name, render_trace, stage, SpanRecord, TraceCollector, TraceCtx};

@@ -49,6 +49,25 @@ pub enum KernelEvent {
     MemberDead { node: u16 },
     /// A peer believed suspect or dead proved alive again.
     MemberAlive { node: u16 },
+    /// The stall watchdog found a virtual-processor worker stuck past
+    /// the deadline, or queued work older than it (`worker` is
+    /// `u16::MAX` when the stall is queue-age rather than a specific
+    /// worker).
+    VprocStall {
+        worker: u16,
+        age_ms: u64,
+        queued: u64,
+    },
+    /// The stall watchdog found a transport writer whose per-peer queue
+    /// has not drained within the deadline.
+    WriterStall { dst: u16, age_ms: u64, queued: u64 },
+    /// The stall watchdog found an invocation in flight longer than the
+    /// slow-invocation budget (`trace` is the trace id, 0 if untraced).
+    SlowInvocation {
+        inv_id: u64,
+        age_ms: u64,
+        trace: u64,
+    },
     /// This node shut down.
     NodeShutdown,
 }
@@ -92,6 +111,40 @@ impl fmt::Display for KernelEvent {
             KernelEvent::MemberSuspect { node } => write!(f, "member-suspect node {node}"),
             KernelEvent::MemberDead { node } => write!(f, "member-dead node {node}"),
             KernelEvent::MemberAlive { node } => write!(f, "member-alive node {node}"),
+            KernelEvent::VprocStall {
+                worker,
+                age_ms,
+                queued,
+            } => {
+                if *worker == u16::MAX {
+                    write!(f, "vproc-stall queue age {age_ms} ms ({queued} queued)")
+                } else {
+                    write!(
+                        f,
+                        "vproc-stall worker {worker} busy {age_ms} ms ({queued} queued)"
+                    )
+                }
+            }
+            KernelEvent::WriterStall {
+                dst,
+                age_ms,
+                queued,
+            } => {
+                write!(
+                    f,
+                    "writer-stall dst node {dst} undrained {age_ms} ms ({queued} queued)"
+                )
+            }
+            KernelEvent::SlowInvocation {
+                inv_id,
+                age_ms,
+                trace,
+            } => {
+                write!(
+                    f,
+                    "slow-invocation inv={inv_id} in flight {age_ms} ms trace={trace:#x}"
+                )
+            }
             KernelEvent::NodeShutdown => write!(f, "node shutdown"),
         }
     }
@@ -235,6 +288,21 @@ mod tests {
         r.record(KernelEvent::Retransmit { inv_id: 9, dst: 1 });
         r.record(KernelEvent::RemoteTimeout { dst: 1 });
         r.record(KernelEvent::WhereIsBroadcast { obj: 1 });
+        r.record(KernelEvent::VprocStall {
+            worker: 0,
+            age_ms: 120,
+            queued: 4,
+        });
+        r.record(KernelEvent::WriterStall {
+            dst: 2,
+            age_ms: 250,
+            queued: 8,
+        });
+        r.record(KernelEvent::SlowInvocation {
+            inv_id: 5,
+            age_ms: 900,
+            trace: 0x7,
+        });
         r.record(KernelEvent::NodeShutdown);
         let dump = r.dump(16);
         for needle in [
@@ -247,6 +315,9 @@ mod tests {
             "retransmit",
             "remote-timeout",
             "where-is",
+            "vproc-stall",
+            "writer-stall",
+            "slow-invocation",
             "shutdown",
         ] {
             assert!(dump.contains(needle), "missing {needle} in dump:\n{dump}");

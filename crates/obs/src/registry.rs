@@ -9,7 +9,7 @@ use crate::clock::now_ns;
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::metric::{Counter, Gauge};
 use crate::recorder::FlightRecorder;
-use crate::trace::{SpanRecord, TraceCollector, TraceCtx};
+use crate::trace::{stage, SpanRecord, TraceCollector, TraceCtx};
 
 /// Default flight-recorder capacity (events per node).
 pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
@@ -228,6 +228,7 @@ impl ObsRegistry {
         SpanGuard {
             registry: self,
             name,
+            stage: stage::NONE,
             ctx,
             start_ns: now_ns(),
             finished: false,
@@ -244,10 +245,23 @@ impl ObsRegistry {
         SpanGuard {
             registry: self,
             name,
+            stage: stage::NONE,
             ctx,
             start_ns: now_ns(),
             finished: false,
         }
+    }
+
+    /// [`child_span`](Self::child_span) with a critical-path stage tag.
+    pub fn child_span_staged(
+        &self,
+        name: &'static str,
+        stage: &'static str,
+        parent: TraceCtx,
+    ) -> SpanGuard<'_> {
+        let mut guard = self.child_span(name, parent);
+        guard.stage = stage;
+        guard
     }
 
     /// Records a span retroactively from explicit timestamps (used for
@@ -255,6 +269,18 @@ impl ObsRegistry {
     pub fn record_span(
         &self,
         name: &'static str,
+        parent: TraceCtx,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> TraceCtx {
+        self.record_span_staged(name, stage::NONE, parent, start_ns, end_ns)
+    }
+
+    /// [`record_span`](Self::record_span) with a critical-path stage tag.
+    pub fn record_span_staged(
+        &self,
+        name: &'static str,
+        stage: &'static str,
         parent: TraceCtx,
         start_ns: u64,
         end_ns: u64,
@@ -270,6 +296,7 @@ impl ObsRegistry {
             parent_span: ctx.parent_span,
             node: self.node,
             name,
+            stage,
             start_ns,
             end_ns,
         });
@@ -291,6 +318,7 @@ impl std::fmt::Debug for ObsRegistry {
 pub struct SpanGuard<'a> {
     registry: &'a ObsRegistry,
     name: &'static str,
+    stage: &'static str,
     ctx: TraceCtx,
     start_ns: u64,
     finished: bool,
@@ -300,6 +328,11 @@ impl SpanGuard<'_> {
     /// The context identifying this span (propagate it downstream).
     pub fn ctx(&self) -> TraceCtx {
         self.ctx
+    }
+
+    /// Sets the critical-path stage the span's duration is attributed to.
+    pub fn set_stage(&mut self, stage: &'static str) {
+        self.stage = stage;
     }
 
     /// Ends the span now.
@@ -318,6 +351,7 @@ impl SpanGuard<'_> {
             parent_span: self.ctx.parent_span,
             node: self.registry.node,
             name: self.name,
+            stage: self.stage,
             start_ns: self.start_ns,
             end_ns: now_ns(),
         });

@@ -35,10 +35,69 @@ pub struct SpanRecord {
     pub node: u16,
     /// Layer-assigned name, e.g. `"invoke"`, `"dispatch"`, `"net"`.
     pub name: &'static str,
+    /// Critical-path stage this span's duration is attributed to (one of
+    /// the [`stage`] constants; empty for structural spans whose time is
+    /// accounted by their children).
+    pub stage: &'static str,
     /// Start, nanoseconds on the process-wide clock.
     pub start_ns: u64,
     /// End, nanoseconds on the process-wide clock.
     pub end_ns: u64,
+}
+
+/// Stage tags for critical-path attribution. Every span that represents
+/// *where an invocation's wall-clock went* carries one of these in
+/// [`SpanRecord::stage`]; the critical-path report
+/// ([`crate::critical_path`]) buckets a trace's latency by stage and
+/// distinguishes local vs. remote queueing by comparing the span's node
+/// to the root span's node.
+pub mod stage {
+    /// No attribution: a structural span (e.g. `invoke`, `client-send`)
+    /// whose time is explained by its children.
+    pub const NONE: &str = "";
+    /// Waiting in a virtual-processor pool queue (vproc enqueue →
+    /// dequeue).
+    pub const VPROC_QUEUE: &str = "vproc-queue";
+    /// Waiting in a per-peer transport send queue (enqueue → writer
+    /// dequeue).
+    pub const XPORT_QUEUE: &str = "xport-queue";
+    /// Dial/backoff time spent establishing a connection before a batch
+    /// could be written.
+    pub const DIAL: &str = "dial";
+    /// A coalesced batch write syscall.
+    pub const WRITE: &str = "write";
+    /// Location resolution: hint-cache probes, `DirQuery` round trips,
+    /// broadcast fallback.
+    pub const DIRECTORY: &str = "directory";
+    /// Coordinator queue wait (arrival at the serving object → dispatch
+    /// onto a worker).
+    pub const DISPATCH: &str = "dispatch";
+    /// Operation execution inside the type manager.
+    pub const EXECUTE: &str = "execute";
+    /// Time on the wire (and in the receive path); derived by the
+    /// critical-path report as sender-side gap not covered by receiver
+    /// spans, but also tagged on `net` spans directly.
+    pub const WIRE: &str = "wire";
+
+    /// Interns a stage tag decoded from the wire (bounded set; unknown
+    /// tags intern like span names).
+    pub fn intern(tag: &str) -> &'static str {
+        const KNOWN: &[&str] = &[
+            NONE,
+            VPROC_QUEUE,
+            XPORT_QUEUE,
+            DIAL,
+            WRITE,
+            DIRECTORY,
+            DISPATCH,
+            EXECUTE,
+            WIRE,
+        ];
+        if let Some(k) = KNOWN.iter().find(|k| **k == tag) {
+            return k;
+        }
+        super::intern_name(tag)
+    }
 }
 
 /// Interns a span name decoded from the wire into a `&'static str` (the
@@ -56,6 +115,13 @@ pub fn intern_name(name: &str) -> &'static str {
         "dispatch",
         "execute",
         "reply",
+        "vproc-wait",
+        "xport-queue",
+        "dial",
+        "batch-write",
+        "dir-query",
+        "hint-probe",
+        "where-is",
     ];
     if let Some(k) = KNOWN.iter().find(|k| **k == name) {
         return k;
@@ -186,6 +252,7 @@ mod tests {
             parent_span: parent,
             node: (id >> 48) as u16,
             name,
+            stage: stage::NONE,
             start_ns: start,
             end_ns: end,
         }

@@ -101,6 +101,14 @@ pub trait Endpoint: Send + Sync {
         let _ = obs;
     }
 
+    /// One stall-watchdog probe over the send side: for every
+    /// destination with a non-empty outbound queue, `(peer, ns since
+    /// the queue last moved, frames queued)`. Transports without
+    /// per-peer queues (loopback) have nothing to report.
+    fn writer_probe(&self) -> Vec<(NodeId, u64, u64)> {
+        Vec::new()
+    }
+
     /// Detaches this endpoint; subsequent `recv` returns
     /// [`TransportError::Closed`] once the queue drains.
     fn shutdown(&self);

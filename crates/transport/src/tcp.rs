@@ -258,8 +258,11 @@ impl Endpoint for TcpMesh {
             SCRATCH.with(|scratch| frame.encode_reusing(&mut scratch.borrow_mut()));
         self.inner.stats.record_send(payload.len());
         match frame.dst {
-            Dest::Node(dst) => self.inner.pipeline.enqueue_unicast(dst, payload)?,
-            Dest::Broadcast => self.inner.pipeline.broadcast(payload),
+            Dest::Node(dst) => self
+                .inner
+                .pipeline
+                .enqueue_unicast(dst, payload, frame.trace)?,
+            Dest::Broadcast => self.inner.pipeline.broadcast(payload, frame.trace),
         }
         Ok(())
     }
@@ -288,6 +291,10 @@ impl Endpoint for TcpMesh {
 
     fn attach_obs(&self, obs: Arc<ObsRegistry>) {
         self.inner.pipeline.attach_obs(obs);
+    }
+
+    fn writer_probe(&self) -> Vec<(NodeId, u64, u64)> {
+        self.inner.pipeline.stall_probe()
     }
 
     fn shutdown(&self) {

@@ -49,7 +49,8 @@ use std::time::{Duration, Instant};
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eden_capability::NodeId;
-use eden_obs::ObsRegistry;
+use eden_obs::trace::stage;
+use eden_obs::{now_ns, ObsRegistry, TraceCtx};
 use parking_lot::Mutex;
 use rand::Rng;
 
@@ -94,9 +95,23 @@ impl Default for TcpTuning {
 /// both observed promptly.
 const WRITER_NAP: Duration = Duration::from_millis(25);
 
-/// One peer's half of the pipeline: the queue feeding its writer.
+/// One frame waiting in a peer queue: the encoded payload plus what the
+/// critical-path report needs — when it entered the queue, and the
+/// trace it belongs to (`None` for untraced frames, which then cost no
+/// span work anywhere in the pipeline).
+struct QueuedFrame {
+    payload: Bytes,
+    enqueued_ns: u64,
+    trace: Option<TraceCtx>,
+}
+
+/// One peer's half of the pipeline: the queue feeding its writer, and
+/// the progress marker the stall watchdog reads (nanosecond timestamp
+/// of the last observed queue movement — dequeue, or enqueue onto an
+/// empty queue).
 struct PeerWriter {
-    tx: Sender<Bytes>,
+    tx: Sender<QueuedFrame>,
+    progress_ns: Arc<std::sync::atomic::AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -155,40 +170,73 @@ impl SendPipeline {
         self: &Arc<Self>,
         dst: NodeId,
         payload: Bytes,
+        trace: Option<TraceCtx>,
     ) -> Result<(), TransportError> {
         if !self.peers.lock().contains_key(&dst) {
             return Err(TransportError::UnknownPeer(dst));
         }
-        self.enqueue(dst, payload);
+        self.enqueue(dst, payload, trace);
         Ok(())
     }
 
     /// Enqueues an encoded frame for every known peer.
-    pub(crate) fn broadcast(self: &Arc<Self>, payload: Bytes) {
+    pub(crate) fn broadcast(self: &Arc<Self>, payload: Bytes, trace: Option<TraceCtx>) {
         for dst in self.peer_ids() {
-            self.enqueue(dst, payload.clone());
+            self.enqueue(dst, payload.clone(), trace);
         }
     }
 
-    fn enqueue(self: &Arc<Self>, dst: NodeId, payload: Bytes) {
+    fn enqueue(self: &Arc<Self>, dst: NodeId, payload: Bytes, trace: Option<TraceCtx>) {
         let mut writers = self.writers.lock();
         // Exactly one writer (and so one outbound connection) per peer,
         // created under this lock: concurrent first-sends to a cold
         // peer cannot race two dials (the seed duplicate-dial leak).
         let writer = writers.entry(dst).or_insert_with(|| {
             let (tx, rx) = bounded(self.tuning.queue_cap);
+            let progress_ns = Arc::new(std::sync::atomic::AtomicU64::new(now_ns()));
+            let writer_progress = Arc::clone(&progress_ns);
             let pipe = Arc::clone(self);
             let handle = std::thread::Builder::new()
                 .name(format!("eden-tcp-write-{}-{}", self.node, dst))
-                .spawn(move || writer_loop(&pipe, dst, &rx))
+                .spawn(move || writer_loop(&pipe, dst, &rx, &writer_progress))
                 .ok();
-            PeerWriter { tx, handle }
+            PeerWriter {
+                tx,
+                progress_ns,
+                handle,
+            }
         });
-        match writer.tx.try_send(payload) {
+        let enqueued_ns = now_ns();
+        if writer.tx.is_empty() {
+            // An enqueue onto an empty queue counts as progress, so a
+            // long-idle peer does not look stalled the instant traffic
+            // resumes (the watchdog measures non-drain time, not idle).
+            writer.progress_ns.store(enqueued_ns, Ordering::Relaxed);
+        }
+        match writer.tx.try_send(QueuedFrame {
+            payload,
+            enqueued_ns,
+            trace,
+        }) {
             Ok(()) => self.gauge_queue(1),
             Err(TrySendError::Full(_)) => self.stats.record_shed(),
             Err(TrySendError::Disconnected(_)) => self.stats.record_drop(),
         }
+    }
+
+    /// One stall-watchdog probe: every peer whose queue is non-empty,
+    /// with how long the queue has gone without movement and its depth.
+    pub(crate) fn stall_probe(&self) -> Vec<(NodeId, u64, u64)> {
+        let now = now_ns();
+        self.writers
+            .lock()
+            .iter()
+            .filter(|(_, w)| !w.tx.is_empty())
+            .map(|(&dst, w)| {
+                let last = w.progress_ns.load(Ordering::Relaxed);
+                (dst, now.saturating_sub(last), w.tx.len() as u64)
+            })
+            .collect()
     }
 
     /// Drains and joins every writer. Idempotent.
@@ -217,11 +265,20 @@ impl SendPipeline {
 }
 
 /// One peer's writer: dial state machine plus coalescing drain loop.
-fn writer_loop(pipe: &Arc<SendPipeline>, dst: NodeId, rx: &Receiver<Bytes>) {
+fn writer_loop(
+    pipe: &Arc<SendPipeline>,
+    dst: NodeId,
+    rx: &Receiver<QueuedFrame>,
+    progress: &std::sync::atomic::AtomicU64,
+) {
     let tuning = pipe.tuning.clone();
     let mut conn: Option<TcpStream> = None;
     let mut backoff = tuning.dial_backoff_min;
     let mut next_dial = Instant::now();
+    // The most recent *successful* dial, as a half-open ns interval.
+    // Traced frames whose queue residency overlaps it report the
+    // overlap as a `dial` span instead of undifferentiated queue wait.
+    let mut last_dial: Option<(u64, u64)> = None;
     let mut batch = BytesMut::with_capacity(tuning.max_batch_bytes.min(64 << 10));
     loop {
         let closing = pipe.closed.load(Ordering::Acquire);
@@ -239,8 +296,12 @@ fn writer_loop(pipe: &Arc<SendPipeline>, dst: NodeId, rx: &Receiver<Bytes>) {
             let now = Instant::now();
             if now >= next_dial {
                 let addr = pipe.peers.lock().get(&dst).copied();
+                let dial_start = now_ns();
                 let dialed =
                     addr.and_then(|a| TcpStream::connect_timeout(&a, tuning.connect_timeout).ok());
+                if dialed.is_some() {
+                    last_dial = Some((dial_start, now_ns()));
+                }
                 pipe.stats.record_dial(dialed.is_none());
                 pipe.with_obs(|obs| {
                     obs.counter("tcp.dials").inc();
@@ -304,21 +365,84 @@ fn writer_loop(pipe: &Arc<SendPipeline>, dst: NodeId, rx: &Receiver<Bytes>) {
         // Coalesce everything pending (up to the byte budget) into one
         // buffer: a single write syscall for the whole burst.
         batch.clear();
-        append_frame(&mut batch, &first);
+        let mut traced: Vec<(TraceCtx, u64)> = Vec::new();
+        let mut take = |f: QueuedFrame, batch: &mut BytesMut| {
+            append_frame(batch, &f.payload);
+            if let Some(t) = f.trace {
+                traced.push((t, f.enqueued_ns));
+            }
+        };
+        take(first, &mut batch);
         let mut frames: u64 = 1;
         while batch.len() < tuning.max_batch_bytes {
             match rx.try_recv() {
                 Ok(f) => {
-                    append_frame(&mut batch, &f);
+                    take(f, &mut batch);
                     frames += 1;
                 }
                 Err(_) => break,
             }
         }
+        let dequeue_ns = now_ns();
+        progress.store(dequeue_ns, Ordering::Relaxed);
+        if !traced.is_empty() {
+            // Retroactive queue-residency spans: [enqueue, dequeue],
+            // with any overlapping successful dial carved out into its
+            // own `dial`-stage span so the report can tell "waiting in
+            // the send queue" apart from "waiting for the connection".
+            pipe.with_obs(|obs| {
+                for &(ctx, enq) in &traced {
+                    let dial = last_dial
+                        .map(|(ds, de)| (ds.max(enq), de.min(dequeue_ns)))
+                        .filter(|&(ds, de)| ds < de);
+                    match dial {
+                        Some((ds, de)) => {
+                            if ds > enq {
+                                obs.record_span_staged(
+                                    "xport-queue",
+                                    stage::XPORT_QUEUE,
+                                    ctx,
+                                    enq,
+                                    ds,
+                                );
+                            }
+                            obs.record_span_staged("dial", stage::DIAL, ctx, ds, de);
+                            if dequeue_ns > de {
+                                obs.record_span_staged(
+                                    "xport-queue",
+                                    stage::XPORT_QUEUE,
+                                    ctx,
+                                    de,
+                                    dequeue_ns,
+                                );
+                            }
+                        }
+                        None => {
+                            obs.record_span_staged(
+                                "xport-queue",
+                                stage::XPORT_QUEUE,
+                                ctx,
+                                enq,
+                                dequeue_ns,
+                            );
+                        }
+                    }
+                }
+            });
+        }
         pipe.gauge_queue(-(frames as i64));
         pipe.stats.record_batch();
         pipe.with_obs(|obs| obs.histogram("tcp.batch_frames").record(frames));
-        if stream.write_all(&batch).is_err() {
+        let write_ok = stream.write_all(&batch).is_ok();
+        if write_ok && !traced.is_empty() {
+            let write_end = now_ns();
+            pipe.with_obs(|obs| {
+                for &(ctx, _) in &traced {
+                    obs.record_span_staged("batch-write", stage::WRITE, ctx, dequeue_ns, write_end);
+                }
+            });
+        }
+        if !write_ok {
             // Best-effort: the burst is lost, the connection is dropped,
             // and the state machine re-enters dialing (immediately, so a
             // restarted peer is picked up fast; failures then back off).

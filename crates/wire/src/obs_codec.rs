@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use eden_obs::export::NodeMetrics;
 use eden_obs::hist::{bucket_count, HistogramSnapshot};
-use eden_obs::trace::intern_name;
+use eden_obs::trace::{intern_name, stage};
 use eden_obs::{FlightEvent, KernelEvent, ObsRegistry, SpanRecord};
 
 use crate::Value;
@@ -121,7 +121,8 @@ pub fn metrics_from_value(v: &Value) -> Option<NodeMetrics> {
     })
 }
 
-/// Encodes one span record.
+/// Encodes one span record. The `stage` key is omitted for untagged
+/// spans, so pre-stage decoders (and small payloads) are unaffected.
 pub fn span_to_value(s: &SpanRecord) -> Value {
     let mut m = BTreeMap::new();
     m.insert("trace".to_string(), Value::U64(s.trace_id));
@@ -129,6 +130,9 @@ pub fn span_to_value(s: &SpanRecord) -> Value {
     m.insert("parent".to_string(), Value::U64(s.parent_span));
     m.insert("node".to_string(), Value::U64(s.node as u64));
     m.insert("name".to_string(), Value::Str(s.name.to_string()));
+    if !s.stage.is_empty() {
+        m.insert("stage".to_string(), Value::Str(s.stage.to_string()));
+    }
     m.insert("start".to_string(), Value::U64(s.start_ns));
     m.insert("end".to_string(), Value::U64(s.end_ns));
     Value::Map(m)
@@ -136,7 +140,8 @@ pub fn span_to_value(s: &SpanRecord) -> Value {
 
 /// Decodes one span record. Decoded names are interned (the record's
 /// name field is `&'static str`); the span-name vocabulary is small and
-/// fixed, so the intern table stays bounded.
+/// fixed, so the intern table stays bounded. A missing `stage` key
+/// (pre-stage encoders) decodes as untagged.
 pub fn span_from_value(v: &Value) -> Option<SpanRecord> {
     let m = v.as_map()?;
     Some(SpanRecord {
@@ -145,6 +150,10 @@ pub fn span_from_value(v: &Value) -> Option<SpanRecord> {
         parent_span: m.get("parent")?.as_u64()?,
         node: m.get("node")?.as_u64()? as u16,
         name: intern_name(m.get("name")?.as_str()?),
+        stage: match m.get("stage") {
+            Some(v) => stage::intern(v.as_str()?),
+            None => stage::NONE,
+        },
         start_ns: m.get("start")?.as_u64()?,
         end_ns: m.get("end")?.as_u64()?,
     })
@@ -234,6 +243,36 @@ pub fn event_to_value(node: u16, e: &FlightEvent) -> Value {
             field("kind", Value::Str("member_alive".into()));
             field("member", Value::U64(*node as u64));
         }
+        KernelEvent::VprocStall {
+            worker,
+            age_ms,
+            queued,
+        } => {
+            field("kind", Value::Str("vproc_stall".into()));
+            field("worker", Value::U64(*worker as u64));
+            field("age_ms", Value::U64(*age_ms));
+            field("queued", Value::U64(*queued));
+        }
+        KernelEvent::WriterStall {
+            dst,
+            age_ms,
+            queued,
+        } => {
+            field("kind", Value::Str("writer_stall".into()));
+            field("dst", Value::U64(*dst as u64));
+            field("age_ms", Value::U64(*age_ms));
+            field("queued", Value::U64(*queued));
+        }
+        KernelEvent::SlowInvocation {
+            inv_id,
+            age_ms,
+            trace,
+        } => {
+            field("kind", Value::Str("slow_invocation".into()));
+            field("inv_id", Value::U64(*inv_id));
+            field("age_ms", Value::U64(*age_ms));
+            field("trace", Value::U64(*trace));
+        }
         KernelEvent::NodeShutdown => field("kind", Value::Str("shutdown".into())),
     }
     Value::Map(m)
@@ -289,6 +328,21 @@ pub fn event_from_value(v: &Value) -> Option<(u16, FlightEvent)> {
         },
         "member_alive" => KernelEvent::MemberAlive {
             node: m.get("member")?.as_u64()? as u16,
+        },
+        "vproc_stall" => KernelEvent::VprocStall {
+            worker: m.get("worker")?.as_u64()? as u16,
+            age_ms: m.get("age_ms")?.as_u64()?,
+            queued: m.get("queued")?.as_u64()?,
+        },
+        "writer_stall" => KernelEvent::WriterStall {
+            dst: dst()?,
+            age_ms: m.get("age_ms")?.as_u64()?,
+            queued: m.get("queued")?.as_u64()?,
+        },
+        "slow_invocation" => KernelEvent::SlowInvocation {
+            inv_id: m.get("inv_id")?.as_u64()?,
+            age_ms: m.get("age_ms")?.as_u64()?,
+            trace: m.get("trace")?.as_u64()?,
         },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,
@@ -351,11 +405,17 @@ mod tests {
         let reg = ObsRegistry::new(2);
         let root = reg.root_span("invoke");
         let child = reg.child_span("client-send", root.ctx());
+        let staged = reg.child_span_staged("vproc-wait", stage::VPROC_QUEUE, root.ctx());
+        staged.finish();
         child.finish();
         root.finish();
         let spans = reg.traces().spans();
         let decoded = spans_from_value(&spans_to_value(&spans)).unwrap();
         assert_eq!(decoded, spans);
+        // The staged span must survive with its stage intact (interned
+        // back to the canonical constant, not just an equal string).
+        let got = decoded.iter().find(|s| s.name == "vproc-wait").unwrap();
+        assert_eq!(got.stage, stage::VPROC_QUEUE);
     }
 
     #[test]
@@ -375,6 +435,21 @@ mod tests {
             KernelEvent::MemberSuspect { node: 4 },
             KernelEvent::MemberDead { node: 4 },
             KernelEvent::MemberAlive { node: 4 },
+            KernelEvent::VprocStall {
+                worker: u16::MAX,
+                age_ms: 1500,
+                queued: 12,
+            },
+            KernelEvent::WriterStall {
+                dst: 4,
+                age_ms: 333,
+                queued: 64,
+            },
+            KernelEvent::SlowInvocation {
+                inv_id: 99,
+                age_ms: 2000,
+                trace: 0x0001_0000_0000_0001,
+            },
             KernelEvent::NodeShutdown,
         ];
         let events: Vec<FlightEvent> = kinds

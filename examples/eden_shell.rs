@@ -89,6 +89,10 @@ commands:
   trace <node> [n]                   last n flight-recorder events (default 16)
   members [node]                     gossip membership: one node's view, or
                                      every node's view via a monitor scrape
+  watchdog <node|all>                stall-watchdog counters and the latest
+                                     diagnostic snapshot per node
+  critpath <trace-id>                cross-node critical-path breakdown of one
+                                     sampled invocation (see metrics/trace for ids)
   export <node|all> <prom|trace|events> [path]
                                      write telemetry through a monitor object:
                                      Prometheus text / Chrome-trace JSON / JSONL
@@ -305,6 +309,48 @@ commands:
                     Ok(out.trim_end().to_string())
                 }
             },
+            "watchdog" => {
+                let target = *args.first().ok_or("watchdog <node|all>")?;
+                if target != "all" {
+                    let n: usize = target
+                        .parse()
+                        .map_err(|_| "watchdog <node|all>".to_string())?;
+                    if n >= NODES {
+                        return Err(format!("no such node {n} (0..{})", NODES - 1));
+                    }
+                }
+                let monitor = self.monitor_for(target)?;
+                let scrape = monitor.scrape_watchdog().map_err(|e| e.to_string())?;
+                let mut out = String::new();
+                for row in &scrape.per_node {
+                    out.push_str(&format!("node {:<4} stalls {}\n", row.node, row.stalls));
+                    if row.snapshot.is_empty() {
+                        out.push_str("  (no stall snapshot)\n");
+                    } else {
+                        for line in row.snapshot.lines() {
+                            out.push_str(&format!("  {line}\n"));
+                        }
+                    }
+                }
+                if !scrape.down.is_empty() {
+                    out.push_str(&format!("unreachable: {:?}\n", scrape.down));
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "critpath" => {
+                let token = args.first().ok_or("critpath <trace-id>")?;
+                let trace_id: u64 = token
+                    .strip_prefix("0x")
+                    .map_or_else(|| token.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad trace id '{token}'"))?;
+                let monitor = self.monitor_for("all")?;
+                match monitor.critical_path(trace_id).map_err(|e| e.to_string())? {
+                    Some(cp) => Ok(cp.text_table().trim_end().to_string()),
+                    None => Ok(format!(
+                        "no spans for trace {trace_id} — was the invocation sampled?"
+                    )),
+                }
+            }
             "export" => {
                 let usage = "export <node|all> <prom|trace|events> [path]";
                 let target = *args.first().ok_or(usage)?;

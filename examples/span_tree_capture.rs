@@ -2,10 +2,13 @@
 //!
 //! With `--chrome <path>` it additionally scrapes the trace through a
 //! monitor object and writes it as Chrome-trace JSON (load the file in
-//! Perfetto or `chrome://tracing`), validating the JSON before exit:
+//! Perfetto or `chrome://tracing`), validating the JSON before exit;
+//! `--critpath <path>` writes the same trace's critical-path breakdown
+//! as a text table:
 //!
 //! ```sh
-//! cargo run --example span_tree_capture -- --chrome trace.json
+//! cargo run --example span_tree_capture -- \
+//!     --chrome trace.json --critpath critpath.txt
 //! ```
 
 use eden::apps::counter::CounterType;
@@ -15,12 +18,16 @@ use eden::obs::{render_trace, validate_json, SpanRecord};
 use eden::wire::Value;
 
 fn main() {
-    let chrome_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--chrome")
-            .map(|i| args.get(i + 1).expect("--chrome needs a path").clone())
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a path"))
+                .clone()
+        })
     };
+    let chrome_path = flag("--chrome");
+    let critpath_path = flag("--critpath");
 
     let c = Cluster::builder()
         .nodes(2)
@@ -46,14 +53,27 @@ fn main() {
         .collect();
     print!("{}", render_trace(&spans, root.trace_id));
 
-    if let Some(path) = chrome_path {
+    if chrome_path.is_some() || critpath_path.is_some() {
         let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
-        let json = monitor
-            .chrome_trace(Some(root.trace_id))
-            .expect("scrape trace");
-        validate_json(&json).expect("exported trace is valid JSON");
-        std::fs::write(&path, &json).expect("write chrome trace");
-        eprintln!("wrote {} bytes of Chrome-trace JSON to {path}", json.len());
+        if let Some(path) = chrome_path {
+            let json = monitor
+                .chrome_trace(Some(root.trace_id))
+                .expect("scrape trace");
+            validate_json(&json).expect("exported trace is valid JSON");
+            std::fs::write(&path, &json).expect("write chrome trace");
+            eprintln!("wrote {} bytes of Chrome-trace JSON to {path}", json.len());
+        }
+        if let Some(path) = critpath_path {
+            let cp = monitor
+                .critical_path(root.trace_id)
+                .expect("scrape critical path")
+                .expect("the trace stitches into a report");
+            std::fs::write(&path, cp.text_table()).expect("write critpath table");
+            eprintln!(
+                "wrote critical-path table ({:.1}% accounted) to {path}",
+                cp.coverage() * 100.0
+            );
+        }
     }
     c.shutdown();
 }

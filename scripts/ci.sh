@@ -77,12 +77,22 @@ case "${1:-all}" in
     fi
 
     # Telemetry export smoke test: capture a cross-node trace through the
-    # monitor object and check the exported Chrome-trace JSON parses.
-    cargo run --release --example span_tree_capture -- --chrome target/span_tree.trace.json
+    # monitor object, check the exported Chrome-trace JSON parses and
+    # carries stage-tagged spans, and archive the critical-path table.
+    mkdir -p target/artifacts
+    cargo run --release --example span_tree_capture -- \
+      --chrome target/span_tree.trace.json --critpath target/artifacts/critpath.txt
     test -s target/span_tree.trace.json
     if command -v python3 >/dev/null 2>&1; then
       python3 -m json.tool target/span_tree.trace.json >/dev/null
     fi
+    # Critical-path attribution needs every span stage-tagged: the
+    # Chrome trace must label at least the execute stage, and the
+    # archived table must bucket the invocation by stage.
+    grep -q '"stage":"execute"' target/span_tree.trace.json
+    test -s target/artifacts/critpath.txt
+    grep -q 'accounted by named stages' target/artifacts/critpath.txt
+    echo "critpath table archived: target/artifacts/critpath.txt"
     ;;
   *)
     echo "usage: $0 [all|lint|loom|tsan|miri]" >&2

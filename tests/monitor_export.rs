@@ -142,6 +142,77 @@ fn chrome_trace_of_a_cross_node_invocation_is_valid_and_nested() {
 }
 
 #[test]
+fn monitor_stitches_a_critical_path_across_nodes() {
+    let c = cluster3();
+    let cap = c.node(1).create_object("counter", &[]).unwrap();
+    c.node(2).invoke(cap, "add", &[Value::I64(3)]).unwrap();
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let root = c
+        .node(2)
+        .obs()
+        .traces()
+        .spans()
+        .into_iter()
+        .find(|s| s.name == "invoke" && s.parent_span == 0)
+        .expect("client root span");
+
+    let cp = monitor
+        .critical_path(root.trace_id)
+        .expect("scrape")
+        .expect("a stitched report");
+    assert_eq!(cp.trace_id, root.trace_id);
+    assert_eq!(cp.root_node, 2);
+    assert!(cp.span_count >= 4, "got {} spans", cp.span_count);
+    assert!(cp.total_ns > 0);
+    // A channel-mesh invocation completes in microseconds, so fixed
+    // per-invocation overheads (slot setup, reply decode) weigh far
+    // more than on any real path; the >=95% acceptance bar is asserted
+    // where it matters, over TCP with an injected stall (tests/critpath.rs).
+    assert!(
+        cp.coverage() >= 0.70,
+        "coverage {:.1}%:\n{}",
+        cp.coverage() * 100.0,
+        cp.text_table()
+    );
+    // Execution happened on node 1, so remote stages must appear.
+    assert!(cp.stages.contains_key("execute"), "stages: {:?}", cp.stages);
+    let table = cp.text_table();
+    assert!(
+        table.contains("execute") && table.contains("total"),
+        "{table}"
+    );
+
+    // An unknown trace id scrapes cleanly to "no report".
+    assert!(monitor
+        .critical_path(0xdead_beef)
+        .expect("scrape")
+        .is_none());
+}
+
+#[test]
+fn monitor_scrapes_watchdog_state_from_every_node() {
+    let c = cluster3();
+    warm(&c);
+
+    let monitor = MonitorClient::for_cluster(&c).expect("create monitor");
+    let scrape = monitor.scrape_watchdog().expect("scrape watchdog");
+    assert!(scrape.down.is_empty());
+    let nodes: Vec<u16> = scrape.per_node.iter().map(|r| r.node).collect();
+    assert_eq!(nodes, vec![0, 1, 2]);
+    // A healthy cluster: no stalls, no snapshots.
+    for row in &scrape.per_node {
+        assert_eq!(row.stalls, 0, "node {} stalled: {}", row.node, row.snapshot);
+        assert!(row.snapshot.is_empty());
+    }
+
+    c.kill(2);
+    let scrape = monitor.scrape_watchdog().expect("partial scrape");
+    assert_eq!(scrape.down, vec![2], "killed node reported as down");
+    assert_eq!(scrape.per_node.len(), 2);
+}
+
+#[test]
 fn flight_events_merge_into_one_totally_ordered_stream() {
     let c = cluster3();
     let cap = warm(&c);
