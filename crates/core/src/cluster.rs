@@ -187,11 +187,16 @@ impl Cluster {
     /// the time of a crash"); checkpointed ones reincarnate elsewhere on
     /// their next invocation.
     pub fn kill(&self, i: usize) {
-        let mut down = self.down.lock();
-        if down[i] {
-            return;
+        // Claim the flag in its own scope: `shutdown()` joins the node's
+        // threads, and holding `down` across that join would stall every
+        // concurrent `is_down` probe for the whole teardown.
+        {
+            let mut down = self.down.lock();
+            if down[i] {
+                return;
+            }
+            down[i] = true;
         }
-        down[i] = true;
         self.mesh.kill(eden_capability::NodeId(i as u16));
         self.nodes[i].shutdown();
     }

@@ -57,6 +57,11 @@ impl EdenSemaphore {
     pub fn p(&self) {
         let mut count = self.count.lock();
         while *count == 0 {
+            // eden-lint: allow(blocking-discipline): P parks by design —
+            // the vproc gate sizes permits to the pool and V()s around
+            // nested invokes (HOLDS_VPROC), so wrapping this wait in
+            // blocking() would inject spares that immediately park on the
+            // same gate; user-level semaphore waits are §4.2 semantics.
             self.cv.wait(&mut count);
         }
         *count -= 1;

@@ -3,9 +3,11 @@
 //! exist), 1 when unsuppressed findings remain, 2 on usage/IO errors.
 //!
 //! ```text
-//! cargo run -p eden-lint                # human-readable report
-//! cargo run -p eden-lint -- --json      # machine-readable (ci.sh archives it)
-//! cargo run -p eden-lint -- --root DIR  # scan another workspace root
+//! cargo run -p eden-lint                  # human-readable report
+//! cargo run -p eden-lint -- --json        # machine-readable (ci.sh archives it)
+//! cargo run -p eden-lint -- --root DIR    # scan another workspace root
+//! cargo run -p eden-lint -- --dot FILE    # also write the lock graph as DOT
+//! cargo run -p eden-lint -- --explain R   # a rule's rationale + escape hatch
 //! ```
 
 #![forbid(unsafe_code)]
@@ -13,11 +15,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use eden_lint::{scan_workspace, Rule};
+use eden_lint::{analyze_workspace, Rule};
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root = PathBuf::from(".");
+    let mut dot: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +32,30 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--dot" => match args.next() {
+                Some(path) => dot = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("eden-lint: --dot requires an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!(
+                        "eden-lint: --explain requires a rule name ({})",
+                        rule_list()
+                    );
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::from_name(&name) else {
+                    eprintln!("eden-lint: unknown rule `{name}` (rules: {})", rule_list());
+                    return ExitCode::from(2);
+                };
+                println!("{}\n\n{}", rule.name(), rule.explanation());
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: eden-lint [--json] [--root DIR]");
+                eprintln!("usage: eden-lint [--json] [--root DIR] [--dot FILE] [--explain RULE]");
                 eprintln!("rules: {}", rule_list());
                 return ExitCode::SUCCESS;
             }
@@ -41,13 +66,24 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match scan_workspace(&root) {
-        Ok(report) => report,
+    let analysis = match analyze_workspace(&root) {
+        Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("eden-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let report = &analysis.report;
+
+    if let Some(path) = dot {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, &analysis.lock_dot) {
+            eprintln!("eden-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if json {
         print!("{}", report.to_json());

@@ -1,0 +1,43 @@
+// Fixture: lock-order violations (scanned as crates/core/src/a.rs with
+// a spec ranking a.alpha before a.beta and allowing a.beta -> a.delta).
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+    delta: Mutex<u32>,
+}
+
+impl S {
+    fn inverted(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); // inversion: the order ranks alpha first
+        drop(a);
+        drop(b);
+    }
+
+    fn unranked(&self) {
+        let a = self.alpha.lock();
+        let g = self.gamma.lock(); // gamma is not in the sanctioned order
+        drop(g);
+        drop(a);
+    }
+
+    fn reentrant(&self) {
+        let a = self.alpha.lock();
+        self.help(); // transitively re-acquires alpha: deadlock
+        drop(a);
+    }
+
+    fn help(&self) {
+        let a = self.alpha.lock();
+        drop(a);
+    }
+
+    fn sanctioned(&self) {
+        let b = self.beta.lock();
+        let d = self.delta.lock(); // exempted by the spec's [[allow]]
+        drop(d);
+        drop(b);
+    }
+}

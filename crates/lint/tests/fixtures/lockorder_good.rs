@@ -1,0 +1,34 @@
+// Fixture: sanctioned lock nesting (scanned as crates/core/src/a.rs
+// with a spec ranking a.alpha before a.beta).
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn ordered(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); // alpha before beta: matches the order
+        drop(b);
+        drop(a);
+    }
+
+    fn sequential(&self) {
+        {
+            let b = self.beta.lock();
+            drop(b);
+        }
+        let a = self.alpha.lock(); // beta released first: no edge at all
+        drop(a);
+    }
+
+    fn exempted(&self) {
+        let b = self.beta.lock();
+        // eden-lint: allow(lock-order): startup-only path, runs before any
+        // worker thread exists, so the inversion cannot interleave
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

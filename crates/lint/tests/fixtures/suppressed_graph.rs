@@ -1,0 +1,27 @@
+// Fixture: graph-rule suppressions (scanned as crates/core/src/graph.rs
+// with a spec ranking graph.alpha before graph.beta). Unlike the
+// line-rule allows in suppressed.rs, these must carry a rationale.
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn inverted(&self) {
+        let b = self.beta.lock();
+        // eden-lint: allow(lock-order): startup-only path, runs single-
+        // threaded before the pool exists
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+
+    fn dispatch(&self) {
+        self.pool.submit(move || {
+            // eden-lint: allow(blocking-discipline): bounded 1ms backoff in
+            // the drain loop, measured harmless under the stall watchdog
+            std::thread::sleep(Duration::from_millis(1));
+        });
+    }
+}

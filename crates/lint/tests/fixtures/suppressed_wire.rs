@@ -1,0 +1,6 @@
+// Fixture: a wire-schema-drift suppression with the mandatory rationale
+// (scanned as crates/wire/src/legacy.rs).
+
+// eden-lint: allow(wire-schema-drift): tag retained so v1 peers get an
+// explicit BadTag instead of a frame desync during the rollout window
+pub const TAG_OLD: u8 = 200;

@@ -1,0 +1,33 @@
+// Fixture: wire-schema drift (scanned as crates/wire/src/message.rs).
+// The tag table, the enum declaration and the codec arms disagree in
+// every way the rule distinguishes.
+
+pub const TAG_PING: u8 = 1;
+pub const TAG_PONG: u8 = 2;
+pub const TAG_GONE: u8 = 3;
+pub const TAG_DUP: u8 = 1; // collides with TAG_PING, and is never used
+
+pub enum Message {
+    Ping,
+    Pong,
+    Halt,
+}
+
+impl WireEncode for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Ping => out.put_u8(TAG_PING),
+            Message::Pong => out.put_u8(TAG_PONG),
+            Message::Retired => out.put_u8(TAG_GONE), // variant no longer declared
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(tag: u8) -> Option<Message> {
+        match tag {
+            TAG_PING => Some(Message::Ping),
+            other => None, // Pong and Halt have no decode arm
+        }
+    }
+}

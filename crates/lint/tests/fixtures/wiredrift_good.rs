@@ -1,0 +1,45 @@
+// Fixture: a consistent wire schema (scanned as
+// crates/wire/src/message.rs). Tags, variants, impl arms and the Value
+// codec pair all agree.
+
+pub const TAG_PING: u8 = 1;
+pub const TAG_PONG: u8 = 2;
+
+pub enum Message {
+    Ping,
+    Pong,
+}
+
+impl WireEncode for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Ping => out.put_u8(TAG_PING),
+            Message::Pong => out.put_u8(TAG_PONG),
+        }
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(tag: u8) -> Option<Message> {
+        match tag {
+            TAG_PING => Some(Message::Ping),
+            TAG_PONG => Some(Message::Pong),
+            other => None,
+        }
+    }
+}
+
+pub fn message_to_value(m: &Message) -> Value {
+    match m {
+        Message::Ping => Value::U64(0),
+        Message::Pong => Value::U64(1),
+    }
+}
+
+pub fn message_from_value(v: &Value) -> Option<Message> {
+    match v {
+        Value::U64(0) => Some(Message::Ping),
+        Value::U64(1) => Some(Message::Pong),
+        other => None,
+    }
+}

@@ -1,23 +1,37 @@
-//! Fixture suite for the five eden-lint rules: each rule has at least
+//! Fixture suite for the eight eden-lint rules: each rule has at least
 //! one known-good and one known-bad snippet with exact expected finding
-//! counts, plus a suppression fixture proving `eden-lint: allow(...)`
-//! comments cover (and count) findings. A final test runs the linter
-//! over the real workspace and requires zero unsuppressed findings —
-//! the acceptance bar ci.sh enforces.
+//! counts, plus suppression fixtures proving `eden-lint: allow(...)`
+//! comments cover (and count) findings — with a mandatory rationale for
+//! the graph rules. A final test runs the full analysis over the real
+//! workspace and requires zero unsuppressed findings — the acceptance
+//! bar ci.sh enforces.
 
 use std::path::Path;
 
-use eden_lint::{scan_source, scan_workspace, Finding, Rule};
+use eden_lint::{analyze_files, scan_source, scan_workspace, Finding, LockOrderSpec, Rule};
 
-/// Loads a fixture and scans it under a virtual workspace path that
-/// puts it in the right rule scope.
-fn scan_fixture(fixture: &str, virtual_path: &str) -> Vec<Finding> {
+/// Loads a fixture file's source text.
+fn fixture_source(fixture: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(fixture);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
-    scan_source(virtual_path, &source)
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Loads a fixture and scans it with the per-file rules under a virtual
+/// workspace path that puts it in the right rule scope.
+fn scan_fixture(fixture: &str, virtual_path: &str) -> Vec<Finding> {
+    scan_source(virtual_path, &fixture_source(fixture))
+}
+
+/// Loads fixtures as a virtual workspace and runs all eight rules.
+fn scan_graph(fixtures: &[(&str, &str)], spec: &LockOrderSpec) -> Vec<Finding> {
+    let files: Vec<(String, String)> = fixtures
+        .iter()
+        .map(|&(fixture, vpath)| (vpath.to_string(), fixture_source(fixture)))
+        .collect();
+    analyze_files(&files, spec).report.findings
 }
 
 fn count(findings: &[Finding], rule: Rule, suppressed: bool) -> usize {
@@ -180,12 +194,179 @@ fn metric_discipline_accepts_structural_atomics_and_the_stats_cell() {
 }
 
 #[test]
+fn lock_order_flags_inversion_unranked_and_reentrant() {
+    let spec = LockOrderSpec::parse(
+        r#"
+        order = ["a.alpha", "a.beta"]
+        [[allow]]
+        from = "a.beta"
+        to = "a.delta"
+        reason = "delta is a teardown-only leaf"
+        "#,
+    );
+    let findings = scan_graph(&[("lockorder_bad.rs", "crates/core/src/a.rs")], &spec);
+    assert_eq!(count(&findings, Rule::LockOrder, false), 3, "{findings:?}");
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("inversion")));
+    assert!(messages.iter().any(|m| m.contains("not ranked")));
+    assert!(messages.iter().any(|m| m.contains("reentrant")));
+}
+
+#[test]
+fn lock_order_accepts_ordered_nesting_and_rationale_carrying_allows() {
+    let spec = LockOrderSpec::parse("order = [\"a.alpha\", \"a.beta\"]");
+    let analysis = analyze_files(
+        &[(
+            "crates/core/src/a.rs".to_string(),
+            fixture_source("lockorder_good.rs"),
+        )],
+        &spec,
+    );
+    let findings = &analysis.report.findings;
+    assert_eq!(count(findings, Rule::LockOrder, false), 0, "{findings:?}");
+    // The inline-exempted inversion still counts, as suppressed.
+    assert_eq!(count(findings, Rule::LockOrder, true), 1, "{findings:?}");
+    // The DOT artifact reports the graph acyclic modulo the exemption.
+    assert!(
+        analysis
+            .lock_dot
+            .contains("// acyclic-modulo-allowed: true"),
+        "{}",
+        analysis.lock_dot
+    );
+    assert!(analysis.lock_dot.contains("\"a.alpha\" -> \"a.beta\""));
+}
+
+#[test]
+fn lock_order_is_scoped_to_kernel_transport_directory() {
+    let spec = LockOrderSpec::parse("order = []");
+    let findings = scan_graph(&[("lockorder_bad.rs", "crates/apps/src/a.rs")], &spec);
+    assert_eq!(count(&findings, Rule::LockOrder, false), 0, "{findings:?}");
+}
+
+#[test]
+fn blocking_discipline_flags_direct_transitive_and_lexical_sites() {
+    let spec = LockOrderSpec::default();
+    let findings = scan_graph(&[("blocking_bad.rs", "crates/core/src/work.rs")], &spec);
+    assert_eq!(
+        count(&findings, Rule::BlockingDiscipline, false),
+        3,
+        "{findings:?}"
+    );
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::BlockingDiscipline)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("`.sleep(…)`")));
+    assert!(messages.iter().any(|m| m.contains("`.wait(…)`")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("inside a pool submit closure")));
+}
+
+#[test]
+fn blocking_discipline_accepts_guarded_waits_and_dedicated_threads() {
+    let spec = LockOrderSpec::default();
+    let findings = scan_graph(
+        &[("blocking_good.rs", "crates/directory/src/work.rs")],
+        &spec,
+    );
+    assert_eq!(
+        count(&findings, Rule::BlockingDiscipline, false),
+        0,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn wire_drift_flags_tag_impl_and_codec_drift() {
+    let spec = LockOrderSpec::default();
+    let findings = scan_graph(&[("wiredrift_bad.rs", "crates/wire/src/message.rs")], &spec);
+    // 1 duplicate tag value, 3 tag-use gaps (PONG undecoded, GONE
+    // undecoded, DUP retired), 2 encode-impl gaps (Halt missing, Retired
+    // stale), 2 decode-impl gaps (Pong and Halt missing).
+    assert_eq!(
+        count(&findings, Rule::WireSchemaDrift, false),
+        8,
+        "{findings:?}"
+    );
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::WireSchemaDrift)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("duplicate wire tag")));
+    assert!(messages.iter().any(|m| m.contains("retired wire tag")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("no `TAG_PONG =>` decode arm") || m.contains("`TAG_PONG` is encoded")));
+    assert!(messages.iter().any(|m| m.contains("Message::Halt")));
+    assert!(messages.iter().any(|m| m.contains("Message::Retired")));
+}
+
+#[test]
+fn wire_drift_accepts_a_consistent_schema() {
+    let spec = LockOrderSpec::default();
+    let findings = scan_graph(
+        &[("wiredrift_good.rs", "crates/wire/src/message.rs")],
+        &spec,
+    );
+    assert_eq!(
+        count(&findings, Rule::WireSchemaDrift, false),
+        0,
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn suppressions_cover_and_count_each_rule() {
-    let findings = scan_fixture("suppressed.rs", "crates/core/src/node.rs");
+    // Line rules: one covered violation per rule in suppressed.rs.
+    // Graph rules: one rationale-carrying allow each in the two graph
+    // fixtures, analyzed together as one virtual workspace.
+    let spec = LockOrderSpec::parse("order = [\"graph.alpha\", \"graph.beta\"]");
+    let findings = scan_graph(
+        &[
+            ("suppressed.rs", "crates/core/src/node.rs"),
+            ("suppressed_graph.rs", "crates/core/src/graph.rs"),
+            ("suppressed_wire.rs", "crates/wire/src/legacy.rs"),
+        ],
+        &spec,
+    );
     for rule in Rule::ALL {
         assert_eq!(count(&findings, rule, true), 1, "{rule}: {findings:?}");
         assert_eq!(count(&findings, rule, false), 0, "{rule}: {findings:?}");
     }
+}
+
+#[test]
+fn graph_suppressions_without_rationale_do_not_cover() {
+    // Strip the rationales from the lock-order allow: the finding must
+    // surface unsuppressed, annotated with the missing-rationale note.
+    let source = fixture_source("suppressed_graph.rs")
+        .replace(
+            "allow(lock-order): startup-only path, runs single-",
+            "allow(lock-order)",
+        )
+        .replace("// threaded before the pool exists\n", "\n");
+    let spec = LockOrderSpec::parse("order = [\"graph.alpha\", \"graph.beta\"]");
+    let findings = analyze_files(&[("crates/core/src/graph.rs".to_string(), source)], &spec)
+        .report
+        .findings;
+    let open: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder && !f.suppressed)
+        .collect();
+    assert_eq!(open.len(), 1, "{findings:?}");
+    assert!(
+        open[0].message.contains("no rationale"),
+        "{}",
+        open[0].message
+    );
 }
 
 #[test]

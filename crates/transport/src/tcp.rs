@@ -302,8 +302,11 @@ impl Endpoint for TcpMesh {
         // Drain and join the per-peer writers first (graceful flush)...
         self.inner.pipeline.shutdown();
         // ...then sever inbound streams so readers parked in
-        // `read_exact` wake up and exit,...
-        for stream in self.inner.inbound_streams.lock().drain(..) {
+        // `read_exact` wake up and exit (streams are moved out first so
+        // the lock is not held across the shutdown syscalls — readers
+        // touch this list while exiting),...
+        let streams: Vec<_> = self.inner.inbound_streams.lock().drain(..).collect();
+        for stream in streams {
             let _ = stream.shutdown(Shutdown::Both);
         }
         // ...poke the listener so the accept loop observes the closed

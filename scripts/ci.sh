@@ -15,15 +15,26 @@ cd "$(dirname "$0")/.."
 
 run_lint() {
   mkdir -p target/artifacts
-  # Archive the machine-readable report, then fail loudly with the
-  # human-readable rerun if any unsuppressed finding exists.
-  if cargo run -q -p eden-lint -- --json > target/artifacts/lint.json; then
+  # Archive the machine-readable report and the lock-acquisition graph,
+  # then fail loudly with the human-readable rerun if any unsuppressed
+  # finding exists.
+  if cargo run -q -p eden-lint -- --json --dot target/artifacts/lock-order.dot \
+      > target/artifacts/lint.json; then
     echo "eden-lint: clean (report: target/artifacts/lint.json)"
   else
     echo "eden-lint: unsuppressed findings (report: target/artifacts/lint.json)" >&2
     cargo run -q -p eden-lint || true
     exit 1
   fi
+  # The DOT header carries the linter's own cycle verdict over the
+  # non-exempt edges; a cyclic lock graph gates even if every individual
+  # edge finding was suppressed.
+  if ! grep -q '^// acyclic-modulo-allowed: true$' target/artifacts/lock-order.dot; then
+    echo "eden-lint: lock-order graph has a cycle outside the allowed edges" >&2
+    echo "  (see target/artifacts/lock-order.dot)" >&2
+    exit 1
+  fi
+  echo "eden-lint: lock graph acyclic (target/artifacts/lock-order.dot)"
 }
 
 run_loom() {
