@@ -63,4 +63,7 @@ fn main() {
     if want("e14") {
         exp_e14_directory::run().print();
     }
+    if want("e16") {
+        exp_e16_pipeline::run().print();
+    }
 }

@@ -18,6 +18,7 @@ pub mod exp_e11_ablation;
 pub mod exp_e12_fanout;
 pub mod exp_e13_transport;
 pub mod exp_e14_directory;
+pub mod exp_e16_pipeline;
 pub mod exp_e1_latency;
 pub mod exp_e2_classes;
 pub mod exp_e3_checkpoint;

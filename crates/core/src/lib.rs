@@ -77,6 +77,7 @@ pub mod lru;
 pub mod metrics;
 pub mod node;
 pub mod object;
+pub mod pipeline;
 pub mod policy;
 pub mod repr;
 pub mod sync;
@@ -94,6 +95,7 @@ pub use node::{
     ReliabilityLevel,
 };
 pub use object::ObjStatus;
+pub use pipeline::{PendingCall, PipelinedClient};
 pub use repr::Representation;
 pub use sync::{EdenSemaphore, MessagePort};
 pub use types::{ClassSpec, OpError, OpResult, OpSpec, TypeManager, TypeRegistry, TypeSpec};

@@ -29,7 +29,7 @@
 //!   reincarnation (§4.4), move (§4.3), freeze + replica caching (§4.3);
 //! * a **receive loop** servicing the kernel-to-kernel protocol.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +65,30 @@ thread_local! {
     /// Whether the current thread holds a virtual-processor token (set
     /// inside invocation processes so nested invokes know to yield it).
     static HOLDS_VPROC: Cell<bool> = const { Cell::new(false) };
+
+    /// Active deferred-dispatch collector. Set by the receive loop while
+    /// it handles a multi-frame batch: `pump` pushes ready invocations
+    /// here instead of submitting each to the pool individually, and the
+    /// whole batch is enqueued under one pool lock/notify afterwards
+    /// (`Node::flush_dispatch_batch`). `None` everywhere else, so worker
+    /// threads and single-frame handling keep the direct submit path.
+    static DISPATCH_BUF: RefCell<Option<Vec<DeferredDispatch>>> = const { RefCell::new(None) };
+}
+
+/// How many frames the receive loop asks the transport for per wakeup.
+const RECV_BATCH_MAX: usize = 128;
+
+/// One invocation dispatch deferred by `pump` into the receive loop's
+/// batch. Carries the pool job plus everything needed to undo the
+/// coordinator bookkeeping and shed the invocation if the pool rejects
+/// this slot of the batch.
+struct DeferredDispatch {
+    job: Box<dyn FnOnce() + Send + 'static>,
+    dispatch_ctx: Option<TraceCtx>,
+    slot: Arc<ObjectSlot>,
+    class: String,
+    sink: ReplySink,
+    reply_trace: Option<TraceCtx>,
 }
 
 /// Kernel tuning parameters.
@@ -208,6 +232,17 @@ pub(crate) enum ReplyMsg {
     Replica(Option<ObjectImage>),
     DirAnswer(Option<NodeId>, DirState),
     Pong,
+}
+
+/// One pipelined request in flight: the registered reply waiter plus
+/// what `Node::pipeline_wait` needs to retransmit and to attribute the
+/// exchange (see `crate::pipeline::PipelinedClient`).
+pub(crate) struct PipelineTicket {
+    pub(crate) inv_id: u64,
+    pub(crate) dst: NodeId,
+    pub(crate) waiter: Arc<Waiter<ReplyMsg>>,
+    pub(crate) start_ns: u64,
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 /// At-most-once bookkeeping for remotely served invocations: requests
@@ -1314,13 +1349,35 @@ impl Node {
                     )
                 });
                 pending.trace = dispatch_ctx;
-                if self
+                let mut job: Option<Box<dyn FnOnce() + Send + 'static>> =
+                    Some(Box::new(move || node.run_invocation(task_slot, pending)));
+                // While the receive loop is working through a frame
+                // batch, hand the dispatch to its collector instead of
+                // the pool: the whole batch is then submitted under one
+                // pool lock/notify, and the collector owns the undo for
+                // any per-task Overloaded verdict.
+                let deferred = DISPATCH_BUF.with(|buf| {
+                    let mut b = buf.borrow_mut();
+                    if let Some(list) = b.as_mut() {
+                        list.push(DeferredDispatch {
+                            job: job.take().expect("job not yet consumed"),
+                            dispatch_ctx,
+                            slot: slot.clone(),
+                            class: class.clone(),
+                            sink: sink.clone(),
+                            reply_trace: trace,
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if deferred {
+                    // Accounted as a process at flush time if accepted.
+                } else if self
                     .inner
                     .vprocs
-                    .submit_traced(
-                        move || node.run_invocation(task_slot, pending),
-                        dispatch_ctx,
-                    )
+                    .submit_traced(job.take().expect("job not yet consumed"), dispatch_ctx)
                     .is_ok()
                 {
                     self.inner.metrics.bump_process();
@@ -1571,6 +1628,188 @@ impl Node {
                 (Status::Timeout, Vec::new(), dst)
             }
         }
+    }
+
+    // ================= Pipelined invocation support =================
+    //
+    // The public face is `PipelinedClient` (see `crate::pipeline`); the
+    // methods here are the halves of `remote_invoke` split apart so many
+    // requests can be in flight on one connection at once: a
+    // non-blocking send that registers the reply waiter, and a wait that
+    // can be called later — in any order across calls, because replies
+    // rendezvous by `inv_id`.
+
+    /// Sends one invocation request to `dst` without waiting for the
+    /// reply. The returned ticket holds the registered waiter; complete
+    /// it with [`pipeline_wait`](Self::pipeline_wait) or release it with
+    /// [`pipeline_abandon`](Self::pipeline_abandon). Fails only when the
+    /// transport refuses the frame outright.
+    pub(crate) fn pipeline_send(
+        &self,
+        dst: NodeId,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+    ) -> std::result::Result<PipelineTicket, Status> {
+        self.inner.metrics.bump_remote_sent();
+        let start_ns = now_ns();
+        // Tracing: the frame carries the *root* context (the span guard
+        // cannot outlive this call), and `pipeline_wait` records the
+        // `client-send` exchange span under it retroactively. The root
+        // span itself closes here, so in a rendered trace it marks the
+        // issue point while its children carry the durations.
+        let trace = self
+            .inner
+            .obs
+            .sampled_root_span("invoke", op)
+            .map(|s| s.ctx());
+        let inv_id = self.fresh_id();
+        let waiter = Arc::new(Waiter::new());
+        self.inner.pending.lock().insert(inv_id, waiter.clone());
+        self.inner
+            .inflight
+            .lock()
+            .insert(inv_id, (start_ns, trace.map_or(0, |c| c.trace_id)));
+        let ticket = PipelineTicket {
+            inv_id,
+            dst,
+            waiter,
+            start_ns,
+            trace,
+        };
+        if self
+            .inner
+            .endpoint
+            .send(self.pipeline_request(&ticket, cap, op, args))
+            .is_err()
+        {
+            self.pipeline_abandon(inv_id);
+            return Err(Status::NodeUnreachable);
+        }
+        Ok(ticket)
+    }
+
+    /// Builds the request frame for `ticket` (also used to retransmit —
+    /// same `inv_id`, so the serving kernel dedupes).
+    fn pipeline_request(
+        &self,
+        ticket: &PipelineTicket,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+    ) -> Frame {
+        let mut frame = Frame::to(
+            self.inner.id,
+            ticket.dst,
+            Message::InvokeRequest {
+                inv_id: ticket.inv_id,
+                target: cap,
+                operation: op.to_string(),
+                args: args.to_vec(),
+                reply_to: self.inner.id,
+                hops: self.inner.config.hop_limit,
+            },
+        );
+        if let Some(t) = ticket.trace {
+            frame = frame.with_trace(t);
+        }
+        frame
+    }
+
+    /// Waits for the reply to a pipelined request, retransmitting on the
+    /// configured interval exactly like `remote_invoke`. Consumes the
+    /// ticket's registration; the third element is the node that
+    /// actually answered (cached so a forwarding chain is paid once).
+    pub(crate) fn pipeline_wait(
+        &self,
+        ticket: &PipelineTicket,
+        cap: Capability,
+        op: &str,
+        args: &[Value],
+        budget: Duration,
+    ) -> (Status, Vec<Value>, NodeId) {
+        let result = self.inner.vprocs.blocking(|| {
+            if !self.inner.config.enable_retransmission {
+                ticket.waiter.wait(budget)
+            } else {
+                let deadline = Instant::now() + budget;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break None;
+                    }
+                    let slice = self.inner.config.retransmit_interval.min(deadline - now);
+                    if let Some(reply) = ticket.waiter.wait(slice) {
+                        break Some(reply);
+                    }
+                    if Instant::now() >= deadline {
+                        break None;
+                    }
+                    self.inner.obs.recorder().record(KernelEvent::Retransmit {
+                        inv_id: ticket.inv_id,
+                        dst: ticket.dst.0,
+                    });
+                    let _ = self
+                        .inner
+                        .endpoint
+                        .send(self.pipeline_request(ticket, cap, op, args));
+                }
+            }
+        });
+        self.pipeline_abandon(ticket.inv_id);
+        let end_ns = now_ns();
+        if let Some(t) = ticket.trace {
+            self.inner
+                .obs
+                .record_span("client-send", t, ticket.start_ns, end_ns);
+        }
+        self.inner
+            .obs
+            .histogram("invoke.remote")
+            .record(end_ns.saturating_sub(ticket.start_ns));
+        match result {
+            Some(ReplyMsg::Invoke(status, results, from)) => {
+                if self.inner.config.enable_location_cache
+                    && !matches!(status, Status::NoSuchObject | Status::Timeout)
+                {
+                    self.cache_insert(cap.name(), from);
+                }
+                (status, results, from)
+            }
+            _ => {
+                self.inner
+                    .obs
+                    .recorder()
+                    .record(KernelEvent::RemoteTimeout { dst: ticket.dst.0 });
+                (Status::Timeout, Vec::new(), ticket.dst)
+            }
+        }
+    }
+
+    /// Unregisters a pipelined request's reply waiter (wait completed,
+    /// send failed, or the pending call was dropped unharvested).
+    pub(crate) fn pipeline_abandon(&self, inv_id: u64) {
+        self.inner.pending.lock().remove(&inv_id);
+        self.inner.inflight.lock().remove(&inv_id);
+    }
+
+    /// Best current destination guess for `name`: forwarding address,
+    /// then hint cache, then the birth node baked into the name.
+    pub(crate) fn pipeline_default_dst(&self, name: ObjName) -> NodeId {
+        if let Some(&fwd) = self.inner.location.forwards.read().get(&name) {
+            return fwd;
+        }
+        if self.inner.config.enable_location_cache {
+            if let Some(hint) = self.inner.location.cache.lock().get(&name).copied() {
+                return hint;
+            }
+        }
+        name.birth_node()
+    }
+
+    /// The default per-exchange reply budget for pipelined calls.
+    pub(crate) fn pipeline_default_budget(&self) -> Duration {
+        self.inner.config.default_invoke_timeout
     }
 
     // ================= Location =================
@@ -2586,11 +2825,80 @@ impl Node {
                     next_gossip = now + tick_every;
                 }
             }
-            match self.inner.endpoint.recv_timeout(Duration::from_millis(50)) {
-                Ok(Some(frame)) => self.handle_frame(frame),
-                Ok(None) => continue,
+            match self
+                .inner
+                .endpoint
+                .recv_batch(RECV_BATCH_MAX, Duration::from_millis(50))
+            {
+                Ok(batch) if batch.is_empty() => continue,
+                Ok(batch) => self.handle_frame_batch(batch),
                 Err(_) => return,
             }
+        }
+    }
+
+    /// Handles one receive-loop batch. Frames are processed inline in
+    /// arrival order (so replies, gossip and location traffic keep their
+    /// ordering), but invocation dispatches that `pump` would have
+    /// submitted one-by-one are collected in [`DISPATCH_BUF`] and handed
+    /// to the pool as a single [`VirtualProcessorPool::submit_batch`] —
+    /// one lock/notify for the whole batch instead of one per frame.
+    fn handle_frame_batch(&self, frames: Vec<Frame>) {
+        if frames.len() == 1 {
+            for frame in frames {
+                self.handle_frame(frame);
+            }
+            return;
+        }
+        DISPATCH_BUF.with(|buf| *buf.borrow_mut() = Some(Vec::new()));
+        for frame in frames {
+            self.handle_frame(frame);
+        }
+        let deferred = DISPATCH_BUF
+            .with(|buf| buf.borrow_mut().take())
+            .unwrap_or_default();
+        self.flush_dispatch_batch(deferred);
+    }
+
+    /// Enqueues a batch of deferred invocation dispatches in one pool
+    /// transaction. A per-task `Overloaded` verdict undoes that task's
+    /// dispatch bookkeeping at its coordinator (exactly what `pump` does
+    /// inline on the non-batched path) and sheds the invocation with the
+    /// backpressure status.
+    fn flush_dispatch_batch(&self, deferred: Vec<DeferredDispatch>) {
+        if deferred.is_empty() {
+            return;
+        }
+        let mut tasks = Vec::with_capacity(deferred.len());
+        let mut undo_meta = Vec::with_capacity(deferred.len());
+        for d in deferred {
+            tasks.push((d.job, d.dispatch_ctx));
+            undo_meta.push((d.slot, d.class, d.sink, d.reply_trace));
+        }
+        let results = self.inner.vprocs.submit_batch(tasks);
+        for (result, (slot, class, sink, reply_trace)) in results.into_iter().zip(undo_meta) {
+            if result.is_ok() {
+                self.inner.metrics.bump_process();
+                continue;
+            }
+            {
+                let mut coord = slot.coord.lock();
+                coord.running -= 1;
+                self.inner
+                    .obs
+                    .gauge(&format!("class.in_service.{class}"))
+                    .dec();
+                if let Some(n) = coord.class_in_service.get_mut(&class) {
+                    *n -= 1;
+                    if *n == 0 {
+                        coord.class_in_service.remove(&class);
+                    }
+                }
+                if coord.running == 0 {
+                    slot.quiesce_cv.notify_all();
+                }
+            }
+            self.send_reply(sink, Status::Overloaded, Vec::new(), reply_trace);
         }
     }
 
@@ -2915,8 +3223,14 @@ impl Node {
 
         // At-most-once: replay a cached reply for a retransmitted
         // request; drop retransmissions of requests still executing.
+        // Check *and* admit under one lock acquisition — with pipelined
+        // clients a duplicate can race the original through the receive
+        // path, and only an atomic check-and-insert keeps exactly one of
+        // them executing. Every admitted request reaches `send_reply`
+        // (which records it done and clears the marker) except the
+        // forwarding path, which removes the marker itself.
         {
-            let served = self.inner.served.lock();
+            let mut served = self.inner.served.lock();
             let key = (reply_to, inv_id);
             if let Some((status, results)) = served.done.get(&key).cloned() {
                 drop(served);
@@ -2931,7 +3245,7 @@ impl Node {
                 ));
                 return;
             }
-            if served.in_progress.contains(&key) {
+            if !served.in_progress.insert(key) {
                 return;
             }
         }
@@ -2943,11 +3257,6 @@ impl Node {
         // retransmitted scrape replays the cached reply instead of
         // re-executing and double-counting scrape-side metrics.
         if name == node_object_name(self.inner.id) {
-            self.inner
-                .served
-                .lock()
-                .in_progress
-                .insert((reply_to, inv_id));
             let (status, results) = self.serve_node_object(target, &operation, &args);
             self.send_reply(sink, status, results, trace);
             return;
@@ -2973,14 +3282,7 @@ impl Node {
         };
         if let Some(slot) = slot {
             match self.validate(&slot, target, &operation, &args, sink, trace) {
-                Ok(pending) => {
-                    self.inner
-                        .served
-                        .lock()
-                        .in_progress
-                        .insert((reply_to, inv_id));
-                    self.enqueue(&slot, pending);
-                }
+                Ok(pending) => self.enqueue(&slot, pending),
                 Err(status) => self.send_reply(
                     ReplySink::Remote { inv_id, reply_to },
                     status,
@@ -2993,6 +3295,15 @@ impl Node {
         // Forwarding address from a past move?
         if let Some(&fwd) = self.inner.location.forwards.read().get(&name) {
             if hops > 0 {
+                // Not served here after all: clear the admission marker so
+                // a later retransmission can be forwarded again (the next
+                // holder replies directly to `reply_to` and runs its own
+                // at-most-once bookkeeping).
+                self.inner
+                    .served
+                    .lock()
+                    .in_progress
+                    .remove(&(reply_to, inv_id));
                 self.inner.metrics.bump_forward();
                 self.inner.obs.recorder().record(KernelEvent::Forward {
                     obj: name.to_u128(),

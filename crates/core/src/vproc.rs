@@ -238,6 +238,60 @@ impl VirtualProcessorPool {
         Ok(())
     }
 
+    /// [`submit_traced`](Self::submit_traced) for a whole batch: all
+    /// `tasks` are enqueued under **one** lock acquisition and one
+    /// wakeup, so a receive-loop frame batch pays the pool's
+    /// synchronization cost once instead of once per invocation.
+    ///
+    /// Admission is per task: the i-th result mirrors what
+    /// `submit_traced` would have returned for the i-th task (tasks past
+    /// the queue cap shed with `Overloaded`; the caller owes each
+    /// rejected invocation its backpressure reply).
+    pub fn submit_batch(
+        &self,
+        tasks: Vec<(Box<dyn FnOnce() + Send + 'static>, Option<TraceCtx>)>,
+    ) -> Vec<Result<(), SubmitError>> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut results = Vec::with_capacity(tasks.len());
+        let mut accepted = 0usize;
+        let spawn_spare = {
+            let mut st = self.shared.state.lock();
+            for (job, trace) in tasks {
+                if st.stop {
+                    results.push(Err(SubmitError::Closed));
+                    continue;
+                }
+                if st.queue.len() >= self.shared.queue_cap {
+                    self.shared.rejected.inc();
+                    results.push(Err(SubmitError::Overloaded));
+                    continue;
+                }
+                st.queue.push_back(Task {
+                    job,
+                    enqueued_ns: now_ns(),
+                    trace,
+                });
+                accepted += 1;
+                results.push(Ok(()));
+            }
+            if accepted > 0 {
+                self.shared.queue_depth.add(accepted as i64);
+            }
+            self.reserve_spare(&mut st)
+        };
+        match accepted {
+            0 => {}
+            1 => self.shared.cv.notify_one(),
+            _ => self.shared.cv.notify_all(),
+        }
+        if spawn_spare {
+            self.spawn_spare();
+        }
+        results
+    }
+
     /// Runs `f` — a wait whose completion may itself need pool capacity
     /// (a nested or remote invocation's reply, a move ack) — with this
     /// worker marked *blocked*. If runnable work would otherwise stall,
@@ -476,6 +530,54 @@ mod tests {
         *gate.0.lock() = true;
         gate.1.notify_all();
         p.shutdown();
+    }
+
+    #[test]
+    fn submit_batch_runs_all_and_sheds_past_the_cap() {
+        let p = pool(1, 4);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = gate.clone();
+        // Wedge the single worker so the batch lands in the queue.
+        p.submit(move || {
+            let mut open = g.0.lock();
+            while !*open {
+                g.1.wait(&mut open);
+            }
+        })
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while p.stats().queued > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Six tasks into a cap-4 queue: per-item verdicts, the first
+        // four accepted, the tail shed with Overloaded.
+        let done = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<(Box<dyn FnOnce() + Send>, Option<TraceCtx>)> = (0..6)
+            .map(|_| {
+                let d = done.clone();
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+                (job, None)
+            })
+            .collect();
+        let results = p.submit_batch(tasks);
+        assert_eq!(results.len(), 6);
+        assert!(results[..4].iter().all(Result::is_ok));
+        assert_eq!(results[4], Err(SubmitError::Overloaded));
+        assert_eq!(results[5], Err(SubmitError::Overloaded));
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4, "accepted tasks all ran");
+        p.shutdown();
+        assert_eq!(
+            p.submit_batch(vec![(Box::new(|| {}) as Box<dyn FnOnce() + Send>, None)]),
+            vec![Err(SubmitError::Closed)]
+        );
     }
 
     #[test]

@@ -145,6 +145,30 @@ fn duplicate_request_during_execution_runs_once() {
 }
 
 #[test]
+fn duplicates_arriving_in_one_receive_batch_run_once() {
+    let executions = Arc::new(AtomicU64::new(0));
+    let (node, client, mesh) =
+        kernel_and_raw_client(executions.clone(), Duration::from_millis(100));
+    let cap = node.create_object("amo.counted", &[]).expect("create");
+
+    // Three copies back-to-back with no gap: the receive loop drains
+    // them as one batch, so the dedup must hold within a single
+    // `handle_frame_batch` pass (atomic check-and-insert), not just
+    // across well-spaced frames.
+    for _ in 0..3 {
+        client.send(invoke_request(77, cap, "bump")).unwrap();
+    }
+
+    let replies = collect_replies(&client, Duration::from_millis(600));
+    assert_eq!(replies.len(), 1, "one reply for one logical request");
+    assert_eq!(replies[0].1, Status::Ok);
+    assert_eq!(executions.load(Ordering::SeqCst), 1);
+
+    node.shutdown();
+    mesh.shutdown();
+}
+
+#[test]
 fn lossy_mesh_with_retransmission_executes_each_invocation_once() {
     let executions = Arc::new(AtomicU64::new(0));
     let exec_for_factory = executions.clone();

@@ -1,6 +1,7 @@
 //! L1 `pool-discipline`: kernel threads come from the virtual-processor
-//! pool; transport threads are named (`eden-mesh-*`, `eden-tcp-*`) so
-//! flight-recorder dumps and leak hunts can attribute them.
+//! pool; transport threads are named (`eden-mesh-*`, `eden-tcp-*` —
+//! accept loops, the fixed `eden-tcp-rdr-*` reader pool, per-peer
+//! writers) so flight-recorder dumps and leak hunts can attribute them.
 
 use crate::lexer::{word_occurrences, SourceModel};
 use crate::{Finding, Rule};

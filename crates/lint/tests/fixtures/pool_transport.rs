@@ -12,6 +12,13 @@ fn named_mesh_pump() {
         .spawn(move || {});
 }
 
+fn named_reader_pool_thread() {
+    // The fixed inbound reader pool: eden-tcp-rdr-<node>-<i>.
+    let _ = std::thread::Builder::new()
+        .name(format!("eden-tcp-rdr-{}-{}", 0, 3))
+        .spawn(move || {});
+}
+
 fn anonymous_spawn_is_flagged() {
     let _ = std::thread::spawn(|| {});
 }

@@ -73,8 +73,9 @@ fn pool_discipline_is_scoped_to_eden_core() {
 #[test]
 fn pool_discipline_requires_named_transport_threads() {
     let findings = scan_fixture("pool_transport.rs", "crates/transport/src/tcp.rs");
-    // The two named spawns pass; the anonymous spawn and the unnamed
-    // Builder chain are flagged.
+    // The named spawns pass — including the reader pool's
+    // `eden-tcp-rdr-*` threads — while the anonymous spawn and the
+    // unnamed Builder chain are flagged.
     assert_eq!(
         count(&findings, Rule::PoolDiscipline, false),
         2,

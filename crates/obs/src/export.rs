@@ -338,6 +338,13 @@ pub fn event_jsonl_line(node: u16, e: &FlightEvent) -> String {
                 ",\"inv_id\":{inv_id},\"age_ms\":{age_ms},\"trace\":\"{trace:#x}\""
             ));
         }
+        KernelEvent::InboundDropped { peer, reason } => {
+            kind("inbound_dropped");
+            out.push_str(&format!(
+                ",\"peer\":\"{peer}\",\"reason\":\"{}\"",
+                reason.as_str()
+            ));
+        }
         KernelEvent::NodeShutdown => kind("shutdown"),
     }
     out.push('}');
@@ -455,6 +462,10 @@ pub fn parse_jsonl_line(line: &str) -> Option<(u16, FlightEvent)> {
                 16,
             )
             .ok()?,
+        },
+        "inbound_dropped" => KernelEvent::InboundDropped {
+            peer: json_field(line, "peer")?.parse().ok()?,
+            reason: crate::recorder::InboundDropReason::parse(json_field(line, "reason")?)?,
         },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,
@@ -714,6 +725,14 @@ mod tests {
                 inv_id: 99,
                 age_ms: 2000,
                 trace: 0x0001_0000_0000_0001,
+            },
+            KernelEvent::InboundDropped {
+                peer: "10.0.0.7:51123".parse().expect("literal addr"),
+                reason: crate::recorder::InboundDropReason::Oversized,
+            },
+            KernelEvent::InboundDropped {
+                peer: "[::1]:9000".parse().expect("literal addr"),
+                reason: crate::recorder::InboundDropReason::Codec,
             },
             KernelEvent::NodeShutdown,
         ];

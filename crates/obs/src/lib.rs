@@ -55,6 +55,6 @@ pub use export::{
 };
 pub use hist::{merge_snapshot_maps, Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
-pub use recorder::{FlightEvent, FlightRecorder, KernelEvent};
+pub use recorder::{FlightEvent, FlightRecorder, InboundDropReason, KernelEvent};
 pub use registry::{ObsRegistry, SpanGuard, TraceSampling};
 pub use trace::{intern_name, render_trace, stage, SpanRecord, TraceCollector, TraceCtx};

@@ -68,8 +68,51 @@ pub enum KernelEvent {
         age_ms: u64,
         trace: u64,
     },
+    /// The TCP transport dropped an inbound connection for a protocol
+    /// violation (the reader pool never dies silently).
+    InboundDropped {
+        peer: std::net::SocketAddr,
+        reason: InboundDropReason,
+    },
     /// This node shut down.
     NodeShutdown,
+}
+
+/// Why an inbound TCP connection was dropped (see
+/// [`KernelEvent::InboundDropped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InboundDropReason {
+    /// The length prefix exceeded the frame-size ceiling: hostile or
+    /// corrupt peer.
+    Oversized,
+    /// A well-framed payload failed to decode: the stream is
+    /// unsynchronized.
+    Codec,
+}
+
+impl InboundDropReason {
+    /// Stable lowercase token, used by the wire codec and JSONL export.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InboundDropReason::Oversized => "oversized",
+            InboundDropReason::Codec => "codec",
+        }
+    }
+
+    /// Inverse of [`InboundDropReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "oversized" => Some(InboundDropReason::Oversized),
+            "codec" => Some(InboundDropReason::Codec),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InboundDropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl fmt::Display for KernelEvent {
@@ -144,6 +187,9 @@ impl fmt::Display for KernelEvent {
                     f,
                     "slow-invocation inv={inv_id} in flight {age_ms} ms trace={trace:#x}"
                 )
+            }
+            KernelEvent::InboundDropped { peer, reason } => {
+                write!(f, "inbound-dropped peer {peer} reason {reason}")
             }
             KernelEvent::NodeShutdown => write!(f, "node shutdown"),
         }

@@ -87,6 +87,21 @@ pub trait Endpoint: Send + Sync {
     /// Receives with a deadline; `Ok(None)` on timeout.
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Frame>, TransportError>;
 
+    /// Receives up to `max` frames in one call: blocks until at least
+    /// one frame arrives (or `timeout` passes — then `Ok(empty)`), then
+    /// drains whatever more is immediately available, preserving
+    /// per-sender FIFO order. The kernel's receive loop uses this to
+    /// amortize its channel and dispatch costs over a sender's whole
+    /// coalesced batch; transports without internal batching fall back
+    /// to handing over one frame.
+    fn recv_batch(&self, max: usize, timeout: Duration) -> Result<Vec<Frame>, TransportError> {
+        let _ = max;
+        Ok(match self.recv_timeout(timeout)? {
+            Some(f) => vec![f],
+            None => Vec::new(),
+        })
+    }
+
     /// The other nodes this endpoint can currently address.
     fn peers(&self) -> Vec<NodeId>;
 

@@ -392,6 +392,25 @@ impl Endpoint for MeshEndpoint {
         }
     }
 
+    fn recv_batch(&self, max: usize, timeout: Duration) -> Result<Vec<Frame>, TransportError> {
+        // The inbox is a plain frame channel; batching here is just a
+        // non-blocking drain after the first (blocking) pop.
+        let max = max.max(1);
+        let mut out = Vec::new();
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => out.push(f),
+            Err(RecvTimeoutError::Timeout) => return Ok(out),
+            Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+        }
+        while out.len() < max {
+            match self.rx.try_recv() {
+                Ok(f) => out.push(f),
+                Err(_) => break,
+            }
+        }
+        Ok(out)
+    }
+
     fn peers(&self) -> Vec<NodeId> {
         self.core
             .inboxes

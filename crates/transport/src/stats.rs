@@ -30,6 +30,9 @@ pub struct TransportStats {
     pub dials: u64,
     /// Of `dials`, attempts that failed and went into backoff.
     pub dial_failures: u64,
+    /// Inbound connections dropped for protocol violations (oversized
+    /// length prefix, undecodable frame). TCP transport only.
+    pub inbound_dropped: u64,
     /// Frames sitting in per-peer send queues at snapshot time
     /// (instantaneous level, not a counter; zero for non-queueing
     /// transports).
@@ -48,6 +51,7 @@ pub struct StatsCell {
     batches_sent: AtomicU64,
     dials: AtomicU64,
     dial_failures: AtomicU64,
+    inbound_dropped: AtomicU64,
 }
 
 impl StatsCell {
@@ -90,6 +94,11 @@ impl StatsCell {
         self.batches_sent.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an inbound connection dropped for a protocol violation.
+    pub fn record_inbound_drop(&self) {
+        self.inbound_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a dial attempt and whether it failed.
     pub fn record_dial(&self, failed: bool) {
         self.dials.fetch_add(1, Ordering::Relaxed);
@@ -111,6 +120,7 @@ impl StatsCell {
             batches_sent: self.batches_sent.load(Ordering::Relaxed),
             dials: self.dials.load(Ordering::Relaxed),
             dial_failures: self.dial_failures.load(Ordering::Relaxed),
+            inbound_dropped: self.inbound_dropped.load(Ordering::Relaxed),
             queue_depth: 0,
         }
     }
@@ -132,6 +142,7 @@ impl TransportStats {
             batches_sent: self.batches_sent.saturating_sub(earlier.batches_sent),
             dials: self.dials.saturating_sub(earlier.dials),
             dial_failures: self.dial_failures.saturating_sub(earlier.dial_failures),
+            inbound_dropped: self.inbound_dropped.saturating_sub(earlier.inbound_dropped),
             queue_depth: self.queue_depth,
         }
     }

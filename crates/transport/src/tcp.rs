@@ -2,10 +2,9 @@
 //!
 //! Each kernel process binds one [`TcpMesh`] endpoint and declares its
 //! peers' addresses. Frames travel length-prefixed over per-destination
-//! TCP connections; inbound connections are accepted by a listener
-//! thread and drained by one reader thread each. Broadcast is unicast
-//! to every configured peer — on a switched network that is what
-//! Ethernet broadcast degenerates to anyway.
+//! TCP connections. Broadcast is unicast to every configured peer — on
+//! a switched network that is what Ethernet broadcast degenerates to
+//! anyway.
 //!
 //! The send side is an asynchronous per-peer pipeline (see
 //! [`writer`](crate::writer)): `send()` is a non-blocking enqueue onto
@@ -14,23 +13,41 @@
 //! the background with exponential backoff, so a cold or dead peer
 //! never stalls the caller.
 //!
+//! The receive side is a small *fixed* pool of reader threads
+//! (`eden-tcp-rdr-<node>-<i>`) multiplexing every inbound connection
+//! over non-blocking sockets: the accept loop hands each new stream to
+//! a reader round-robin, and each reader rotates over its connections,
+//! draining everything available per pass and decoding complete frames
+//! zero-copy ([`Frame::decode_shared`] slices the per-connection
+//! receive buffer). Everything decoded in one pass is pushed to the
+//! kernel as a single `Vec<Frame>` batch — one channel operation per
+//! wakeup, however many frames the senders coalesced — which
+//! [`Endpoint::recv_batch`] hands through intact. Thread count is
+//! [`TcpTuning::reader_threads`] at most, flat as peers scale; the
+//! seed's thread-per-connection reader (and its leak of accepted
+//! stream handles) is gone.
+//!
 //! Delivery remains best-effort to match the [`Endpoint`] contract: a
 //! peer that is down simply does not receive (its frames shed at the
 //! bounded queue, counted as drops); the kernel's timeout and retry
 //! machinery is responsible for coping, exactly as over the mesh.
+//! A peer that sends garbage (an oversized length prefix or an
+//! undecodable frame) has its connection dropped, counted in
+//! `stats().inbound_dropped` and recorded as a flight-recorder event
+//! naming the peer address and reason — never silently.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::io::{BufReader, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use eden_capability::NodeId;
-use eden_obs::ObsRegistry;
+use eden_obs::{InboundDropReason, KernelEvent, ObsRegistry};
 use eden_wire::{Dest, Frame, WireDecode, WireEncode};
 use parking_lot::Mutex;
 
@@ -42,6 +59,20 @@ use crate::{Endpoint, TransportError};
 /// input (matches the wire codec's sequence limit).
 const MAX_FRAME_BYTES: u32 = 64 << 20;
 
+/// Wire overhead per frame: the u32 length prefix. Counted in both
+/// `bytes_sent` and `bytes_received` so the monitor's send/recv byte
+/// columns agree with each other and with the wire.
+const LEN_PREFIX_BYTES: usize = 4;
+
+/// How long an idle reader naps between rotation passes. Short enough
+/// that shutdown and a quiet connection's next frame are both observed
+/// promptly; long enough that 4 idle readers cost ~nothing.
+const READER_NAP: Duration = Duration::from_millis(1);
+
+/// Per-pass read budget per connection, so one firehose socket cannot
+/// starve the other connections multiplexed onto the same reader.
+const READ_BUDGET_PER_PASS: usize = 1 << 20;
+
 /// Static configuration of one TCP endpoint.
 #[derive(Debug, Clone)]
 pub struct TcpMeshConfig {
@@ -52,8 +83,9 @@ pub struct TcpMeshConfig {
     pub listen: SocketAddr,
     /// Peer node ids and their listen addresses.
     pub peers: HashMap<NodeId, SocketAddr>,
-    /// Send-pipeline knobs (queue capacity, coalescing budget, dial
-    /// backoff); the defaults suit small-frame kernel traffic.
+    /// Send-pipeline and reader-pool knobs (queue capacity, coalescing
+    /// budget, dial backoff, reader thread count); the defaults suit
+    /// small-frame kernel traffic.
     pub tuning: TcpTuning,
 }
 
@@ -72,16 +104,36 @@ impl TcpMeshConfig {
 struct TcpInner {
     node: NodeId,
     pipeline: Arc<SendPipeline>,
-    rx_tx: Sender<Frame>,
+    /// Readers push whole per-pass decode batches; `recv_batch` pops
+    /// them intact, so a coalesced sender batch crosses the channel in
+    /// one operation end to end.
+    rx_tx: Sender<Vec<Frame>>,
     stats: Arc<StatsCell>,
     closed: AtomicBool,
     /// Inbound connections accepted so far (test observability for the
     /// one-connection-per-peer invariant).
     inbound_accepted: AtomicU64,
-    /// Handles to the live inbound streams, so shutdown can unblock the
-    /// reader threads parked in `read_exact`.
-    inbound_streams: Mutex<Vec<TcpStream>>,
+    /// The fixed reader pool's join handles (at most
+    /// `tuning.reader_threads`, spawned lazily as connections arrive).
     reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Receiving node's registry, for the inbound-drop counter and
+    /// flight-recorder events (`None` until `attach_obs`).
+    obs: Mutex<Option<Arc<ObsRegistry>>>,
+}
+
+impl TcpInner {
+    /// Records a dropped inbound connection: counter + flight-recorder
+    /// event naming the peer and reason. Rare path (hostile or corrupt
+    /// peer), so the obs lock is fine here.
+    fn note_inbound_drop(&self, peer: SocketAddr, reason: InboundDropReason) {
+        self.stats.record_inbound_drop();
+        let obs = self.obs.lock().clone();
+        if let Some(obs) = obs {
+            obs.counter("tcp.inbound_dropped").inc();
+            obs.recorder()
+                .record(KernelEvent::InboundDropped { peer, reason });
+        }
+    }
 }
 
 /// A TCP-backed [`Endpoint`].
@@ -90,7 +142,10 @@ struct TcpInner {
 /// per OS process.
 pub struct TcpMesh {
     inner: Arc<TcpInner>,
-    rx: Receiver<Frame>,
+    rx: Receiver<Vec<Frame>>,
+    /// Frames from a popped batch not yet consumed by the single-frame
+    /// `recv`/`recv_timeout` compatibility API.
+    pending: Mutex<VecDeque<Frame>>,
     local_addr: SocketAddr,
     accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -105,6 +160,7 @@ impl TcpMesh {
             .map_err(|e| TransportError::Io(e.to_string()))?;
         let (rx_tx, rx) = unbounded();
         let stats = StatsCell::new_shared();
+        let reader_cap = config.tuning.reader_threads.max(1);
         let pipeline =
             SendPipeline::new(config.node, config.peers, config.tuning, Arc::clone(&stats));
         let inner = Arc::new(TcpInner {
@@ -114,14 +170,21 @@ impl TcpMesh {
             stats,
             closed: AtomicBool::new(false),
             inbound_accepted: AtomicU64::new(0),
-            inbound_streams: Mutex::new(Vec::new()),
             reader_threads: Mutex::new(Vec::new()),
+            obs: Mutex::new(None),
         });
 
         let accept_inner = inner.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("eden-tcp-accept-{}", config.node))
             .spawn(move || {
+                // Reader intake channels, created lazily: the first
+                // `reader_cap` connections each bring a reader up; every
+                // connection after that joins an existing reader
+                // round-robin. A mostly-client endpoint thus runs one
+                // reader; a 64-peer server still runs `reader_cap`.
+                let mut readers: Vec<Sender<TcpStream>> = Vec::new();
+                let mut next = 0usize;
                 for stream in listener.incoming() {
                     if accept_inner.closed.load(Ordering::Acquire) {
                         break;
@@ -131,21 +194,23 @@ impl TcpMesh {
                     accept_inner
                         .inbound_accepted
                         .fetch_add(1, Ordering::Relaxed);
-                    // Keep a handle so shutdown can sever the stream and
-                    // unblock the reader; reap finished readers as we go
-                    // so long-lived endpoints don't accumulate handles.
-                    if let Ok(clone) = stream.try_clone() {
-                        accept_inner.inbound_streams.lock().push(clone);
+                    if readers.len() < reader_cap {
+                        let (conn_tx, conn_rx) = unbounded();
+                        let reader_inner = accept_inner.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("eden-tcp-rdr-{}-{}", reader_inner.node, readers.len()))
+                            .spawn(move || reader_loop(&reader_inner, &conn_rx));
+                        if let Ok(handle) = spawned {
+                            accept_inner.reader_threads.lock().push(handle);
+                            readers.push(conn_tx);
+                        }
                     }
-                    let reader_inner = accept_inner.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name(format!("eden-tcp-read-{}", reader_inner.node))
-                        .spawn(move || reader_loop(&reader_inner, stream));
-                    if let Ok(handle) = spawned {
-                        let mut readers = accept_inner.reader_threads.lock();
-                        readers.retain(|h| !h.is_finished());
-                        readers.push(handle);
+                    if readers.is_empty() {
+                        continue; // Spawn failed; drop the connection.
                     }
+                    let slot = next % readers.len();
+                    next = next.wrapping_add(1);
+                    let _ = readers[slot].send(stream);
                 }
             })
             .map_err(|e| TransportError::Io(e.to_string()))?;
@@ -153,6 +218,7 @@ impl TcpMesh {
         Ok(TcpMesh {
             inner,
             rx,
+            pending: Mutex::new(VecDeque::new()),
             local_addr,
             accept_thread: Mutex::new(Some(accept_thread)),
         })
@@ -173,6 +239,13 @@ impl TcpMesh {
     /// connection), so tests assert this stays at the peer count.
     pub fn inbound_connections(&self) -> u64 {
         self.inner.inbound_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Reader threads currently live — bounded by
+    /// [`TcpTuning::reader_threads`] no matter how many connections are
+    /// accepted (the reader-pool invariant the E16 experiment asserts).
+    pub fn reader_thread_count(&self) -> usize {
+        self.inner.reader_threads.lock().len()
     }
 
     /// Binds `n` endpoints on ephemeral loopback ports, fully meshed —
@@ -205,38 +278,174 @@ impl TcpMesh {
         }
         Ok(meshes)
     }
+
+    /// Moves up to `max` frames from `batch` into `out`, spilling the
+    /// rest to the pending buffer (arrival order preserved).
+    fn absorb(&self, out: &mut Vec<Frame>, batch: Vec<Frame>, max: usize) {
+        let take = batch.len().min(max.saturating_sub(out.len()));
+        let mut it = batch.into_iter();
+        out.extend(it.by_ref().take(take));
+        let mut pending = self.pending.lock();
+        pending.extend(it);
+    }
 }
 
-/// Reads length-prefixed frames from one inbound connection until EOF,
-/// error, or shutdown. Reads are buffered (syscalls amortized across
-/// the sender's coalesced batches) and frames decode zero-copy: blob
-/// fields slice the receive buffer instead of copying out of it.
-fn reader_loop(inner: &Arc<TcpInner>, stream: TcpStream) {
-    let mut stream = BufReader::with_capacity(64 << 10, stream);
+/// One inbound connection multiplexed onto a reader: its non-blocking
+/// stream, who is on the other end, and the accumulation buffer partial
+/// frames wait in between passes.
+struct InboundConn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    buf: BytesMut,
+}
+
+/// Why a reader cut an inbound connection (EOF and plain I/O errors are
+/// ordinary churn and carry no event).
+enum ConnFate {
+    /// Still open; `true` if the pass read any bytes.
+    Open(bool),
+    /// EOF or I/O error: the peer went away. Normal.
+    Gone,
+    /// Protocol violation: drop and record.
+    Poisoned(InboundDropReason),
+}
+
+/// One reader of the fixed pool: adopts connections assigned by the
+/// accept loop, rotates over them draining whatever is readable, and
+/// pushes each pass's decoded frames as one batch.
+fn reader_loop(inner: &Arc<TcpInner>, intake: &Receiver<TcpStream>) {
+    let mut conns: Vec<InboundConn> = Vec::new();
+    let mut chunk = vec![0u8; 64 << 10];
+    let mut batch: Vec<Frame> = Vec::new();
     loop {
         if inner.closed.load(Ordering::Acquire) {
             return;
         }
-        let mut len_buf = [0u8; 4];
-        if stream.read_exact(&mut len_buf).is_err() {
-            return;
+        // Adopt newly assigned connections.
+        loop {
+            match intake.try_recv() {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let peer = stream
+                        .peer_addr()
+                        .unwrap_or_else(|_| "0.0.0.0:0".parse().expect("literal addr"));
+                    conns.push(InboundConn {
+                        stream,
+                        peer,
+                        buf: BytesMut::new(),
+                    });
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        return; // Accept loop gone and nothing to drain.
+                    }
+                    break;
+                }
+            }
         }
-        let len = u32::from_le_bytes(len_buf);
+        // One rotation pass over every connection.
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match pump_conn(inner, &mut conns[i], &mut chunk, &mut batch) {
+                ConnFate::Open(advanced) => {
+                    progress |= advanced;
+                    i += 1;
+                }
+                ConnFate::Gone => {
+                    conns.swap_remove(i);
+                }
+                ConnFate::Poisoned(reason) => {
+                    let peer = conns[i].peer;
+                    inner.note_inbound_drop(peer, reason);
+                    conns.swap_remove(i);
+                }
+            }
+        }
+        if !batch.is_empty() {
+            progress = true;
+            if inner.rx_tx.send(std::mem::take(&mut batch)).is_err() {
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(READER_NAP);
+        }
+    }
+}
+
+/// Drains one connection's readable bytes (up to the per-pass budget)
+/// and decodes every complete frame into `batch`.
+fn pump_conn(
+    inner: &TcpInner,
+    conn: &mut InboundConn,
+    chunk: &mut [u8],
+    batch: &mut Vec<Frame>,
+) -> ConnFate {
+    let mut advanced = false;
+    let mut budget = READ_BUDGET_PER_PASS;
+    let mut eof = false;
+    while budget > 0 {
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                advanced = true;
+                budget = budget.saturating_sub(n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                eof = true; // Connection error: deliver what we have, then drop.
+                break;
+            }
+        }
+    }
+    // Decode every complete frame accumulated so far. Each payload
+    // becomes one shared `Bytes` that `decode_shared` slices without
+    // further copies; the buffer compacts once per pass, not per frame.
+    let mut consumed = 0usize;
+    loop {
+        let avail = conn.buf.len() - consumed;
+        if avail < LEN_PREFIX_BYTES {
+            break;
+        }
+        let len = u32::from_le_bytes(
+            conn.buf[consumed..consumed + LEN_PREFIX_BYTES]
+                .try_into()
+                .expect("4 bytes"),
+        );
         if len > MAX_FRAME_BYTES {
-            return; // Hostile or corrupt peer: drop the connection.
+            return ConnFate::Poisoned(InboundDropReason::Oversized);
         }
-        let mut payload = BytesMut::zeroed(len as usize);
-        if stream.read_exact(&mut payload).is_err() {
-            return;
+        let total = LEN_PREFIX_BYTES + len as usize;
+        if avail < total {
+            break;
         }
-        let payload = payload.freeze();
+        let payload: Bytes =
+            Bytes::copy_from_slice(&conn.buf[consumed + LEN_PREFIX_BYTES..consumed + total]);
+        consumed += total;
         let Ok(frame) = Frame::decode_shared(&payload) else {
-            return; // Codec failure: the stream is unsynchronized; drop it.
+            // The stream is unsynchronized; nothing after this point can
+            // be trusted to be framed correctly.
+            return ConnFate::Poisoned(InboundDropReason::Codec);
         };
-        inner.stats.record_recv(payload.len());
-        if inner.rx_tx.send(frame).is_err() {
-            return;
-        }
+        inner.stats.record_recv(total);
+        batch.push(frame);
+    }
+    if consumed > 0 {
+        conn.buf.advance(consumed);
+    }
+    if eof {
+        ConnFate::Gone
+    } else {
+        ConnFate::Open(advanced)
     }
 }
 
@@ -256,7 +465,7 @@ impl Endpoint for TcpMesh {
         }
         let payload: Bytes =
             SCRATCH.with(|scratch| frame.encode_reusing(&mut scratch.borrow_mut()));
-        self.inner.stats.record_send(payload.len());
+        self.inner.stats.record_send(payload.len() + LEN_PREFIX_BYTES);
         match frame.dst {
             Dest::Node(dst) => self
                 .inner
@@ -268,15 +477,60 @@ impl Endpoint for TcpMesh {
     }
 
     fn recv(&self) -> Result<Frame, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        if let Some(f) = self.pending.lock().pop_front() {
+            return Ok(f);
+        }
+        let batch = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        let mut it = batch.into_iter();
+        let first = it.next().expect("readers never send empty batches");
+        self.pending.lock().extend(it);
+        Ok(first)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Frame>, TransportError> {
+        if let Some(f) = self.pending.lock().pop_front() {
+            return Ok(Some(f));
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(f) => Ok(Some(f)),
+            Ok(batch) => {
+                let mut it = batch.into_iter();
+                let first = it.next().expect("readers never send empty batches");
+                self.pending.lock().extend(it);
+                Ok(Some(first))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
+    }
+
+    fn recv_batch(&self, max: usize, timeout: Duration) -> Result<Vec<Frame>, TransportError> {
+        let max = max.max(1);
+        let mut out = Vec::new();
+        {
+            let mut pending = self.pending.lock();
+            while out.len() < max {
+                match pending.pop_front() {
+                    Some(f) => out.push(f),
+                    None => break,
+                }
+            }
+        }
+        if out.is_empty() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(batch) => self.absorb(&mut out, batch, max),
+                Err(RecvTimeoutError::Timeout) => return Ok(out),
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
+        // Opportunistically top up from batches already queued, without
+        // blocking again.
+        while out.len() < max {
+            match self.rx.try_recv() {
+                Ok(batch) => self.absorb(&mut out, batch, max),
+                Err(_) => break,
+            }
+        }
+        Ok(out)
     }
 
     fn peers(&self) -> Vec<NodeId> {
@@ -290,6 +544,7 @@ impl Endpoint for TcpMesh {
     }
 
     fn attach_obs(&self, obs: Arc<ObsRegistry>) {
+        *self.inner.obs.lock() = Some(Arc::clone(&obs));
         self.inner.pipeline.attach_obs(obs);
     }
 
@@ -301,21 +556,15 @@ impl Endpoint for TcpMesh {
         self.inner.closed.store(true, Ordering::Release);
         // Drain and join the per-peer writers first (graceful flush)...
         self.inner.pipeline.shutdown();
-        // ...then sever inbound streams so readers parked in
-        // `read_exact` wake up and exit (streams are moved out first so
-        // the lock is not held across the shutdown syscalls — readers
-        // touch this list while exiting),...
-        let streams: Vec<_> = self.inner.inbound_streams.lock().drain(..).collect();
-        for stream in streams {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
         // ...poke the listener so the accept loop observes the closed
         // flag,...
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(100));
         if let Some(h) = self.accept_thread.lock().take() {
             let _ = h.join();
         }
-        // ...and join the readers: drop(TcpMesh) leaves no live threads.
+        // ...and join the readers — they never block in reads (the
+        // sockets are non-blocking), so they observe the flag within one
+        // nap: drop(TcpMesh) leaves no live threads.
         for h in self.inner.reader_threads.lock().drain(..) {
             let _ = h.join();
         }
@@ -361,6 +610,46 @@ mod tests {
         for i in 0..200 {
             let got = b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
             assert_eq!(got.msg, ping(i));
+        }
+    }
+
+    #[test]
+    fn recv_batch_returns_coalesced_frames() {
+        let meshes = TcpMesh::bind_local_cluster(2).unwrap();
+        let (a, b) = (&meshes[0], &meshes[1]);
+        for i in 0..100 {
+            a.send(Frame::to(NodeId(0), NodeId(1), ping(i))).unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 100 && std::time::Instant::now() < deadline {
+            got.extend(b.recv_batch(64, Duration::from_millis(200)).unwrap());
+        }
+        assert_eq!(got.len(), 100);
+        // FIFO per sender holds across batch boundaries.
+        for (i, f) in got.iter().enumerate() {
+            assert_eq!(f.msg, ping(i as u64));
+        }
+    }
+
+    #[test]
+    fn recv_batch_interleaves_with_single_frame_recv() {
+        let meshes = TcpMesh::bind_local_cluster(2).unwrap();
+        let (a, b) = (&meshes[0], &meshes[1]);
+        for i in 0..10 {
+            a.send(Frame::to(NodeId(0), NodeId(1), ping(i))).unwrap();
+        }
+        // A single-frame recv may buffer the rest of its batch; the
+        // following recv_batch must deliver those buffered frames first.
+        let first = b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(first.msg, ping(0));
+        let mut got = vec![first];
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 10 && std::time::Instant::now() < deadline {
+            got.extend(b.recv_batch(8, Duration::from_millis(200)).unwrap());
+        }
+        for (i, f) in got.iter().enumerate() {
+            assert_eq!(f.msg, ping(i as u64));
         }
     }
 
@@ -432,6 +721,45 @@ mod tests {
         assert_eq!(meshes[0].stats().frames_sent, 1);
         assert!(meshes[0].stats().bytes_sent > 0);
         assert_eq!(meshes[1].stats().frames_received, 1);
+        // Both directions count the length prefix, so one delivered
+        // frame reads the same number of bytes on each side.
+        assert_eq!(
+            meshes[0].stats().bytes_sent,
+            meshes[1].stats().bytes_received
+        );
+    }
+
+    #[test]
+    fn oversized_frame_drops_the_connection_and_counts() {
+        use std::io::Write;
+        let meshes = TcpMesh::bind_local_cluster(1).unwrap();
+        let m = &meshes[0];
+        let mut raw = TcpStream::connect(m.local_addr()).unwrap();
+        // A length prefix past MAX_FRAME_BYTES: hostile or corrupt.
+        raw.write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().inbound_dropped == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m.stats().inbound_dropped, 1);
+    }
+
+    #[test]
+    fn undecodable_frame_drops_the_connection_and_counts() {
+        use std::io::Write;
+        let meshes = TcpMesh::bind_local_cluster(1).unwrap();
+        let m = &meshes[0];
+        let mut raw = TcpStream::connect(m.local_addr()).unwrap();
+        // A well-framed payload that is not a Frame.
+        raw.write_all(&8u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0xffu8; 8]).unwrap();
+        raw.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().inbound_dropped == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m.stats().inbound_dropped, 1);
     }
 
     #[test]

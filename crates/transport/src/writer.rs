@@ -77,6 +77,12 @@ pub struct TcpTuning {
     pub dial_backoff_min: Duration,
     /// Ceiling for the exponential dial backoff.
     pub dial_backoff_max: Duration,
+    /// Size of the inbound reader pool: at most this many
+    /// `eden-tcp-rdr-*` threads multiplex every accepted connection
+    /// (spawned lazily as connections arrive, so an endpoint with one
+    /// inbound connection runs one reader). Thread count stays flat as
+    /// peers scale; the rotation granularity is ~1ms when idle.
+    pub reader_threads: usize,
 }
 
 impl Default for TcpTuning {
@@ -87,6 +93,7 @@ impl Default for TcpTuning {
             connect_timeout: Duration::from_millis(500),
             dial_backoff_min: Duration::from_millis(50),
             dial_backoff_max: Duration::from_secs(2),
+            reader_threads: 4,
         }
     }
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use eden_obs::export::NodeMetrics;
 use eden_obs::hist::{bucket_count, HistogramSnapshot};
 use eden_obs::trace::{intern_name, stage};
-use eden_obs::{FlightEvent, KernelEvent, ObsRegistry, SpanRecord};
+use eden_obs::{FlightEvent, InboundDropReason, KernelEvent, ObsRegistry, SpanRecord};
 
 use crate::Value;
 
@@ -273,6 +273,11 @@ pub fn event_to_value(node: u16, e: &FlightEvent) -> Value {
             field("age_ms", Value::U64(*age_ms));
             field("trace", Value::U64(*trace));
         }
+        KernelEvent::InboundDropped { peer, reason } => {
+            field("kind", Value::Str("inbound_dropped".into()));
+            field("peer", Value::Str(peer.to_string()));
+            field("reason", Value::Str(reason.as_str().into()));
+        }
         KernelEvent::NodeShutdown => field("kind", Value::Str("shutdown".into())),
     }
     Value::Map(m)
@@ -343,6 +348,10 @@ pub fn event_from_value(v: &Value) -> Option<(u16, FlightEvent)> {
             inv_id: m.get("inv_id")?.as_u64()?,
             age_ms: m.get("age_ms")?.as_u64()?,
             trace: m.get("trace")?.as_u64()?,
+        },
+        "inbound_dropped" => KernelEvent::InboundDropped {
+            peer: m.get("peer")?.as_str()?.parse().ok()?,
+            reason: InboundDropReason::parse(m.get("reason")?.as_str()?)?,
         },
         "shutdown" => KernelEvent::NodeShutdown,
         _ => return None,
@@ -449,6 +458,10 @@ mod tests {
                 inv_id: 99,
                 age_ms: 2000,
                 trace: 0x0001_0000_0000_0001,
+            },
+            KernelEvent::InboundDropped {
+                peer: "127.0.0.1:4096".parse().expect("literal addr"),
+                reason: InboundDropReason::Codec,
             },
             KernelEvent::NodeShutdown,
         ];

@@ -256,6 +256,25 @@ impl BytesMut {
         }
     }
 
+    /// Removes and returns the first `len` bytes (the real crate's
+    /// `split_to`; here the tail shifts down instead of sharing
+    /// storage, so prefer one `advance` per batch over many small
+    /// `split_to` calls on a large buffer).
+    pub fn split_to(&mut self, len: usize) -> BytesMut {
+        assert!(len <= self.inner.len(), "split_to out of range");
+        let tail = self.inner.split_off(len);
+        BytesMut {
+            inner: std::mem::replace(&mut self.inner, tail),
+        }
+    }
+
+    /// Discards the first `n` bytes (the real crate's `Buf::advance`,
+    /// as an inherent method).
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.inner.len(), "advance out of range");
+        self.inner.drain(..n);
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.inner)
@@ -383,6 +402,18 @@ mod tests {
         assert!(m.is_empty());
         assert!(m.capacity() >= 64);
         assert_eq!(split.freeze(), Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn split_to_and_advance_consume_the_front() {
+        let mut m = BytesMut::from(vec![1u8, 2, 3, 4, 5, 6]);
+        let head = m.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4, 5, 6]);
+        m.advance(1);
+        assert_eq!(&m[..], &[4, 5, 6]);
+        m.advance(3);
+        assert!(m.is_empty());
     }
 
     #[test]
